@@ -1,0 +1,19 @@
+//! E9/design ablations: prints the ablation summary and times the
+//! stream-style bandwidth measurement it hinges on.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vc_bench::experiments::ablations;
+use vc_topology::{machines, stream, NodeId};
+
+fn bench(c: &mut Criterion) {
+    let amd = machines::amd_opteron_6272();
+    let a = ablations::run(&amd, 16, 0, 11);
+    print!("{}", ablations::render(&amd, &a));
+
+    let subset: Vec<NodeId> = vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)];
+    c.bench_function("stream_aggregate_bandwidth_4nodes", |b| {
+        b.iter(|| stream::aggregate_bandwidth(black_box(amd.interconnect()), &subset))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E1: prints Figure 1 and times a single placement simulation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vc_bench::experiments::fig1;
+use vc_core::model::PerfOracle;
+use vc_core::placement::PlacementSpec;
+use vc_sim::SimOracle;
+use vc_topology::{machines, NodeId};
+
+fn bench(c: &mut Criterion) {
+    let intel = machines::intel_xeon_e7_4830_v3();
+    print!(
+        "{}",
+        fig1::render(&intel, &fig1::run(&intel, &[1, 2, 4], 16))
+    );
+    let amd = machines::amd_opteron_6272();
+    print!("{}", fig1::render(&amd, &fig1::run(&amd, &[2, 4, 8], 16)));
+
+    let oracle = SimOracle::new(amd);
+    let spec = PlacementSpec::on_nodes(16, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)], 16);
+    c.bench_function("simulate_wiredtiger_4node", |b| {
+        b.iter(|| oracle.perf(black_box("WTbtree"), &spec, 0))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E5: prints Figure 3 and times the k-means clustering step.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vc_bench::experiments::fig3;
+use vc_ml::kmeans::{KMeans, KMeansConfig};
+use vc_topology::machines;
+
+fn bench(c: &mut Criterion) {
+    let intel = machines::intel_xeon_e7_4830_v3();
+    let clusters = fig3::run(&intel, 24, 1, 0);
+    print!("{}", fig3::render(&intel, &clusters));
+
+    let data = clusters.vectors.clone();
+    c.bench_function("kmeans_fit_suite_vectors", |b| {
+        b.iter(|| {
+            KMeans::fit(
+                black_box(&data),
+                &KMeansConfig {
+                    k: clusters.k,
+                    ..KMeansConfig::default()
+                },
+                7,
+            )
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

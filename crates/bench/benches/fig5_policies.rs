@@ -1,0 +1,28 @@
+//! E7: prints a Figure 5 panel and times a policy evaluation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vc_bench::experiments::fig5;
+use vc_policy::{PackingScenario, Policy};
+use vc_topology::machines;
+
+fn bench(c: &mut Criterion) {
+    let amd = machines::amd_opteron_6272();
+    let panel = fig5::run_panel(&amd, 16, 0, "WTbtree", 5);
+    print!("{}", fig5::render(&panel));
+    let intel = machines::intel_xeon_e7_4830_v3();
+    let panel = fig5::run_panel(&intel, 24, 1, "WTbtree", 5);
+    print!("{}", fig5::render(&panel));
+
+    let scenario = PackingScenario::new(machines::amd_opteron_6272(), 16, "WTbtree", 0, 7);
+    let mut group = c.benchmark_group("policy_evaluation");
+    group.sample_size(10);
+    group.bench_function("ml_policy_decide_and_measure", |b| {
+        b.iter(|| scenario.evaluate(black_box(Policy::Ml), 1.0, 2))
+    });
+    group.bench_function("smart_aggressive_measure", |b| {
+        b.iter(|| scenario.evaluate(black_box(Policy::SmartAggressive), 1.0, 2))
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

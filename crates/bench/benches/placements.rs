@@ -1,0 +1,29 @@
+//! E4/E3/E2: prints the concern tables and important-placement lists,
+//! then times the enumeration pipeline (§6: "the algorithms used to
+//! determine important placements run in a matter of seconds").
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vc_bench::experiments::placements;
+use vc_core::concern::ConcernSet;
+use vc_core::important::important_placements;
+use vc_topology::machines;
+
+fn bench(c: &mut Criterion) {
+    let amd = machines::amd_opteron_6272();
+    let intel = machines::intel_xeon_e7_4830_v3();
+    print!("{}", placements::render_concern_table(&amd));
+    print!("{}", placements::render_concern_table(&intel));
+    print!("{}", placements::render_placements(&amd, 16));
+    print!("{}", placements::render_placements(&intel, 24));
+
+    let cs_amd = ConcernSet::for_machine(&amd);
+    c.bench_function("important_placements_amd_16vcpu", |b| {
+        b.iter(|| important_placements(black_box(&amd), &cs_amd, 16).unwrap())
+    });
+    let cs_intel = ConcernSet::for_machine(&intel);
+    c.bench_function("important_placements_intel_24vcpu", |b| {
+        b.iter(|| important_placements(black_box(&intel), &cs_intel, 24).unwrap())
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

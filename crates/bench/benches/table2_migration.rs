@@ -1,0 +1,27 @@
+//! E8: prints Table 2 and times migration estimation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vc_bench::experiments::table2;
+use vc_migration::MigrationModel;
+use vc_workloads::suite::workload_by_name;
+
+fn bench(c: &mut Criterion) {
+    print!("{}", table2::render(&table2::run()));
+    let model = MigrationModel::default();
+    let wt = workload_by_name("WTbtree").unwrap();
+    println!(
+        "throttled WiredTiger: {:.1} s at {:.1} % overhead (paper: ~60 s at 3-6 %)",
+        model.throttled(&wt, wt.memory_gb() / 60.0).duration_s,
+        model
+            .throttled(&wt, wt.memory_gb() / 60.0)
+            .runtime_overhead_pct,
+    );
+    c.bench_function("migration_estimates_full_suite", |b| {
+        b.iter(|| table2::run().iter().map(|r| r.fast_s).sum::<f64>())
+    });
+    c.bench_function("migration_estimate_single", |b| {
+        b.iter(|| model.fast(black_box(&wt)))
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Prints the ablation summary for the design choices in DESIGN.md.
+use vc_bench::experiments::ablations;
+use vc_topology::machines;
+
+fn main() {
+    let amd = machines::amd_opteron_6272();
+    let a = ablations::run(&amd, 16, 0, 11);
+    print!("{}", ablations::render(&amd, &a));
+}

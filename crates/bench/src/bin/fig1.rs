@@ -1,0 +1,13 @@
+//! Prints Figure 1: WiredTiger throughput vs node count and SMT.
+use vc_bench::experiments::fig1;
+use vc_topology::machines;
+
+fn main() {
+    let intel = machines::intel_xeon_e7_4830_v3();
+    let bars = fig1::run(&intel, &[1, 2, 4], 16);
+    print!("{}", fig1::render(&intel, &bars));
+    println!();
+    let amd = machines::amd_opteron_6272();
+    let bars = fig1::run(&amd, &[2, 4, 8], 16);
+    print!("{}", fig1::render(&amd, &bars));
+}

@@ -1,0 +1,14 @@
+//! Prints Figure 3: performance-vector clusters.
+use vc_bench::experiments::fig3;
+use vc_topology::machines;
+
+fn main() {
+    for (m, v, b) in [
+        (machines::intel_xeon_e7_4830_v3(), 24usize, 1usize),
+        (machines::amd_opteron_6272(), 16, 0),
+    ] {
+        let c = fig3::run(&m, v, b, 12);
+        print!("{}", fig3::render(&m, &c));
+        println!();
+    }
+}

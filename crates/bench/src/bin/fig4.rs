@@ -1,0 +1,15 @@
+//! Prints Figure 4: per-workload prediction accuracy, perf-measurement
+//! model vs HPE model, leave-family-out cross-validated.
+use vc_bench::experiments::fig4;
+use vc_topology::machines;
+
+fn main() {
+    for (m, v, b) in [
+        (machines::amd_opteron_6272(), 16usize, 0usize),
+        (machines::intel_xeon_e7_4830_v3(), 24, 1),
+    ] {
+        let fig = fig4::run(&m, v, b, 3, 12, 3);
+        print!("{}", fig4::render(&m, &fig, true));
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! Prints Figure 5: instances per machine and % goal violation for the
+//! four policies, three container types, both machines.
+use vc_bench::experiments::fig5;
+use vc_topology::machines;
+
+fn main() {
+    for workload in ["WTbtree", "postgres-tpch", "spark-pr-lj"] {
+        for (m, v, b) in [
+            (machines::amd_opteron_6272(), 16usize, 0usize),
+            (machines::intel_xeon_e7_4830_v3(), 24, 1),
+        ] {
+            let panel = fig5::run_panel(&m, v, b, workload, 5);
+            print!("{}", fig5::render(&panel));
+            println!();
+        }
+    }
+}

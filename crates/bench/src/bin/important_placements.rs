@@ -1,0 +1,15 @@
+//! Prints the §4 important-placement lists (13 on AMD, 7 on Intel).
+use vc_bench::experiments::placements;
+use vc_topology::machines;
+
+fn main() {
+    print!(
+        "{}",
+        placements::render_placements(&machines::amd_opteron_6272(), 16)
+    );
+    println!();
+    print!(
+        "{}",
+        placements::render_placements(&machines::intel_xeon_e7_4830_v3(), 24)
+    );
+}

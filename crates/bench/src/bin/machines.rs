@@ -1,0 +1,16 @@
+//! Prints Figure 2: the reference machine topologies and their measured
+//! node-pair bandwidth matrices.
+use vc_topology::{machines, render};
+
+fn main() {
+    for m in [
+        machines::amd_opteron_6272(),
+        machines::intel_xeon_e7_4830_v3(),
+        machines::zen_like(),
+    ] {
+        print!("{}", render::render_machine(&m));
+        println!("measured pairwise bandwidth (GB/s):");
+        print!("{}", render::render_bandwidth_matrix(&m));
+        println!();
+    }
+}

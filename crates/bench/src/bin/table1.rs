@@ -1,0 +1,15 @@
+//! Prints Table 1: the scheduling concerns of both reference machines.
+use vc_bench::experiments::placements;
+use vc_topology::machines;
+
+fn main() {
+    print!(
+        "{}",
+        placements::render_concern_table(&machines::amd_opteron_6272())
+    );
+    println!();
+    print!(
+        "{}",
+        placements::render_concern_table(&machines::intel_xeon_e7_4830_v3())
+    );
+}

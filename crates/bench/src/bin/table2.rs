@@ -1,0 +1,6 @@
+//! Prints Table 2: migration cost per suite workload, fast vs Linux.
+use vc_bench::experiments::table2;
+
+fn main() {
+    print!("{}", table2::render(&table2::run()));
+}

@@ -1,0 +1,159 @@
+//! Figure 1: WiredTiger throughput across node counts, with and without
+//! SMT/module sharing, on both machines.
+
+use std::fmt::Write as _;
+
+use vc_core::model::PerfOracle;
+use vc_core::placement::PlacementSpec;
+use vc_sim::SimOracle;
+use vc_topology::{Machine, NodeId};
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone)]
+pub struct Fig1Bar {
+    /// Number of NUMA nodes used.
+    pub nodes: usize,
+    /// Whether vCPUs share L2 groups (the figure's "SMT" bars).
+    pub smt: bool,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// Node sets matching the paper's sweep on a machine: the
+/// best-interconnect subset of each feasible size.
+fn node_sets_for(machine: &Machine, counts: &[usize]) -> Vec<Vec<NodeId>> {
+    counts.iter().map(|&n| best_subset(machine, n)).collect()
+}
+
+/// Exhaustively finds the n-node subset with the highest measured
+/// aggregate bandwidth (what an operator doing this experiment by hand
+/// would pick).
+fn best_subset(machine: &Machine, n: usize) -> Vec<NodeId> {
+    let total = machine.num_nodes();
+    let mut best: Option<(f64, Vec<NodeId>)> = None;
+    for mask in 0u32..(1 << total) {
+        if mask.count_ones() as usize != n {
+            continue;
+        }
+        let subset: Vec<NodeId> = (0..total)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(NodeId)
+            .collect();
+        let bw = vc_topology::stream::aggregate_bandwidth(machine.interconnect(), &subset);
+        if best.as_ref().is_none_or(|(b, _)| bw > *b) {
+            best = Some((bw, subset));
+        }
+    }
+    best.expect("machine has at least n nodes").1
+}
+
+/// Runs the Figure 1 sweep: WiredTiger with 16 vCPUs (as in the paper)
+/// over the given node counts. Infeasible (node count, SMT) combinations
+/// are skipped, like the missing 1-node no-SMT bar on Intel and the
+/// missing 1-node bars on AMD.
+pub fn run(machine: &Machine, counts: &[usize], vcpus: usize) -> Vec<Fig1Bar> {
+    let oracle = SimOracle::new(machine.clone());
+    let mut bars = Vec::new();
+    for nodes in node_sets_for(machine, counts) {
+        for smt in [true, false] {
+            let l2 = if smt {
+                vcpus.div_ceil(machine.l2_capacity())
+            } else {
+                vcpus
+            };
+            let spec = PlacementSpec::on_nodes(vcpus, nodes.clone(), l2);
+            if spec.validate(machine).is_err() {
+                continue;
+            }
+            bars.push(Fig1Bar {
+                nodes: nodes.len(),
+                smt,
+                ops_per_sec: oracle.perf("WTbtree", &spec, 0),
+            });
+        }
+    }
+    bars
+}
+
+/// Renders the figure as text (throughput in kops/s like the paper's
+/// y-axis).
+pub fn render(machine: &Machine, bars: &[Fig1Bar]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "WiredTiger throughput, {}", machine.name());
+    let _ = writeln!(out, "{:>8} {:>8} {:>14}", "nodes", "SMT", "kops/s");
+    for b in bars {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>14.0}",
+            b.nodes,
+            if b.smt { "yes" } else { "no" },
+            b.ops_per_sec / 1000.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+
+    #[test]
+    fn intel_single_node_wins() {
+        // Paper: "On the Intel system, the application performs
+        // significantly better when all of its threads run on a single
+        // node."
+        let intel = machines::intel_xeon_e7_4830_v3();
+        let bars = run(&intel, &[1, 2, 4], 16);
+        let best = bars
+            .iter()
+            .max_by(|a, b| a.ops_per_sec.partial_cmp(&b.ops_per_sec).unwrap())
+            .unwrap();
+        assert_eq!(best.nodes, 1);
+    }
+
+    #[test]
+    fn amd_four_nodes_beat_two_without_sharing() {
+        // Paper: "four nodes are better than two, only if we do not use
+        // SMT".
+        let amd = machines::amd_opteron_6272();
+        let bars = run(&amd, &[2, 4, 8], 16);
+        let get = |n: usize, smt: bool| {
+            bars.iter()
+                .find(|b| b.nodes == n && b.smt == smt)
+                .map(|b| b.ops_per_sec)
+        };
+        let two = get(2, true).expect("2-node bar");
+        let four_noshare = get(4, false).expect("4-node no-SMT bar");
+        assert!(four_noshare > 1.1 * two);
+    }
+
+    #[test]
+    fn amd_eight_nodes_buy_nothing_over_four() {
+        let amd = machines::amd_opteron_6272();
+        let bars = run(&amd, &[2, 4, 8], 16);
+        let get = |n: usize, smt: bool| {
+            bars.iter()
+                .find(|b| b.nodes == n && b.smt == smt)
+                .map(|b| b.ops_per_sec)
+                .unwrap()
+        };
+        assert!(get(8, false) < 1.05 * get(4, false));
+    }
+
+    #[test]
+    fn amd_has_no_one_node_bars() {
+        // 16 vCPUs cannot fit an 8-core node one-per-thread (footnote 1).
+        let amd = machines::amd_opteron_6272();
+        let bars = run(&amd, &[1, 2], 16);
+        assert!(bars.iter().all(|b| b.nodes != 1));
+    }
+
+    #[test]
+    fn render_mentions_every_bar() {
+        let intel = machines::intel_xeon_e7_4830_v3();
+        let bars = run(&intel, &[1, 2], 16);
+        let text = render(&intel, &bars);
+        assert_eq!(text.lines().count(), 2 + bars.len());
+    }
+}

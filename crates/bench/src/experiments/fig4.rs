@@ -1,0 +1,214 @@
+//! Figure 4: prediction accuracy, per workload, under leave-family-out
+//! cross-validation — the perf-measurement model against the HPE model.
+//!
+//! Headline numbers from §6: the perf-measurement model predicts within
+//! ≈4.4 % of actual on AMD and ≈6.6 % on Intel; the HPE-feature model is
+//! noticeably less reliable, especially on Intel.
+
+use std::fmt::Write as _;
+
+use vc_core::concern::ConcernSet;
+use vc_core::important::important_placements;
+use vc_core::model::{select_probe_pair, HpeModel, PerfPairModel, TrainingSet, TrainingWorkload};
+use vc_ml::cv::leave_group_out;
+use vc_ml::forest::ForestConfig;
+use vc_sim::SimOracle;
+use vc_topology::Machine;
+
+/// Cross-validated predictions for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadAccuracy {
+    /// Workload name.
+    pub workload: String,
+    /// Actual mean relative-performance vector.
+    pub actual: Vec<f64>,
+    /// Predictions from the perf-measurement model.
+    pub pred_perf: Vec<f64>,
+    /// Predictions from the HPE model.
+    pub pred_hpe: Vec<f64>,
+}
+
+/// The full Figure 4 result for one machine.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Per-workload rows.
+    pub rows: Vec<WorkloadAccuracy>,
+    /// Mean absolute error (%) of the perf-measurement model.
+    pub mean_err_perf_pct: f64,
+    /// Mean absolute error (%) of the HPE model.
+    pub mean_err_hpe_pct: f64,
+    /// The probe placement chosen as the model's second input (1-based
+    /// id).
+    pub probe_id: usize,
+    /// HPE features selected by SFS.
+    pub hpe_features: Vec<String>,
+}
+
+/// Runs the experiment on a machine.
+///
+/// `n_seeds` controls the measurement repetitions per (workload,
+/// placement); `extra_synthetic` enlarges the training corpus.
+pub fn run(
+    machine: &Machine,
+    vcpus: usize,
+    baseline: usize,
+    n_seeds: u64,
+    extra_synthetic: usize,
+    seed: u64,
+) -> Fig4 {
+    let cs = ConcernSet::for_machine(machine);
+    let ips = important_placements(machine, &cs, vcpus).expect("feasible container");
+    let oracle = if extra_synthetic > 0 {
+        SimOracle::with_synthetic(machine.clone(), extra_synthetic, 42)
+    } else {
+        SimOracle::new(machine.clone())
+    };
+    let workloads: Vec<TrainingWorkload> = oracle
+        .workloads()
+        .iter()
+        .map(|w| TrainingWorkload {
+            name: w.name.clone(),
+            family: w.family.clone(),
+        })
+        .collect();
+    let ts = TrainingSet::build(&oracle, &workloads, &ips, baseline, n_seeds);
+    let cfg = ForestConfig {
+        n_trees: 60,
+        ..ForestConfig::default()
+    };
+
+    // Probe pair and HPE feature selection on the full corpus. (The paper
+    // selects during training; doing it once outside the CV loop keeps
+    // the experiment tractable and affects both models equally.)
+    let (other, _) = select_probe_pair(&ts, &cfg, seed);
+    let (selected, _) = HpeModel::select_features(&ts, 6, &cfg, seed);
+
+    // Leave-family-out predictions.
+    let families = ts.families();
+    let splits = leave_group_out(&families);
+    let mut rows: Vec<WorkloadAccuracy> = Vec::new();
+    for split in &splits {
+        let perf_model = PerfPairModel::fit(&ts, &split.train, baseline, other, &cfg, seed);
+        let hpe_model = HpeModel::fit(&ts, &split.train, &selected, &cfg, seed);
+        for &w in &split.test {
+            let actual = ts.mean_rel(w);
+            let ratio = actual[other] / actual[baseline];
+            let pred_perf = perf_model.predict_rel_to_anchor(ratio);
+            let n_seeds = ts.hpe[w].len();
+            let nf = ts.hpe_names.len();
+            let mut mean_hpe = vec![0.0; nf];
+            for srow in &ts.hpe[w] {
+                for (m, v) in mean_hpe.iter_mut().zip(srow) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean_hpe {
+                *m /= n_seeds as f64;
+            }
+            let pred_hpe = hpe_model.predict(&mean_hpe);
+            rows.push(WorkloadAccuracy {
+                workload: ts.workloads[w].name.clone(),
+                actual,
+                pred_perf,
+                pred_hpe,
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.workload.cmp(&b.workload));
+
+    let err = |f: &dyn Fn(&WorkloadAccuracy) -> &Vec<f64>| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for r in &rows {
+            for (p, a) in f(r).iter().zip(&r.actual) {
+                if *a != 0.0 {
+                    total += ((p - a) / a).abs() * 100.0;
+                    count += 1;
+                }
+            }
+        }
+        total / count as f64
+    };
+    Fig4 {
+        mean_err_perf_pct: err(&|r| &r.pred_perf),
+        mean_err_hpe_pct: err(&|r| &r.pred_hpe),
+        probe_id: ips[other].id,
+        hpe_features: selected.iter().map(|&i| ts.hpe_names[i].clone()).collect(),
+        rows,
+    }
+}
+
+/// Renders the per-workload series (actual / predicted-perf /
+/// predicted-HPE), one row per placement — the textual Figure 4.
+pub fn render(machine: &Machine, fig: &Fig4, only_suite: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Prediction accuracy, {} (probe placement #{}; HPE features: {}):",
+        machine.name(),
+        fig.probe_id,
+        fig.hpe_features.join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  mean |error|: perf-measurement model {:.1} %, HPE model {:.1} %",
+        fig.mean_err_perf_pct, fig.mean_err_hpe_pct
+    );
+    for r in &fig.rows {
+        if only_suite && r.workload.starts_with("synth-") {
+            continue;
+        }
+        let fmtv = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x:5.2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let _ = writeln!(out, "  {}", r.workload);
+        let _ = writeln!(out, "    actual    {}", fmtv(&r.actual));
+        let _ = writeln!(out, "    pred perf {}", fmtv(&r.pred_perf));
+        let _ = writeln!(out, "    pred HPE  {}", fmtv(&r.pred_hpe));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+
+    #[test]
+    fn perf_model_beats_hpe_model_on_amd() {
+        let amd = machines::amd_opteron_6272();
+        let fig = run(&amd, 16, 0, 2, 6, 3);
+        assert!(
+            fig.mean_err_perf_pct < fig.mean_err_hpe_pct,
+            "perf {:.2} vs hpe {:.2}",
+            fig.mean_err_perf_pct,
+            fig.mean_err_hpe_pct
+        );
+    }
+
+    #[test]
+    fn perf_model_error_is_single_digit_on_amd() {
+        let amd = machines::amd_opteron_6272();
+        let fig = run(&amd, 16, 0, 2, 6, 3);
+        assert!(
+            fig.mean_err_perf_pct < 10.0,
+            "mean error {:.2} %",
+            fig.mean_err_perf_pct
+        );
+    }
+
+    #[test]
+    fn rows_cover_every_suite_workload() {
+        let amd = machines::amd_opteron_6272();
+        let fig = run(&amd, 16, 0, 2, 0, 3);
+        assert_eq!(fig.rows.len(), 18);
+        for r in &fig.rows {
+            assert_eq!(r.actual.len(), 13);
+            assert_eq!(r.pred_perf.len(), 13);
+            assert_eq!(r.pred_hpe.len(), 13);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per paper artefact.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod placements;
+pub mod table2;
+
+/// The two reference machines with the vCPU counts and baseline
+/// placements the paper uses.
+pub fn reference_setups() -> Vec<(vc_topology::Machine, usize, usize)> {
+    vec![
+        (vc_topology::machines::amd_opteron_6272(), 16, 0),
+        (vc_topology::machines::intel_xeon_e7_4830_v3(), 24, 1),
+    ]
+}

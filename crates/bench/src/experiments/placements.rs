@@ -1,0 +1,88 @@
+//! §4 artefacts: Table 1 (scheduling concerns), the important-placement
+//! lists (13 on AMD / 7 on Intel), and the Figure 2 machine summaries.
+
+use std::fmt::Write as _;
+
+use vc_core::concern::ConcernSet;
+use vc_core::important::{important_placements, ImportantPlacement};
+use vc_topology::Machine;
+
+/// Renders the machine's concern table (the repo's Table 1).
+pub fn render_concern_table(machine: &Machine) -> String {
+    let cs = ConcernSet::for_machine(machine);
+    let mut out = String::new();
+    let _ = writeln!(out, "Scheduling concerns, {}", machine.name());
+    let _ = writeln!(
+        out,
+        "{:<14} {:<26} {:>6} {:>22}",
+        "Concern", "Score", "Cost?", "Inverse perf possible?"
+    );
+    for c in cs.concerns() {
+        let score_desc = match c.kind {
+            vc_core::concern::ConcernKind::CountL2Groups => "number of L2 groups used",
+            vc_core::concern::ConcernKind::CountL3Groups => "number of L3 groups used",
+            vc_core::concern::ConcernKind::CountNodes => "number of NUMA nodes used",
+            vc_core::concern::ConcernKind::InterconnectBandwidth => "aggregate bandwidth (GB/s)",
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:<26} {:>6} {:>22}",
+            c.name,
+            score_desc,
+            if c.affects_cost { "Y" } else { "N" },
+            if c.inverse_perf_possible { "Y" } else { "N" },
+        );
+    }
+    out
+}
+
+/// Computes the important placements for a machine/container size.
+pub fn compute(machine: &Machine, vcpus: usize) -> Vec<ImportantPlacement> {
+    let cs = ConcernSet::for_machine(machine);
+    important_placements(machine, &cs, vcpus).expect("feasible container")
+}
+
+/// Renders the important-placement list.
+pub fn render_placements(machine: &Machine, vcpus: usize) -> String {
+    let ips = compute(machine, vcpus);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} important placements for {} vCPUs on {}:",
+        ips.len(),
+        vcpus,
+        machine.name()
+    );
+    for ip in &ips {
+        let _ = writeln!(out, "  {}  nodes {:?}", ip.describe(), ip.spec.nodes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+
+    #[test]
+    fn concern_table_matches_paper_table_1() {
+        let text = render_concern_table(&machines::amd_opteron_6272());
+        assert!(text.contains("L2/SMT"));
+        assert!(text.contains("Interconnect"));
+        // The interconnect is the only N/N concern.
+        let nn = text.lines().filter(|l| l.contains(" N ")).count();
+        assert_eq!(nn, 1, "{text}");
+    }
+
+    #[test]
+    fn paper_counts_reproduce() {
+        assert_eq!(compute(&machines::amd_opteron_6272(), 16).len(), 13);
+        assert_eq!(compute(&machines::intel_xeon_e7_4830_v3(), 24).len(), 7);
+    }
+
+    #[test]
+    fn rendering_lists_every_placement() {
+        let text = render_placements(&machines::amd_opteron_6272(), 16);
+        assert_eq!(text.lines().count(), 14);
+    }
+}

@@ -1,0 +1,87 @@
+//! Table 2: migration performance on the AMD system.
+
+use std::fmt::Write as _;
+
+use vc_migration::MigrationModel;
+use vc_workloads::suite::paper_suite;
+use vc_workloads::Workload;
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Workload name.
+    pub workload: String,
+    /// Memory footprint (GB): processes' memory plus page cache.
+    pub memory_gb: f64,
+    /// Fast migration duration (s).
+    pub fast_s: f64,
+    /// Default Linux migration duration (s).
+    pub linux_s: f64,
+}
+
+/// Computes the table for the whole suite.
+pub fn run() -> Vec<Table2Row> {
+    let model = MigrationModel::default();
+    paper_suite()
+        .iter()
+        .map(|w: &Workload| {
+            let (memory_gb, fast_s, linux_s) = model.table2_row(w);
+            Table2Row {
+                workload: w.name.clone(),
+                memory_gb,
+                fast_s,
+                linux_s,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table in the paper's column layout.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>18} {:>18}",
+        "Benchmark", "Memory (GB)", "Fast Migration (s)", "Default Linux (s)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12.2} {:>18.1} {:>18.1}",
+            r.workload, r.memory_gb, r.fast_s, r.linux_s
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_a_row_per_suite_workload() {
+        assert_eq!(run().len(), 18);
+    }
+
+    #[test]
+    fn fast_is_faster_for_every_nontrivial_workload() {
+        for r in run() {
+            if r.memory_gb > 0.5 {
+                assert!(
+                    r.fast_s < r.linux_s,
+                    "{}: {} vs {}",
+                    r.workload,
+                    r.fast_s,
+                    r.linux_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let text = render(&run());
+        assert_eq!(text.lines().count(), 19);
+        assert!(text.contains("postgres-tpcc"));
+    }
+}

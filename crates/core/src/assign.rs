@@ -1,0 +1,171 @@
+//! Instantiating a placement spec into a concrete vCPU → hardware-thread
+//! assignment.
+//!
+//! The assignment is the canonical balanced layout: vCPUs divide evenly
+//! over the nodes; within each node they occupy the first `L3S/n` L3
+//! groups and the first `L2S/n` L2 groups; within an L2 group they fill
+//! distinct cores before doubling up on SMT siblings. This mirrors what a
+//! pinning scheduler would do with cpusets.
+
+use vc_topology::{Machine, ThreadId};
+
+use crate::placement::{PlacementError, PlacementSpec};
+
+/// Maps each vCPU (by index) to a hardware thread.
+///
+/// # Errors
+///
+/// Propagates [`PlacementSpec::validate`] failures.
+pub fn assign_vcpus(
+    machine: &Machine,
+    spec: &PlacementSpec,
+) -> Result<Vec<ThreadId>, PlacementError> {
+    spec.validate(machine)?;
+    let n = spec.nodes.len();
+    let l3_per_node = spec.l3_groups_used / n;
+    let l2_per_node = spec.l2_groups_used / n;
+    let vcpus_per_l2 = spec.vcpus / spec.l2_groups_used;
+
+    let mut assignment = Vec::with_capacity(spec.vcpus);
+    for &node in &spec.nodes {
+        // First `l3_per_node` L3 groups of the node, first
+        // `l2_per_node / l3_per_node` L2 groups of each.
+        let node_l3s = &machine.nodes()[node.index()].l3_groups[..l3_per_node];
+        let l2_per_l3 = l2_per_node / l3_per_node;
+        for &l3 in node_l3s {
+            let l3_l2s = &machine.l3_groups()[l3.index()].l2_groups[..l2_per_l3];
+            for &l2 in l3_l2s {
+                // Fill distinct cores first, then SMT siblings.
+                let cores = &machine.l2_groups()[l2.index()].cores;
+                let mut picked = 0usize;
+                'outer: for sibling in 0..machine.smt_ways() {
+                    for &core in cores {
+                        if picked == vcpus_per_l2 {
+                            break 'outer;
+                        }
+                        let threads = &machine.cores()[core.index()].threads;
+                        if sibling < threads.len() {
+                            assignment.push(threads[sibling]);
+                            picked += 1;
+                        }
+                    }
+                }
+                debug_assert_eq!(picked, vcpus_per_l2);
+            }
+        }
+    }
+    debug_assert_eq!(assignment.len(), spec.vcpus);
+    Ok(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+    use vc_topology::NodeId;
+
+    #[test]
+    fn amd_two_node_uses_every_core_once() {
+        let amd = machines::amd_opteron_6272();
+        let spec = PlacementSpec::on_nodes(16, vec![NodeId(0), NodeId(1)], 8);
+        let threads = assign_vcpus(&amd, &spec).unwrap();
+        assert_eq!(threads.len(), 16);
+        // One vCPU per hardware thread (no double assignment).
+        let mut sorted = threads.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+        // All on nodes 0 and 1.
+        assert!(threads.iter().all(|&t| amd.thread(t).node.index() <= 1));
+    }
+
+    #[test]
+    fn amd_four_node_no_sharing_uses_one_core_per_module() {
+        let amd = machines::amd_opteron_6272();
+        let spec =
+            PlacementSpec::on_nodes(16, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)], 16);
+        let threads = assign_vcpus(&amd, &spec).unwrap();
+        // 16 distinct L2 groups.
+        let mut l2s: Vec<_> = threads.iter().map(|&t| amd.thread(t).l2_group).collect();
+        l2s.sort();
+        l2s.dedup();
+        assert_eq!(l2s.len(), 16);
+    }
+
+    #[test]
+    fn amd_four_node_sharing_pairs_vcpus_on_modules() {
+        let amd = machines::amd_opteron_6272();
+        let spec = PlacementSpec::on_nodes(16, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)], 8);
+        let threads = assign_vcpus(&amd, &spec).unwrap();
+        let mut l2s: Vec<_> = threads.iter().map(|&t| amd.thread(t).l2_group).collect();
+        l2s.sort();
+        let uniques: Vec<_> = {
+            let mut u = l2s.clone();
+            u.dedup();
+            u
+        };
+        assert_eq!(uniques.len(), 8);
+        // Each used module hosts exactly two vCPUs.
+        for u in uniques {
+            assert_eq!(l2s.iter().filter(|&&x| x == u).count(), 2);
+        }
+    }
+
+    #[test]
+    fn intel_single_node_smt_fills_cores_before_siblings() {
+        let intel = machines::intel_xeon_e7_4830_v3();
+        let spec = PlacementSpec::on_nodes(24, vec![NodeId(0)], 12);
+        let threads = assign_vcpus(&intel, &spec).unwrap();
+        assert_eq!(threads.len(), 24);
+        // All 12 cores used, each with both SMT contexts.
+        let mut cores: Vec<_> = threads.iter().map(|&t| intel.thread(t).core).collect();
+        cores.sort();
+        cores.dedup();
+        assert_eq!(cores.len(), 12);
+    }
+
+    #[test]
+    fn intel_two_node_no_smt_uses_one_thread_per_core() {
+        let intel = machines::intel_xeon_e7_4830_v3();
+        let spec = PlacementSpec::on_nodes(24, vec![NodeId(0), NodeId(1)], 24);
+        let threads = assign_vcpus(&intel, &spec).unwrap();
+        let mut cores: Vec<_> = threads.iter().map(|&t| intel.thread(t).core).collect();
+        cores.sort();
+        cores.dedup();
+        assert_eq!(cores.len(), 24);
+    }
+
+    #[test]
+    fn assignment_is_balanced_across_nodes() {
+        let amd = machines::amd_opteron_6272();
+        let spec =
+            PlacementSpec::on_nodes(16, vec![NodeId(0), NodeId(2), NodeId(4), NodeId(6)], 16);
+        let threads = assign_vcpus(&amd, &spec).unwrap();
+        for node in [0, 2, 4, 6] {
+            let count = threads
+                .iter()
+                .filter(|&&t| amd.thread(t).node == NodeId(node))
+                .count();
+            assert_eq!(count, 4);
+        }
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let amd = machines::amd_opteron_6272();
+        let spec = PlacementSpec::on_nodes(16, vec![NodeId(0)], 8);
+        assert!(assign_vcpus(&amd, &spec).is_err());
+    }
+
+    #[test]
+    fn zen_half_node_uses_single_ccx() {
+        let zen = machines::zen_like();
+        // 8 vCPUs on one node, one CCX (4 cores x 2 SMT).
+        let spec = PlacementSpec::new(8, vec![NodeId(0)], 1, 4);
+        let threads = assign_vcpus(&zen, &spec).unwrap();
+        let mut l3s: Vec<_> = threads.iter().map(|&t| zen.thread(t).l3_group).collect();
+        l3s.sort();
+        l3s.dedup();
+        assert_eq!(l3s.len(), 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Scheduling concerns (§4, Table 1).
+//!
+//! A scheduling concern covers one shared resource (or an inseparable set
+//! of resources) and produces a numeric *score* for a placement: the
+//! static utilisation of that resource, independent of workload behaviour.
+//! A vector of scores — one per concern — uniquely identifies each
+//! placement that is distinct with respect to resource sharing.
+//!
+//! Each concern also declares:
+//!
+//! * whether its score is proportional to the **user's cost** (fewer NUMA
+//!   nodes means more containers per machine), and
+//! * whether it can have an **inverse relationship with performance**
+//!   (e.g. cooperative cache sharing can make fewer L2 caches faster).
+//!
+//! Concerns where both answers are "no" (the interconnect) are safe to
+//! Pareto-filter: a placement with a lower score is simply worse.
+
+use vc_topology::{stream, Machine};
+
+use crate::placement::PlacementSpec;
+
+/// The resource a concern scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcernKind {
+    /// Number of distinct L2 groups in use (the paper's "L2/SMT" concern:
+    /// L2 cache, instruction fetch/decode, FPU — or the SMT pipeline on
+    /// machines with private L2).
+    CountL2Groups,
+    /// Number of distinct L3 groups in use (L3 cache; on the reference
+    /// machines also the memory controller and DRAM bandwidth).
+    CountL3Groups,
+    /// Number of distinct NUMA nodes in use (memory controllers on
+    /// machines where the L3 is not node-level, e.g. Zen).
+    CountNodes,
+    /// Aggregate interconnect bandwidth among the nodes in use, measured
+    /// with the stream-style benchmark (GB/s).
+    InterconnectBandwidth,
+}
+
+/// A single scheduling concern.
+#[derive(Debug, Clone)]
+pub struct Concern {
+    /// Display name, e.g. "L2/SMT".
+    pub name: String,
+    /// What the concern scores.
+    pub kind: ConcernKind,
+    /// Whether a lower score can lower the user's cost.
+    pub affects_cost: bool,
+    /// Whether a lower score can ever *improve* performance.
+    pub inverse_perf_possible: bool,
+}
+
+impl Concern {
+    /// Scores a placement on a machine.
+    pub fn score(&self, machine: &Machine, spec: &PlacementSpec) -> f64 {
+        match self.kind {
+            ConcernKind::CountL2Groups => spec.l2_groups_used as f64,
+            ConcernKind::CountL3Groups => spec.l3_groups_used as f64,
+            ConcernKind::CountNodes => spec.nodes.len() as f64,
+            ConcernKind::InterconnectBandwidth => {
+                stream::aggregate_bandwidth(machine.interconnect(), &spec.nodes)
+            }
+        }
+    }
+
+    /// Whether placements may be Pareto-filtered on this concern: true
+    /// when a lower score never lowers cost and never improves
+    /// performance.
+    pub fn filterable(&self) -> bool {
+        !self.affects_cost && !self.inverse_perf_possible
+    }
+}
+
+/// The ordered set of concerns describing one machine.
+#[derive(Debug, Clone)]
+pub struct ConcernSet {
+    concerns: Vec<Concern>,
+}
+
+impl ConcernSet {
+    /// Builds a concern set from an explicit list.
+    pub fn new(concerns: Vec<Concern>) -> Self {
+        ConcernSet { concerns }
+    }
+
+    /// Derives the concern set the paper uses for a machine:
+    ///
+    /// * an L2/SMT concern whenever hardware threads can share an L2
+    ///   group;
+    /// * an L3 concern (always);
+    /// * a node concern when L3 groups are finer than nodes (Zen-like);
+    /// * an interconnect concern when link bandwidths are asymmetric —
+    ///   on symmetric interconnects (the Intel machine) every same-size
+    ///   node set scores identically, so the concern adds no information
+    ///   and the paper omits it.
+    pub fn for_machine(machine: &Machine) -> Self {
+        let mut concerns = Vec::new();
+        if machine.l2_capacity() > 1 {
+            concerns.push(Concern {
+                name: "L2/SMT".to_string(),
+                kind: ConcernKind::CountL2Groups,
+                affects_cost: true,
+                inverse_perf_possible: true,
+            });
+        }
+        concerns.push(Concern {
+            name: "L3".to_string(),
+            kind: ConcernKind::CountL3Groups,
+            affects_cost: true,
+            inverse_perf_possible: true,
+        });
+        if machine.num_l3_groups() != machine.num_nodes() {
+            concerns.push(Concern {
+                name: "Node/MC".to_string(),
+                kind: ConcernKind::CountNodes,
+                affects_cost: true,
+                inverse_perf_possible: true,
+            });
+        }
+        if interconnect_is_asymmetric(machine) {
+            concerns.push(Concern {
+                name: "Interconnect".to_string(),
+                kind: ConcernKind::InterconnectBandwidth,
+                affects_cost: false,
+                inverse_perf_possible: false,
+            });
+        }
+        ConcernSet { concerns }
+    }
+
+    /// The concerns, in score-vector order.
+    pub fn concerns(&self) -> &[Concern] {
+        &self.concerns
+    }
+
+    /// Computes the score vector of a placement.
+    pub fn score_vector(&self, machine: &Machine, spec: &PlacementSpec) -> Vec<f64> {
+        self.concerns
+            .iter()
+            .map(|c| c.score(machine, spec))
+            .collect()
+    }
+
+    /// Whether the set contains an interconnect concern.
+    pub fn has_interconnect(&self) -> bool {
+        self.concerns
+            .iter()
+            .any(|c| c.kind == ConcernKind::InterconnectBandwidth)
+    }
+}
+
+/// True when any two links differ in bandwidth or any node pair lacks a
+/// direct link (which makes subset scores depend on *which* nodes are
+/// chosen, not only how many).
+fn interconnect_is_asymmetric(machine: &Machine) -> bool {
+    let ic = machine.interconnect();
+    let links = ic.links();
+    if links.is_empty() {
+        return false;
+    }
+    let first = links[0].bandwidth_gbs;
+    if links.iter().any(|l| (l.bandwidth_gbs - first).abs() > 1e-9) {
+        return true;
+    }
+    let n = machine.num_nodes();
+    let full_mesh = links.len() == n * (n - 1) / 2;
+    !full_mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+    use vc_topology::NodeId;
+
+    #[test]
+    fn amd_concern_set_matches_table_1() {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let names: Vec<&str> = cs.concerns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["L2/SMT", "L3", "Interconnect"]);
+        // Cost / inverse flags from Table 1.
+        assert!(cs.concerns()[0].affects_cost && cs.concerns()[0].inverse_perf_possible);
+        assert!(cs.concerns()[1].affects_cost && cs.concerns()[1].inverse_perf_possible);
+        assert!(!cs.concerns()[2].affects_cost && !cs.concerns()[2].inverse_perf_possible);
+        assert!(cs.concerns()[2].filterable());
+    }
+
+    #[test]
+    fn intel_has_no_interconnect_concern() {
+        let intel = machines::intel_xeon_e7_4830_v3();
+        let cs = ConcernSet::for_machine(&intel);
+        let names: Vec<&str> = cs.concerns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["L2/SMT", "L3"]);
+    }
+
+    #[test]
+    fn zen_gets_separate_node_concern() {
+        let zen = machines::zen_like();
+        let cs = ConcernSet::for_machine(&zen);
+        let names: Vec<&str> = cs.concerns().iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"Node/MC"));
+        assert!(names.contains(&"L3"));
+    }
+
+    #[test]
+    fn paper_example_score_vector_without_smt() {
+        // Paper §4: a 16-vCPU, 8-node placement without module sharing on
+        // the AMD system scores [16, 8, 35000] (MB/s; we keep GB/s).
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let spec = PlacementSpec::on_nodes(16, (0..8).map(NodeId).collect(), 16);
+        let v = cs.score_vector(&amd, &spec);
+        assert_eq!(v[0], 16.0);
+        assert_eq!(v[1], 8.0);
+        assert!((v[2] - 35.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_example_score_vector_with_smt() {
+        // Same placement with module sharing: [8, 8, 35000].
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let spec = PlacementSpec::on_nodes(16, (0..8).map(NodeId).collect(), 8);
+        let v = cs.score_vector(&amd, &spec);
+        assert_eq!(v[0], 8.0);
+        assert_eq!(v[1], 8.0);
+        assert!((v[2] - 35.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_score_vectors_for_different_intra_package_pairs() {
+        // §4: "two placements might use completely different NUMA nodes
+        // and physical cores, but if they use the same number of L2
+        // caches then they will both have the same L2 cache score."
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let a = PlacementSpec::on_nodes(16, vec![NodeId(0), NodeId(1)], 8);
+        let b = PlacementSpec::on_nodes(16, vec![NodeId(6), NodeId(7)], 8);
+        assert_eq!(cs.score_vector(&amd, &a), cs.score_vector(&amd, &b));
+    }
+}

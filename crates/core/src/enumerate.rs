@@ -1,0 +1,85 @@
+//! Algorithm 1: generating balanced, feasible scores for counting
+//! concerns.
+//!
+//! For a resource with `count` instances on the machine and `capacity`
+//! hardware threads per instance, a score `i` (number of instances used)
+//! is kept when the container's vCPUs divide evenly over the instances
+//! (`v mod i == 0`, the balance assumption of §3) and each instance can
+//! host its share (`v / i <= capacity`).
+
+use vc_topology::Machine;
+
+/// All balanced, feasible scores for a resource (Algorithm 1's loop body).
+pub fn feasible_scores(vcpus: usize, count: usize, capacity: usize) -> Vec<usize> {
+    (1..=count)
+        .filter(|&i| vcpus.is_multiple_of(i) && vcpus / i <= capacity)
+        .collect()
+}
+
+/// Balanced, feasible NUMA-node counts for a container (the paper's
+/// `L3Scores` on machines with one L3 per node).
+pub fn node_scores(machine: &Machine, vcpus: usize) -> Vec<usize> {
+    feasible_scores(vcpus, machine.num_nodes(), machine.node_capacity())
+}
+
+/// Balanced, feasible L3-group counts (distinct from [`node_scores`] only
+/// on machines with multiple L3 groups per node).
+pub fn l3_scores(machine: &Machine, vcpus: usize) -> Vec<usize> {
+    feasible_scores(vcpus, machine.num_l3_groups(), machine.l3_capacity())
+}
+
+/// Balanced, feasible L2-group counts (the paper's `L2Scores`).
+pub fn l2_scores(machine: &Machine, vcpus: usize) -> Vec<usize> {
+    feasible_scores(vcpus, machine.num_l2_groups(), machine.l2_capacity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+
+    #[test]
+    fn amd_16_vcpu_scores_match_paper() {
+        let amd = machines::amd_opteron_6272();
+        // Paper §4: node scores {2,4,8} (one node cannot hold 16 vCPUs),
+        // L2 scores {8,16}.
+        assert_eq!(node_scores(&amd, 16), vec![2, 4, 8]);
+        assert_eq!(l2_scores(&amd, 16), vec![8, 16]);
+        assert_eq!(l3_scores(&amd, 16), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn intel_24_vcpu_scores_match_paper() {
+        let intel = machines::intel_xeon_e7_4830_v3();
+        // 24 vCPUs fit a single 24-thread node; L2 scores {12, 24}.
+        assert_eq!(node_scores(&intel, 24), vec![1, 2, 3, 4]);
+        assert_eq!(l2_scores(&intel, 24), vec![12, 24]);
+    }
+
+    #[test]
+    fn scores_require_exact_divisibility() {
+        // 12 vCPUs on AMD: node scores must divide 12 and fit 8/node.
+        let amd = machines::amd_opteron_6272();
+        assert_eq!(node_scores(&amd, 12), vec![2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn capacity_excludes_small_counts() {
+        assert_eq!(feasible_scores(16, 8, 8), vec![2, 4, 8]);
+        assert_eq!(feasible_scores(16, 8, 16), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn score_of_v_means_one_vcpu_per_instance() {
+        let s = feasible_scores(8, 32, 2);
+        assert!(s.contains(&8));
+        assert_eq!(*s.last().unwrap(), 8); // counts above v never divide v
+    }
+
+    #[test]
+    fn zero_vcpus_yield_every_count() {
+        // Degenerate input: guarded at the placement layer; Algorithm 1
+        // itself treats 0 as divisible by everything.
+        assert_eq!(feasible_scores(0, 3, 1), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,473 @@
+//! Algorithm 3: deriving the important placements.
+//!
+//! Pipeline (§4): generate packings (Algorithm 2 over the node scores of
+//! Algorithm 1), remove duplicates, discard packings that are not
+//! Pareto-efficient with respect to the filterable concerns (the
+//! interconnect), then expand every placement of every surviving packing
+//! with the compatible L3/L2 scores. Placements with identical score
+//! vectors collapse into a single important placement.
+
+use std::collections::BTreeMap;
+
+use vc_topology::{stream, Machine};
+
+use crate::concern::ConcernSet;
+use crate::enumerate::{feasible_scores, node_scores};
+use crate::packing::{generate_packings, NodeSet, Packing};
+use crate::placement::{PlacementError, PlacementSpec};
+
+/// One important placement: a representative concrete spec plus its score
+/// vector.
+#[derive(Debug, Clone)]
+pub struct ImportantPlacement {
+    /// 1-based identifier; matches the x-axis of the paper's Figure 4.
+    pub id: usize,
+    /// Representative concrete placement (the best-connected node set of
+    /// its equivalence class).
+    pub spec: PlacementSpec,
+    /// Score vector, one entry per concern in the machine's
+    /// [`ConcernSet`] order.
+    pub scores: Vec<f64>,
+}
+
+impl ImportantPlacement {
+    /// Short human-readable description.
+    pub fn describe(&self) -> String {
+        format!(
+            "#{:<2} {} nodes, {} L2 groups{}  scores {:?}",
+            self.id,
+            self.spec.num_nodes(),
+            self.spec.l2_groups_used,
+            if self.spec.shares_l2() {
+                " (sharing)"
+            } else {
+                ""
+            },
+            self.scores
+                .iter()
+                .map(|s| (s * 100.0).round() / 100.0 + 0.0)
+                .collect::<Vec<f64>>()
+        )
+    }
+}
+
+/// Interconnect score cache keyed by node set.
+struct IcScores<'m> {
+    machine: &'m Machine,
+    cache: BTreeMap<NodeSet, f64>,
+}
+
+impl<'m> IcScores<'m> {
+    fn new(machine: &'m Machine) -> Self {
+        IcScores {
+            machine,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    fn get(&mut self, set: &NodeSet) -> f64 {
+        if let Some(&v) = self.cache.get(set) {
+            return v;
+        }
+        let v = stream::aggregate_bandwidth(self.machine.interconnect(), set);
+        self.cache.insert(set.clone(), v);
+        v
+    }
+}
+
+/// Removes packings that are not Pareto-efficient with respect to the
+/// interconnect score (Algorithm 3's filtering loop).
+///
+/// Packings are compared only within the same multiset of part sizes.
+/// Packing `a` is removed when some packing `b` has sorted interconnect
+/// scores that are elementwise `>= a`'s; exact ties keep the
+/// canonically-first packing so equivalent packings collapse to one.
+fn pareto_filter(packings: Vec<Packing>, ic: &mut IcScores<'_>) -> Vec<Packing> {
+    let scored: Vec<(Vec<usize>, Vec<f64>)> = packings
+        .iter()
+        .map(|p| {
+            let sig = p.size_signature();
+            let mut scores: Vec<f64> = p.parts.iter().map(|part| ic.get(part)).collect();
+            scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+            (sig, scores)
+        })
+        .collect();
+
+    let dominated = |a: usize, b: usize| -> bool {
+        if a == b || scored[a].0 != scored[b].0 {
+            return false;
+        }
+        let (sa, sb) = (&scored[a].1, &scored[b].1);
+        let all_le = sa.iter().zip(sb).all(|(x, y)| *x <= *y + 1e-9);
+        if !all_le {
+            return false;
+        }
+        let equal = sa.iter().zip(sb).all(|(x, y)| (*x - *y).abs() <= 1e-9);
+        // Strictly dominated, or an exact tie resolved towards the earlier
+        // (canonically smaller) packing.
+        !equal || b < a
+    };
+
+    (0..packings.len())
+        .filter(|&a| !(0..packings.len()).any(|b| dominated(a, b)))
+        .map(|a| packings[a].clone())
+        .collect()
+}
+
+/// Derives the important placements for a container of `vcpus` on
+/// `machine` under `concerns` (Algorithms 1–3).
+///
+/// Returns placements sorted by (node count, L3 score, L2 score,
+/// descending interconnect score) with 1-based ids.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::NoVcpus`] for an empty container and
+/// [`PlacementError::Unbalanced`] when no balanced feasible placement
+/// exists at all.
+pub fn important_placements(
+    machine: &Machine,
+    concerns: &ConcernSet,
+    vcpus: usize,
+) -> Result<Vec<ImportantPlacement>, PlacementError> {
+    if vcpus == 0 {
+        return Err(PlacementError::NoVcpus);
+    }
+    let nscores = node_scores(machine, vcpus);
+    if nscores.is_empty() {
+        return Err(PlacementError::Unbalanced {
+            what: "nodes",
+            vcpus,
+            count: machine.num_nodes(),
+        });
+    }
+
+    // Algorithm 2, then Algorithm 3's duplicate removal (the generator is
+    // already duplicate-free) and Pareto filter.
+    let packings = generate_packings(machine.num_nodes(), &nscores);
+    let mut ic = IcScores::new(machine);
+    let surviving = if concerns.has_interconnect() {
+        pareto_filter(packings, &mut ic)
+    } else {
+        packings
+    };
+
+    // Collect candidate node sets from surviving packings.
+    let mut node_sets: Vec<NodeSet> = Vec::new();
+    for p in &surviving {
+        for part in &p.parts {
+            if !node_sets.contains(part) {
+                node_sets.push(part.clone());
+            }
+        }
+    }
+
+    // Expansion with compatible L3 and L2 scores.
+    let l3_per_node = machine.num_l3_groups() / machine.num_nodes();
+    let l2_per_node = machine.num_l2_groups() / machine.num_nodes();
+    let l3_candidates = feasible_scores(vcpus, machine.num_l3_groups(), machine.l3_capacity());
+    let l2_candidates = feasible_scores(vcpus, machine.num_l2_groups(), machine.l2_capacity());
+
+    let mut candidates: Vec<(PlacementSpec, Vec<f64>)> = Vec::new();
+    for set in &node_sets {
+        let n = set.len();
+        for &s3 in &l3_candidates {
+            if s3 % n != 0 || s3 / n > l3_per_node {
+                continue;
+            }
+            for &s2 in &l2_candidates {
+                // The paper's check (n * groups-per-node >= L2 score) plus
+                // even nesting of L2 groups in L3 groups and nodes.
+                if s2 % s3 != 0 || s2 < s3 || s2 % n != 0 || s2 / n > l2_per_node {
+                    continue;
+                }
+                let spec = PlacementSpec::new(vcpus, set.clone(), s3, s2);
+                if spec.validate(machine).is_ok() {
+                    let scores = concerns.score_vector(machine, &spec);
+                    candidates.push((spec, scores));
+                }
+            }
+        }
+    }
+
+    // Collapse identical score vectors; the representative is the spec
+    // with the best interconnect connectivity (max IC score is implied by
+    // the equal vector), tie-broken towards the lexicographically
+    // smallest node set for determinism.
+    candidates.sort_by(|a, b| {
+        a.0.num_nodes()
+            .cmp(&b.0.num_nodes())
+            .then(a.0.l3_groups_used.cmp(&b.0.l3_groups_used))
+            .then(a.0.l2_groups_used.cmp(&b.0.l2_groups_used))
+            .then_with(|| {
+                // Descending IC (last concern when present).
+                let ia = a.1.last().copied().unwrap_or(0.0);
+                let ib = b.1.last().copied().unwrap_or(0.0);
+                ib.partial_cmp(&ia).expect("finite scores")
+            })
+            .then_with(|| a.0.nodes.cmp(&b.0.nodes))
+    });
+    let mut result: Vec<ImportantPlacement> = Vec::new();
+    for (spec, scores) in candidates {
+        let dup = result.iter().any(|ip| {
+            ip.scores.len() == scores.len()
+                && ip
+                    .scores
+                    .iter()
+                    .zip(&scores)
+                    .all(|(x, y)| (x - y).abs() <= 1e-9)
+        });
+        if !dup {
+            result.push(ImportantPlacement {
+                id: result.len() + 1,
+                spec,
+                scores,
+            });
+        }
+    }
+    if result.is_empty() {
+        // Balanced node counts exist, but no L3/L2 expansion is balanced
+        // and feasible (e.g. a prime vCPU count that no within-node group
+        // count divides).
+        return Err(PlacementError::Unbalanced {
+            what: "L2 groups",
+            vcpus,
+            count: machine.num_l2_groups(),
+        });
+    }
+    Ok(result)
+}
+
+/// Returns the surviving packings (after duplicate removal and the Pareto
+/// filter) — the co-location options a scheduler can combine on one
+/// machine.
+pub fn surviving_packings(
+    machine: &Machine,
+    concerns: &ConcernSet,
+    vcpus: usize,
+) -> Result<Vec<Packing>, PlacementError> {
+    if vcpus == 0 {
+        return Err(PlacementError::NoVcpus);
+    }
+    let nscores = node_scores(machine, vcpus);
+    if nscores.is_empty() {
+        return Err(PlacementError::Unbalanced {
+            what: "nodes",
+            vcpus,
+            count: machine.num_nodes(),
+        });
+    }
+    let packings = generate_packings(machine.num_nodes(), &nscores);
+    let mut ic = IcScores::new(machine);
+    Ok(if concerns.has_interconnect() {
+        pareto_filter(packings, &mut ic)
+    } else {
+        packings
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+    use vc_topology::NodeId;
+
+    fn ids(v: &[usize]) -> NodeSet {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn amd_16_vcpus_yields_13_important_placements() {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let ips = important_placements(&amd, &cs, 16).unwrap();
+        assert_eq!(
+            ips.len(),
+            13,
+            "{:#?}",
+            ips.iter().map(|p| p.describe()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn amd_composition_matches_paper() {
+        // Paper §4: two 8-node placements (one sharing L2, one not),
+        // three 2-node placements, eight 4-node placements (half sharing
+        // L2, half not).
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let ips = important_placements(&amd, &cs, 16).unwrap();
+        let count = |nodes: usize| ips.iter().filter(|p| p.spec.num_nodes() == nodes).count();
+        assert_eq!(count(2), 3);
+        assert_eq!(count(4), 8);
+        assert_eq!(count(8), 2);
+        let sharing_4 = ips
+            .iter()
+            .filter(|p| p.spec.num_nodes() == 4 && p.spec.shares_l2())
+            .count();
+        assert_eq!(sharing_4, 4);
+        // All three 2-node placements share modules (16 vCPUs on 16 cores
+        // = all 8 modules fully used).
+        assert!(ips
+            .iter()
+            .filter(|p| p.spec.num_nodes() == 2)
+            .all(|p| p.spec.l2_groups_used == 8));
+    }
+
+    #[test]
+    fn amd_best_four_node_representative_is_2345() {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let ips = important_placements(&amd, &cs, 16).unwrap();
+        let best4 = ips
+            .iter()
+            .filter(|p| p.spec.num_nodes() == 4)
+            .max_by(|a, b| {
+                a.scores
+                    .last()
+                    .partial_cmp(&b.scores.last())
+                    .expect("finite")
+            })
+            .unwrap();
+        assert_eq!(best4.spec.nodes, ids(&[2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn amd_survivors_include_the_clique_packing() {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let packs = surviving_packings(&amd, &cs, 16).unwrap();
+        let has = |parts: &[&[usize]]| {
+            packs.iter().any(|p| {
+                p.parts.len() == parts.len() && parts.iter().all(|q| p.parts.contains(&ids(q)))
+            })
+        };
+        // The paper's examples: best-4 with its complement, and the
+        // clique pair {0,2,4,6} + {1,3,5,7}.
+        assert!(has(&[&[2, 3, 4, 5], &[0, 1, 6, 7]]));
+        assert!(has(&[&[0, 2, 4, 6], &[1, 3, 5, 7]]));
+        // The inferior pair from the paper is filtered out.
+        assert!(!has(&[&[0, 1, 4, 5], &[2, 3, 6, 7]]));
+    }
+
+    #[test]
+    fn intel_24_vcpus_yields_7_important_placements() {
+        let intel = machines::intel_xeon_e7_4830_v3();
+        let cs = ConcernSet::for_machine(&intel);
+        let ips = important_placements(&intel, &cs, 24).unwrap();
+        assert_eq!(
+            ips.len(),
+            7,
+            "{:#?}",
+            ips.iter().map(|p| p.describe()).collect::<Vec<_>>()
+        );
+        // Paper: one 1-node (sharing L2), two each of 2-, 3-, 4-node.
+        let count = |nodes: usize| ips.iter().filter(|p| p.spec.num_nodes() == nodes).count();
+        assert_eq!(count(1), 1);
+        assert_eq!(count(2), 2);
+        assert_eq!(count(3), 2);
+        assert_eq!(count(4), 2);
+        assert!(ips
+            .iter()
+            .find(|p| p.spec.num_nodes() == 1)
+            .unwrap()
+            .spec
+            .shares_l2());
+    }
+
+    #[test]
+    fn every_important_placement_validates() {
+        for (machine, vcpus) in [
+            (machines::amd_opteron_6272(), 16),
+            (machines::intel_xeon_e7_4830_v3(), 24),
+        ] {
+            let cs = ConcernSet::for_machine(&machine);
+            for ip in important_placements(&machine, &cs, vcpus).unwrap() {
+                ip.spec.validate(&machine).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn score_vectors_are_unique() {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let ips = important_placements(&amd, &cs, 16).unwrap();
+        for i in 0..ips.len() {
+            for j in i + 1..ips.len() {
+                let equal = ips[i]
+                    .scores
+                    .iter()
+                    .zip(&ips[j].scores)
+                    .all(|(a, b)| (a - b).abs() < 1e-9);
+                assert!(!equal, "placements {i} and {j} share a score vector");
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_one_based_and_dense() {
+        let intel = machines::intel_xeon_e7_4830_v3();
+        let cs = ConcernSet::for_machine(&intel);
+        let ips = important_placements(&intel, &cs, 24).unwrap();
+        for (i, ip) in ips.iter().enumerate() {
+            assert_eq!(ip.id, i + 1);
+        }
+    }
+
+    #[test]
+    fn eight_vcpus_on_amd_allow_single_node() {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let ips = important_placements(&amd, &cs, 8).unwrap();
+        assert!(ips.iter().any(|p| p.spec.num_nodes() == 1));
+    }
+
+    #[test]
+    fn zero_vcpus_is_an_error() {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        assert!(matches!(
+            important_placements(&amd, &cs, 0),
+            Err(PlacementError::NoVcpus)
+        ));
+    }
+
+    #[test]
+    fn zen_expansion_varies_l3_independently_of_nodes() {
+        // The paper's conclusion: Zen separates L3 sharing from
+        // memory-controller sharing. A 2-node Zen placement can use 2 or
+        // 4 core complexes, and both variants are important placements.
+        let zen = machines::zen_like();
+        let cs = ConcernSet::for_machine(&zen);
+        let ips = important_placements(&zen, &cs, 16).unwrap();
+        let two_node_l3s: Vec<usize> = ips
+            .iter()
+            .filter(|p| p.spec.num_nodes() == 2 && !p.spec.shares_l2())
+            .map(|p| p.spec.l3_groups_used)
+            .collect();
+        assert!(two_node_l3s.contains(&2), "{two_node_l3s:?}");
+        assert!(two_node_l3s.contains(&4), "{two_node_l3s:?}");
+    }
+
+    #[test]
+    fn zen_four_concern_score_vectors_validate() {
+        let zen = machines::zen_like();
+        let cs = ConcernSet::for_machine(&zen);
+        assert_eq!(cs.concerns().len(), 4);
+        for ip in important_placements(&zen, &cs, 16).unwrap() {
+            assert_eq!(ip.scores.len(), 4);
+            ip.spec.validate(&zen).unwrap();
+        }
+    }
+
+    #[test]
+    fn oversized_container_is_an_error() {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        assert!(matches!(
+            important_placements(&amd, &cs, 128),
+            Err(PlacementError::Unbalanced { .. })
+        ));
+    }
+}

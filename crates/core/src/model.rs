@@ -1,0 +1,517 @@
+//! The performance prediction pipeline (§5).
+//!
+//! The model maps performance observed in **two** probe placements to the
+//! full relative-performance vector over all important placements. The
+//! probe pair is chosen automatically during training: the anchor is the
+//! reporting baseline and the second probe is the placement that gives the
+//! best cross-validated accuracy.
+//!
+//! A baseline variant feeds hardware performance events (HPEs) observed in
+//! a *single* placement through the same Random Forest, with Sequential
+//! Forward Selection over the plausible HPE set — the approach the paper
+//! shows to be markedly less reliable.
+
+use vc_ml::cv::leave_group_out;
+use vc_ml::forest::{ForestConfig, RandomForest};
+use vc_ml::metrics::mean_abs_pct_error;
+use vc_ml::sfs::sequential_forward_selection;
+
+use crate::important::ImportantPlacement;
+use crate::placement::PlacementSpec;
+
+/// Source of performance measurements for (workload, placement) pairs.
+///
+/// Implemented by the `vc-sim` simulator in this repository; on real
+/// hardware it would wrap container runs under cpuset pinning.
+pub trait PerfOracle {
+    /// Measured performance of `workload` in `spec` (higher is better);
+    /// `seed` selects the measurement-noise realisation.
+    fn perf(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> f64;
+
+    /// Hardware performance events observed while running `workload` in
+    /// `spec`, in [`Self::hpe_names`] order.
+    fn hpes(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> Vec<f64>;
+
+    /// Names of the HPEs this oracle reports.
+    fn hpe_names(&self) -> Vec<String>;
+}
+
+/// A workload available for training, with its family for grouped
+/// cross-validation (the paper excludes *related* workloads, e.g. both
+/// Spark jobs, when predicting either).
+#[derive(Debug, Clone)]
+pub struct TrainingWorkload {
+    /// Workload name passed to the oracle.
+    pub name: String,
+    /// Family label for leave-group-out cross-validation.
+    pub family: String,
+}
+
+/// Measured training data for one machine and one vCPU count.
+#[derive(Debug, Clone)]
+pub struct TrainingSet {
+    /// The workloads measured.
+    pub workloads: Vec<TrainingWorkload>,
+    /// The important placements, in id order.
+    pub placements: Vec<ImportantPlacement>,
+    /// Index (into `placements`) of the reporting baseline.
+    pub baseline: usize,
+    /// `rel[w][s][p]`: performance of workload `w` under seed `s` in
+    /// placement `p`, relative to the baseline placement.
+    pub rel: Vec<Vec<Vec<f64>>>,
+    /// `hpe[w][s][f]`: HPE features of workload `w` under seed `s`,
+    /// observed in the baseline placement.
+    pub hpe: Vec<Vec<Vec<f64>>>,
+    /// HPE feature names.
+    pub hpe_names: Vec<String>,
+}
+
+impl TrainingSet {
+    /// Measures every workload in every important placement with
+    /// `n_seeds` noise realisations (the training corpus of §5).
+    pub fn build(
+        oracle: &dyn PerfOracle,
+        workloads: &[TrainingWorkload],
+        placements: &[ImportantPlacement],
+        baseline: usize,
+        n_seeds: u64,
+    ) -> Self {
+        assert!(baseline < placements.len(), "baseline out of range");
+        assert!(n_seeds > 0, "need at least one seed");
+        let mut rel = Vec::with_capacity(workloads.len());
+        let mut hpe = Vec::with_capacity(workloads.len());
+        for w in workloads {
+            let mut w_rel = Vec::new();
+            let mut w_hpe = Vec::new();
+            for seed in 0..n_seeds {
+                let base = oracle.perf(&w.name, &placements[baseline].spec, seed);
+                let row: Vec<f64> = placements
+                    .iter()
+                    .map(|p| oracle.perf(&w.name, &p.spec, seed) / base)
+                    .collect();
+                w_rel.push(row);
+                w_hpe.push(oracle.hpes(&w.name, &placements[baseline].spec, seed));
+            }
+            rel.push(w_rel);
+            hpe.push(w_hpe);
+        }
+        TrainingSet {
+            workloads: workloads.to_vec(),
+            placements: placements.to_vec(),
+            baseline,
+            rel,
+            hpe,
+            hpe_names: oracle.hpe_names(),
+        }
+    }
+
+    /// Number of important placements.
+    pub fn n_placements(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Mean relative-performance vector of a workload over seeds.
+    pub fn mean_rel(&self, w: usize) -> Vec<f64> {
+        let seeds = self.rel[w].len() as f64;
+        let mut mean = vec![0.0; self.n_placements()];
+        for row in &self.rel[w] {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= seeds;
+        }
+        mean
+    }
+
+    /// Family labels per workload (for grouped CV).
+    pub fn families(&self) -> Vec<&str> {
+        self.workloads.iter().map(|w| w.family.as_str()).collect()
+    }
+}
+
+/// The paper's model: performance in two placements in, performance
+/// vector out.
+#[derive(Debug, Clone)]
+pub struct PerfPairModel {
+    /// Anchor probe (also the reporting baseline).
+    pub anchor: usize,
+    /// Second probe.
+    pub other: usize,
+    forest: RandomForest,
+}
+
+impl PerfPairModel {
+    /// Fits the model on (a subset of) the training set. `rows` selects
+    /// workload indices; pass all indices for a full fit.
+    pub fn fit(
+        ts: &TrainingSet,
+        rows: &[usize],
+        anchor: usize,
+        other: usize,
+        cfg: &ForestConfig,
+        seed: u64,
+    ) -> Self {
+        let (xs, ys) = Self::design(ts, rows, anchor, other);
+        PerfPairModel {
+            anchor,
+            other,
+            forest: RandomForest::fit(&xs, &ys, cfg, seed),
+        }
+    }
+
+    fn design(
+        ts: &TrainingSet,
+        rows: &[usize],
+        anchor: usize,
+        other: usize,
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &w in rows {
+            for row in &ts.rel[w] {
+                let ratio = row[other] / row[anchor];
+                xs.push(vec![ratio]);
+                ys.push(row.iter().map(|v| v / row[anchor]).collect());
+            }
+        }
+        (xs, ys)
+    }
+
+    /// Predicts the performance vector relative to the anchor placement,
+    /// from the measured perf ratio `other / anchor`.
+    pub fn predict_rel_to_anchor(&self, ratio: f64) -> Vec<f64> {
+        self.forest.predict(&[ratio])
+    }
+
+    /// Predicts absolute performance in every placement from the two
+    /// probe measurements.
+    pub fn predict_absolute(&self, perf_anchor: f64, perf_other: f64) -> Vec<f64> {
+        self.predict_rel_to_anchor(perf_other / perf_anchor)
+            .into_iter()
+            .map(|r| r * perf_anchor)
+            .collect()
+    }
+}
+
+/// Chooses the second probe placement by grouped cross-validation, with
+/// the anchor fixed to the training set's baseline (§5: "the training
+/// process automatically finds the two of the important placements that
+/// give the highest accuracy").
+///
+/// Candidates are ranked first by how often they identify each held-out
+/// workload's best placement — the decision the scheduler acts on — and
+/// then by mean error. Returns `(other, cv_error_pct)`.
+pub fn select_probe_pair(ts: &TrainingSet, cfg: &ForestConfig, seed: u64) -> (usize, f64) {
+    let anchor = ts.baseline;
+    let mut best: Option<(usize, usize, f64)> = None;
+    for other in 0..ts.n_placements() {
+        if other == anchor {
+            continue;
+        }
+        let (misses, err) = cv_quality_perf_pair(ts, anchor, other, cfg, seed);
+        let better = match best {
+            None => true,
+            Some((bm, _, be)) => misses < bm || (misses == bm && err < be),
+        };
+        if better {
+            best = Some((misses, other, err));
+        }
+    }
+    let (_, other, err) = best.expect("at least two placements");
+    (other, err)
+}
+
+/// CV quality of a probe pair: (count of workloads whose best placement
+/// is mispredicted, mean absolute percentage error).
+fn cv_quality_perf_pair(
+    ts: &TrainingSet,
+    anchor: usize,
+    other: usize,
+    cfg: &ForestConfig,
+    seed: u64,
+) -> (usize, f64) {
+    let families = ts.families();
+    let splits = leave_group_out(&families);
+    let mut preds = Vec::new();
+    let mut truths = Vec::new();
+    let mut misses = 0usize;
+    let argmax = |v: &[f64]| -> usize {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    };
+    for split in &splits {
+        let model = PerfPairModel::fit(ts, &split.train, anchor, other, cfg, seed);
+        for &w in &split.test {
+            let truth = ts.mean_rel(w);
+            let ratio = truth[other] / truth[anchor];
+            let rel_anchor = model.predict_rel_to_anchor(ratio);
+            let pred: Vec<f64> = rel_anchor.iter().map(|r| r * truth[anchor]).collect();
+            if argmax(&pred) != argmax(&truth) {
+                misses += 1;
+            }
+            preds.push(pred);
+            truths.push(truth);
+        }
+    }
+    (misses, mean_abs_pct_error(&preds, &truths))
+}
+
+/// Leave-family-out CV error (mean absolute percentage) of a perf-pair
+/// model.
+pub fn cv_error_perf_pair(
+    ts: &TrainingSet,
+    anchor: usize,
+    other: usize,
+    cfg: &ForestConfig,
+    seed: u64,
+) -> f64 {
+    let families = ts.families();
+    let splits = leave_group_out(&families);
+    let mut preds = Vec::new();
+    let mut truths = Vec::new();
+    for split in &splits {
+        let model = PerfPairModel::fit(ts, &split.train, anchor, other, cfg, seed);
+        for &w in &split.test {
+            let truth = ts.mean_rel(w);
+            let ratio = truth[other] / truth[anchor];
+            let rel_anchor = model.predict_rel_to_anchor(ratio);
+            // Convert back to baseline-relative for comparison.
+            let pred: Vec<f64> = rel_anchor.iter().map(|r| r * truth[anchor]).collect();
+            preds.push(pred);
+            truths.push(truth);
+        }
+    }
+    mean_abs_pct_error(&preds, &truths)
+}
+
+/// The HPE-feature baseline model: selected HPEs from a single placement
+/// in, performance vector out.
+#[derive(Debug, Clone)]
+pub struct HpeModel {
+    /// Indices of the selected HPE features.
+    pub selected: Vec<usize>,
+    forest: RandomForest,
+}
+
+impl HpeModel {
+    /// Fits on explicit feature indices.
+    pub fn fit(
+        ts: &TrainingSet,
+        rows: &[usize],
+        selected: &[usize],
+        cfg: &ForestConfig,
+        seed: u64,
+    ) -> Self {
+        let (xs, ys) = Self::design(ts, rows, selected);
+        HpeModel {
+            selected: selected.to_vec(),
+            forest: RandomForest::fit(&xs, &ys, cfg, seed),
+        }
+    }
+
+    fn design(
+        ts: &TrainingSet,
+        rows: &[usize],
+        selected: &[usize],
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &w in rows {
+            for (srow, hrow) in ts.rel[w].iter().zip(&ts.hpe[w]) {
+                xs.push(selected.iter().map(|&f| hrow[f]).collect());
+                ys.push(srow.clone());
+            }
+        }
+        (xs, ys)
+    }
+
+    /// Predicts the baseline-relative performance vector from an HPE
+    /// observation.
+    pub fn predict(&self, hpes: &[f64]) -> Vec<f64> {
+        let features: Vec<f64> = self.selected.iter().map(|&f| hpes[f]).collect();
+        self.forest.predict(&features)
+    }
+
+    /// Runs Sequential Forward Selection over the HPE features, scoring
+    /// candidate subsets by leave-family-out CV error. Returns the
+    /// selected indices and final CV error.
+    pub fn select_features(
+        ts: &TrainingSet,
+        max_features: usize,
+        cfg: &ForestConfig,
+        seed: u64,
+    ) -> (Vec<usize>, f64) {
+        let n = ts.hpe_names.len();
+        let result = sequential_forward_selection(n, max_features, 0.05, |subset| {
+            cv_error_hpe(ts, subset, cfg, seed)
+        });
+        (result.selected, result.score)
+    }
+}
+
+/// Leave-family-out CV error of an HPE model on a feature subset.
+pub fn cv_error_hpe(ts: &TrainingSet, selected: &[usize], cfg: &ForestConfig, seed: u64) -> f64 {
+    let families = ts.families();
+    let splits = leave_group_out(&families);
+    let mut preds = Vec::new();
+    let mut truths = Vec::new();
+    for split in &splits {
+        let model = HpeModel::fit(ts, &split.train, selected, cfg, seed);
+        for &w in &split.test {
+            let truth = ts.mean_rel(w);
+            // Mean HPE observation over seeds.
+            let n_seeds = ts.hpe[w].len();
+            let nf = ts.hpe_names.len();
+            let mut mean_hpe = vec![0.0; nf];
+            for srow in &ts.hpe[w] {
+                for (m, v) in mean_hpe.iter_mut().zip(srow) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean_hpe {
+                *m /= n_seeds as f64;
+            }
+            preds.push(model.predict(&mean_hpe));
+            truths.push(truth);
+        }
+    }
+    mean_abs_pct_error(&preds, &truths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concern::ConcernSet;
+    use crate::important::important_placements;
+    use vc_topology::machines;
+
+    /// A synthetic oracle with two latent workload categories: "flat"
+    /// workloads perform identically everywhere; "numa" workloads improve
+    /// with node count.
+    struct ToyOracle;
+
+    impl PerfOracle for ToyOracle {
+        fn perf(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> f64 {
+            let nodes = spec.num_nodes() as f64;
+            let noise = 1.0 + 0.002 * ((seed as f64 * 0.7 + nodes).sin());
+            let base = if workload.starts_with("flat") {
+                100.0
+            } else {
+                40.0 + 20.0 * nodes
+            };
+            base * noise
+        }
+
+        fn hpes(&self, workload: &str, _spec: &PlacementSpec, seed: u64) -> Vec<f64> {
+            let intensity = if workload.starts_with("flat") {
+                1.0
+            } else {
+                9.0
+            };
+            vec![
+                intensity + 0.01 * (seed as f64).cos(),
+                5.0, // uninformative constant
+            ]
+        }
+
+        fn hpe_names(&self) -> Vec<String> {
+            vec!["mem_intensity".into(), "noise".into()]
+        }
+    }
+
+    fn toy_training_set() -> TrainingSet {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let ips = important_placements(&amd, &cs, 16).unwrap();
+        let workloads: Vec<TrainingWorkload> = (0..4)
+            .map(|i| TrainingWorkload {
+                name: format!("flat{i}"),
+                family: format!("flat{i}"),
+            })
+            .chain((0..4).map(|i| TrainingWorkload {
+                name: format!("numa{i}"),
+                family: format!("numa{i}"),
+            }))
+            .collect();
+        TrainingSet::build(&ToyOracle, &workloads, &ips, 0, 3)
+    }
+
+    #[test]
+    fn training_set_has_expected_shape() {
+        let ts = toy_training_set();
+        assert_eq!(ts.rel.len(), 8);
+        assert_eq!(ts.rel[0].len(), 3);
+        assert_eq!(ts.rel[0][0].len(), 13);
+        // Baseline column is exactly 1.0.
+        for w in &ts.rel {
+            for s in w {
+                assert!((s[0] - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn perf_pair_model_separates_categories() {
+        let ts = toy_training_set();
+        let cfg = ForestConfig {
+            n_trees: 30,
+            ..ForestConfig::default()
+        };
+        let rows: Vec<usize> = (0..ts.workloads.len()).collect();
+        // Anchor = baseline (2-node), other = an 8-node placement (last).
+        let other = ts.n_placements() - 1;
+        let model = PerfPairModel::fit(&ts, &rows, ts.baseline, other, &cfg, 0);
+        // A flat workload: ratio ~1 -> flat vector.
+        let flat = model.predict_rel_to_anchor(1.0);
+        assert!(flat.iter().all(|v| (v - 1.0).abs() < 0.05), "{flat:?}");
+        // A numa workload: 8 nodes vs 2 nodes = 200/80 = 2.5.
+        let numa = model.predict_rel_to_anchor(2.5);
+        let eight_node_rel = numa[other];
+        assert!(eight_node_rel > 2.0, "{numa:?}");
+    }
+
+    #[test]
+    fn probe_pair_selection_prefers_discriminative_placement() {
+        let ts = toy_training_set();
+        let cfg = ForestConfig {
+            n_trees: 20,
+            ..ForestConfig::default()
+        };
+        let (other, err) = select_probe_pair(&ts, &cfg, 0);
+        // The chosen probe must differ in node count from the 2-node
+        // baseline, otherwise the ratio carries no category signal.
+        assert_ne!(ts.placements[other].spec.num_nodes(), 2);
+        assert!(err < 5.0, "cv error too high: {err}");
+    }
+
+    #[test]
+    fn hpe_sfs_picks_the_informative_counter() {
+        let ts = toy_training_set();
+        let cfg = ForestConfig {
+            n_trees: 20,
+            ..ForestConfig::default()
+        };
+        let (selected, err) = HpeModel::select_features(&ts, 2, &cfg, 0);
+        assert!(selected.contains(&0), "selected {selected:?}");
+        assert!(err < 10.0);
+    }
+
+    #[test]
+    fn predict_absolute_rescales_by_anchor() {
+        let ts = toy_training_set();
+        let cfg = ForestConfig {
+            n_trees: 10,
+            ..ForestConfig::default()
+        };
+        let rows: Vec<usize> = (0..ts.workloads.len()).collect();
+        let model = PerfPairModel::fit(&ts, &rows, 0, 1, &cfg, 0);
+        let abs = model.predict_absolute(100.0, 100.0);
+        // Anchor placement prediction should be ~100.
+        assert!((abs[0] - 100.0).abs() < 5.0);
+    }
+}

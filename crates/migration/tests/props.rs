@@ -1,0 +1,66 @@
+//! Property tests for the migration cost model.
+
+use proptest::prelude::*;
+use vc_migration::MigrationModel;
+use vc_workloads::generator::random_workload;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn estimates_are_finite_and_positive(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = random_workload("prop", &mut rng);
+        let m = MigrationModel::default();
+        for est in [m.fast(&w), m.linux_default(&w), m.throttled(&w, 0.5)] {
+            prop_assert!(est.duration_s.is_finite() && est.duration_s > 0.0);
+            prop_assert!(est.moved_gb >= 0.0);
+            prop_assert!(est.frozen_s >= 0.0 && est.frozen_s <= est.duration_s + 1e-9);
+            prop_assert!((0.0..=100.0).contains(&est.runtime_overhead_pct));
+        }
+    }
+
+    #[test]
+    fn fast_moves_more_data_than_linux(seed in 0u64..10_000) {
+        // Fast migration includes the page cache; Linux leaves it behind.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = random_workload("prop", &mut rng);
+        let m = MigrationModel::default();
+        prop_assert!(m.fast(&w).moved_gb >= m.linux_default(&w).moved_gb - 1e-12);
+    }
+
+    #[test]
+    fn throttling_trades_duration_for_overhead(seed in 0u64..5_000, lo in 1u32..10, hi in 11u32..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = random_workload("prop", &mut rng);
+        let m = MigrationModel::default();
+        let slow = m.throttled(&w, lo as f64 / 10.0);
+        let fast = m.throttled(&w, hi as f64 / 10.0);
+        prop_assert!(fast.duration_s <= slow.duration_s + 1e-9);
+        prop_assert!(fast.runtime_overhead_pct >= slow.runtime_overhead_pct - 1e-9);
+    }
+
+    #[test]
+    fn fast_duration_is_monotone_in_memory(seed in 0u64..5_000, extra in 1u32..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let small = random_workload("prop", &mut rng);
+        let mut big = small.clone();
+        big.anon_gb += extra as f64 / 10.0;
+        let m = MigrationModel::default();
+        prop_assert!(m.fast(&big).duration_s >= m.fast(&small).duration_s);
+        prop_assert!(m.linux_default(&big).duration_s >= m.linux_default(&small).duration_s);
+    }
+
+    #[test]
+    fn more_processes_never_speed_linux_up(seed in 0u64..5_000, extra in 1usize..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let few = random_workload("prop", &mut rng);
+        let mut many = few.clone();
+        many.processes += extra;
+        let m = MigrationModel::default();
+        prop_assert!(m.linux_default(&many).duration_s >= m.linux_default(&few).duration_s);
+    }
+}

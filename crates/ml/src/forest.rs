@@ -1,0 +1,202 @@
+//! Multi-output Random Forest regressor.
+//!
+//! Bootstrap-aggregated CART trees with per-split feature subsampling —
+//! the model the paper selects because it "learns non-linear functions
+//! with very little or no tuning" (§5).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth parameters. `max_features = None` here means
+    /// "use sqrt(n_features)" at fit time (the usual forest default).
+    pub tree: TreeConfig,
+    /// Whether to bootstrap-sample the training set per tree.
+    pub bootstrap: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig {
+                max_depth: 14,
+                min_samples_leaf: 2,
+                min_samples_split: 4,
+                max_features: None,
+            },
+            bootstrap: true,
+        }
+    }
+}
+
+/// A fitted Random Forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_outputs: usize,
+}
+
+impl RandomForest {
+    /// Fits a forest on feature rows `x` and target rows `y`.
+    ///
+    /// Deterministic for a fixed `seed`: each tree derives its bootstrap
+    /// sample and split randomness from a per-tree child seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or ragged training data (see [`DecisionTree::fit`]).
+    pub fn fit(x: &[Vec<f64>], y: &[Vec<f64>], cfg: &ForestConfig, seed: u64) -> Self {
+        assert!(!x.is_empty(), "empty training set");
+        let n_features = x[0].len();
+        let n_outputs = y[0].len();
+        // sqrt-feature heuristic unless the caller fixed max_features.
+        let max_features = cfg
+            .tree
+            .max_features
+            .unwrap_or_else(|| ((n_features as f64).sqrt().ceil() as usize).max(1));
+        let tree_cfg = TreeConfig {
+            max_features: Some(max_features),
+            ..cfg.tree.clone()
+        };
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees {
+            let tree_seed: u64 = rng.random();
+            let (bx, by): (Vec<Vec<f64>>, Vec<Vec<f64>>) = if cfg.bootstrap {
+                let mut bx = Vec::with_capacity(x.len());
+                let mut by = Vec::with_capacity(y.len());
+                for _ in 0..x.len() {
+                    let i = rng.random_range(0..x.len());
+                    bx.push(x[i].clone());
+                    by.push(y[i].clone());
+                }
+                (bx, by)
+            } else {
+                (x.to_vec(), y.to_vec())
+            };
+            trees.push(DecisionTree::fit(&bx, &by, &tree_cfg, tree_seed));
+        }
+        RandomForest { trees, n_outputs }
+    }
+
+    /// Predicts the mean target vector over all trees.
+    pub fn predict(&self, features: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_outputs];
+        for t in &self.trees {
+            let p = t.predict(features);
+            for (a, v) in acc.iter_mut().zip(p) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= self.trees.len() as f64;
+        }
+        acc
+    }
+
+    /// Number of trees in the forest.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of outputs the forest predicts.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mean_abs_error;
+
+    fn noisy_quadratic(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        // Deterministic pseudo-noise from the index so tests need no RNG.
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![(i as f64) / n as f64 * 4.0]).collect();
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| vec![x[0] * x[0] + ((i * 2654435761) % 97) as f64 / 970.0])
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn forest_fits_nonlinear_function() {
+        let (xs, ys) = noisy_quadratic(300);
+        let rf = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 1);
+        let preds: Vec<Vec<f64>> = xs.iter().map(|x| rf.predict(x)).collect();
+        let err = mean_abs_error(&preds, &ys);
+        assert!(err < 0.25, "training error too high: {err}");
+    }
+
+    #[test]
+    fn forest_interpolates_between_samples() {
+        let (xs, ys) = noisy_quadratic(300);
+        let rf = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 1);
+        let p = rf.predict(&[2.0]);
+        assert!((p[0] - 4.0).abs() < 0.5, "predicted {}", p[0]);
+    }
+
+    #[test]
+    fn forest_is_deterministic_for_fixed_seed() {
+        let (xs, ys) = noisy_quadratic(100);
+        let a = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 9);
+        let b = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 9);
+        for i in 0..10 {
+            let probe = vec![i as f64 * 0.4];
+            assert_eq!(a.predict(&probe), b.predict(&probe));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_forests() {
+        let (xs, ys) = noisy_quadratic(100);
+        let a = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 1);
+        let b = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 2);
+        let differs = (0..20).any(|i| {
+            let probe = vec![i as f64 * 0.2];
+            a.predict(&probe) != b.predict(&probe)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn multi_output_predictions_have_right_arity() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (50 - i) as f64, 1.0])
+            .collect();
+        let rf = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 3);
+        assert_eq!(rf.n_outputs(), 3);
+        assert_eq!(rf.predict(&[25.0]).len(), 3);
+    }
+
+    #[test]
+    fn no_bootstrap_with_full_features_behaves_like_bagged_tree() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![if i < 10 { 0.0 } else { 1.0 }])
+            .collect();
+        let cfg = ForestConfig {
+            n_trees: 5,
+            bootstrap: false,
+            tree: TreeConfig {
+                max_features: Some(1),
+                ..TreeConfig::default()
+            },
+        };
+        let rf = RandomForest::fit(&xs, &ys, &cfg, 0);
+        assert_eq!(rf.predict(&[0.0]), vec![0.0]);
+        assert_eq!(rf.predict(&[19.0]), vec![1.0]);
+    }
+}

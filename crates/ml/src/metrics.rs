@@ -1,0 +1,138 @@
+//! Regression error metrics.
+
+/// Mean absolute error between prediction rows and target rows, averaged
+/// over every output of every row.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the input is empty.
+pub fn mean_abs_error(pred: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "row count mismatch");
+    assert!(!pred.is_empty(), "empty input");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        assert_eq!(p.len(), t.len(), "column count mismatch");
+        for (a, b) in p.iter().zip(t) {
+            total += (a - b).abs();
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+/// Mean absolute *percentage* error (in percent) relative to the truth.
+///
+/// Entries whose truth is zero are skipped; returns 0.0 if everything was
+/// skipped.
+pub fn mean_abs_pct_error(pred: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "row count mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        for (a, b) in p.iter().zip(t) {
+            if *b != 0.0 {
+                total += ((a - b) / b).abs() * 100.0;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Root mean squared error over all outputs of all rows.
+pub fn rmse(pred: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "row count mismatch");
+    assert!(!pred.is_empty(), "empty input");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        for (a, b) in p.iter().zip(t) {
+            total += (a - b) * (a - b);
+            count += 1;
+        }
+    }
+    (total / count as f64).sqrt()
+}
+
+/// Coefficient of determination (R²), pooled over all outputs.
+///
+/// Returns 1.0 for a perfect fit; can be negative for fits worse than
+/// predicting the mean.
+pub fn r2_score(pred: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "row count mismatch");
+    assert!(!pred.is_empty(), "empty input");
+    let k = truth[0].len();
+    let n = truth.len() as f64;
+    let mut mean = vec![0.0; k];
+    for t in truth {
+        for (m, v) in mean.iter_mut().zip(t) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (p, t) in pred.iter().zip(truth) {
+        for o in 0..k {
+            ss_res += (t[o] - p[o]) * (t[o] - p[o]);
+            ss_tot += (t[o] - mean[o]) * (t[o] - mean[o]);
+        }
+    }
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_of_perfect_prediction_is_zero() {
+        let y = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(mean_abs_error(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn mae_averages_all_cells() {
+        let p = vec![vec![1.0, 3.0]];
+        let t = vec![vec![0.0, 0.0]];
+        assert_eq!(mean_abs_error(&p, &t), 2.0);
+    }
+
+    #[test]
+    fn mape_is_relative_and_skips_zero_truth() {
+        let p = vec![vec![1.1, 5.0]];
+        let t = vec![vec![1.0, 0.0]];
+        let e = mean_abs_pct_error(&p, &t);
+        assert!((e - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_penalises_outliers_more_than_mae() {
+        let p = vec![vec![0.0], vec![4.0]];
+        let t = vec![vec![0.0], vec![0.0]];
+        assert!(rmse(&p, &t) > mean_abs_error(&p, &t));
+    }
+
+    #[test]
+    fn r2_is_one_for_perfect_and_zero_for_mean_predictor() {
+        let t = vec![vec![1.0], vec![2.0], vec![3.0]];
+        assert_eq!(r2_score(&t, &t), 1.0);
+        let mean_pred = vec![vec![2.0], vec![2.0], vec![2.0]];
+        assert!((r2_score(&mean_pred, &t)).abs() < 1e-12);
+    }
+}

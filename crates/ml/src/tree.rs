@@ -1,0 +1,381 @@
+//! Multi-output CART regression tree.
+//!
+//! Splits minimise the summed per-output sum of squared errors; leaves
+//! predict the mean target vector of their training samples. This is the
+//! standard multi-output extension of CART used by scikit-learn's
+//! `DecisionTreeRegressor`, which is what the paper's Random Forest builds
+//! on.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Tree growth parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of features considered per split (`None` = all).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 16,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf {
+        value: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted multi-output regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<TreeNode>,
+    n_features: usize,
+    n_outputs: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on feature rows `x` and target rows `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, rows are ragged, or `x.len() != y.len()` —
+    /// training data shape errors are programming errors.
+    pub fn fit(x: &[Vec<f64>], y: &[Vec<f64>], cfg: &TreeConfig, seed: u64) -> Self {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        let n_features = x[0].len();
+        let n_outputs = y[0].len();
+        assert!(x.iter().all(|r| r.len() == n_features), "ragged features");
+        assert!(y.iter().all(|r| r.len() == n_outputs), "ragged targets");
+
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features,
+            n_outputs,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let indices: Vec<usize> = (0..x.len()).collect();
+        tree.grow(x, y, indices, 0, cfg, &mut rng);
+        tree
+    }
+
+    /// Predicts the target vector for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training feature count.
+    pub fn predict(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                TreeNode::Leaf { value } => return value.clone(),
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of outputs the tree predicts.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Number of nodes in the tree (leaves + splits).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.depth_from(0)
+    }
+
+    fn depth_from(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            TreeNode::Leaf { .. } => 0,
+            TreeNode::Split { left, right, .. } => {
+                1 + self.depth_from(*left).max(self.depth_from(*right))
+            }
+        }
+    }
+
+    /// Grows the subtree for `indices`, returning its node id.
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[Vec<f64>],
+        indices: Vec<usize>,
+        depth: usize,
+        cfg: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mean = mean_vector(y, &indices, self.n_outputs);
+        if depth >= cfg.max_depth
+            || indices.len() < cfg.min_samples_split
+            || indices.len() < 2 * cfg.min_samples_leaf
+        {
+            return self.push_leaf(mean);
+        }
+        match self.best_split(x, y, &indices, cfg, rng) {
+            None => self.push_leaf(mean),
+            Some((feature, threshold)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| x[i][feature] <= threshold);
+                if li.len() < cfg.min_samples_leaf || ri.len() < cfg.min_samples_leaf {
+                    return self.push_leaf(mean);
+                }
+                // Reserve the split slot before growing children so child
+                // ids are known.
+                let id = self.nodes.len();
+                self.nodes.push(TreeNode::Leaf { value: Vec::new() });
+                let left = self.grow(x, y, li, depth + 1, cfg, rng);
+                let right = self.grow(x, y, ri, depth + 1, cfg, rng);
+                self.nodes[id] = TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                id
+            }
+        }
+    }
+
+    fn push_leaf(&mut self, value: Vec<f64>) -> usize {
+        self.nodes.push(TreeNode::Leaf { value });
+        self.nodes.len() - 1
+    }
+
+    /// Finds the (feature, threshold) minimising summed SSE, or `None` if
+    /// no split improves on the parent.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[Vec<f64>],
+        indices: &[usize],
+        cfg: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        if let Some(k) = cfg.max_features {
+            features.shuffle(rng);
+            features.truncate(k.max(1).min(self.n_features));
+        }
+
+        let parent_sse = sse(y, indices, self.n_outputs);
+        let mut best: Option<(f64, usize, f64)> = None;
+
+        for &f in &features {
+            // Sort indices by this feature.
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("finite features"));
+
+            // Prefix sums of targets and squared targets.
+            let n = order.len();
+            let k = self.n_outputs;
+            let mut sum = vec![0.0; k];
+            let mut sumsq = vec![0.0; k];
+            let total_sum: Vec<f64> = (0..k)
+                .map(|o| order.iter().map(|&i| y[i][o]).sum())
+                .collect();
+            let total_sumsq: Vec<f64> = (0..k)
+                .map(|o| order.iter().map(|&i| y[i][o] * y[i][o]).sum())
+                .collect();
+
+            for pos in 0..n - 1 {
+                let i = order[pos];
+                for o in 0..k {
+                    sum[o] += y[i][o];
+                    sumsq[o] += y[i][o] * y[i][o];
+                }
+                // Only split between distinct feature values.
+                if x[order[pos]][f] == x[order[pos + 1]][f] {
+                    continue;
+                }
+                let nl = (pos + 1) as f64;
+                let nr = (n - pos - 1) as f64;
+                let mut split_sse = 0.0;
+                for o in 0..k {
+                    let ls = sumsq[o] - sum[o] * sum[o] / nl;
+                    let rs_sum = total_sum[o] - sum[o];
+                    let rs = (total_sumsq[o] - sumsq[o]) - rs_sum * rs_sum / nr;
+                    split_sse += ls + rs;
+                }
+                let improves = match best {
+                    None => split_sse < parent_sse - 1e-12,
+                    Some((b, _, _)) => split_sse < b,
+                };
+                if improves {
+                    let threshold = 0.5 * (x[order[pos]][f] + x[order[pos + 1]][f]);
+                    best = Some((split_sse, f, threshold));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+fn mean_vector(y: &[Vec<f64>], indices: &[usize], k: usize) -> Vec<f64> {
+    let mut mean = vec![0.0; k];
+    for &i in indices {
+        for o in 0..k {
+            mean[o] += y[i][o];
+        }
+    }
+    for v in &mut mean {
+        *v /= indices.len() as f64;
+    }
+    mean
+}
+
+fn sse(y: &[Vec<f64>], indices: &[usize], k: usize) -> f64 {
+    let mean = mean_vector(y, indices, k);
+    indices
+        .iter()
+        .map(|&i| {
+            (0..k)
+                .map(|o| {
+                    let d = y[i][o] - mean[o];
+                    d * d
+                })
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default(), 0);
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict(&[1.5]), vec![5.0]);
+    }
+
+    #[test]
+    fn perfect_step_function_is_learned_exactly() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![if i < 5 { 1.0 } else { 2.0 }])
+            .collect();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default(), 0);
+        assert_eq!(t.predict(&[0.0]), vec![1.0]);
+        assert_eq!(t.predict(&[9.0]), vec![2.0]);
+        assert_eq!(t.predict(&[4.4]), vec![1.0]);
+    }
+
+    #[test]
+    fn multi_output_split_considers_all_outputs() {
+        // Output 0 is constant; output 1 steps at x=2.5. The split must be
+        // driven by output 1.
+        let x: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![1.0, if i < 3 { 0.0 } else { 10.0 }])
+            .collect();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default(), 0);
+        assert_eq!(t.predict(&[0.0]), vec![1.0, 0.0]);
+        assert_eq!(t.predict(&[5.0]), vec![1.0, 10.0]);
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        };
+        let t = DecisionTree::fit(&x, &y, &cfg, 0);
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        let cfg = TreeConfig {
+            min_samples_leaf: 4,
+            ..TreeConfig::default()
+        };
+        let t = DecisionTree::fit(&x, &y, &cfg, 0);
+        // With 16 samples and min leaf 4 there can be at most 4 leaves.
+        let leaves = (0..t.n_nodes())
+            .filter(|&i| matches!(t.nodes[i], TreeNode::Leaf { .. }))
+            .count();
+        assert!(leaves <= 4, "leaves={leaves}");
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_equals() {
+        let x = vec![vec![1.0], vec![1.0], vec![1.0], vec![2.0]];
+        let y = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default(), 0);
+        // The only legal split separates x=1 from x=2.
+        assert_eq!(t.predict(&[1.0]), vec![1.0]);
+        assert_eq!(t.predict(&[2.0]), vec![10.0]);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i * 7 % 13) as f64, (i * 3 % 11) as f64])
+            .collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] * 2.0 + r[1]]).collect();
+        let cfg = TreeConfig {
+            max_features: Some(1),
+            ..TreeConfig::default()
+        };
+        let a = DecisionTree::fit(&x, &y, &cfg, 7);
+        let b = DecisionTree::fit(&x, &y, &cfg, 7);
+        for i in 0..20 {
+            let probe = vec![i as f64, (20 - i) as f64];
+            assert_eq!(a.predict(&probe), b.predict(&probe));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_rejects_wrong_arity() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![vec![0.0], vec![1.0]];
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default(), 0);
+        t.predict(&[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,404 @@
+//! The packing scenario harness (Figure 5).
+
+use std::fmt;
+
+use vc_core::assign::assign_vcpus;
+use vc_core::concern::ConcernSet;
+use vc_core::important::{important_placements, surviving_packings, ImportantPlacement};
+use vc_core::model::{select_probe_pair, PerfOracle, PerfPairModel, TrainingSet, TrainingWorkload};
+use vc_core::placement::PlacementSpec;
+use vc_ml::forest::ForestConfig;
+use vc_sim::engine::{simulate, ContainerRun, SimConfig};
+use vc_sim::os_sched::linux_like_assignments;
+use vc_sim::SimOracle;
+use vc_topology::{Machine, ThreadId};
+use vc_workloads::suite::workload_by_name;
+
+/// The four placement policies of §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The paper's model-driven policy.
+    Ml,
+    /// One instance per machine, unpinned.
+    Conservative,
+    /// Maximum instances, unpinned.
+    Aggressive,
+    /// Maximum instances, pinned to best minimum node sets.
+    SmartAggressive,
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Policy::Ml => "ML",
+            Policy::Conservative => "Conservative",
+            Policy::Aggressive => "Aggressive",
+            Policy::SmartAggressive => "Aggressive (Smart)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Result of evaluating one policy at one goal.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The policy evaluated.
+    pub policy: Policy,
+    /// Goal as a fraction of baseline performance (0.9 / 1.0 / 1.1).
+    pub goal_frac: f64,
+    /// Instances packed per machine.
+    pub instances: usize,
+    /// Mean percentage by which instances fell short of the goal
+    /// (0 = goal met everywhere).
+    pub violation_pct: f64,
+}
+
+/// A prepared scenario: one machine, one workload type, a trained model.
+pub struct PackingScenario {
+    machine: Machine,
+    oracle: SimOracle,
+    vcpus: usize,
+    workload: String,
+    placements: Vec<ImportantPlacement>,
+    baseline: usize,
+    model: PerfPairModel,
+    /// Number of OS-scheduler samples for unpinned policies.
+    pub os_samples: u64,
+}
+
+impl PackingScenario {
+    /// Builds the scenario: enumerates important placements, builds the
+    /// training set over the paper suite *excluding the target workload's
+    /// family* (the model has never seen this workload), selects the
+    /// probe pair and trains the model.
+    ///
+    /// `baseline` is the index of the baseline placement (the paper uses
+    /// placement #1 on AMD and #2 on Intel).
+    pub fn new(machine: Machine, vcpus: usize, workload: &str, baseline: usize, seed: u64) -> Self {
+        let concerns = ConcernSet::for_machine(&machine);
+        let placements =
+            important_placements(&machine, &concerns, vcpus).expect("feasible container");
+        let oracle = SimOracle::with_synthetic(machine.clone(), 12, 42);
+        let target_family = workload_by_name(workload)
+            .unwrap_or_else(|| panic!("unknown workload {workload}"))
+            .family;
+        let training: Vec<TrainingWorkload> = oracle
+            .workloads()
+            .iter()
+            .filter(|w| w.family != target_family)
+            .map(|w| TrainingWorkload {
+                name: w.name.clone(),
+                family: w.family.clone(),
+            })
+            .collect();
+        let ts = TrainingSet::build(&oracle, &training, &placements, baseline, 3);
+        let cfg = ForestConfig {
+            n_trees: 60,
+            ..ForestConfig::default()
+        };
+        let (other, _) = select_probe_pair(&ts, &cfg, seed);
+        let rows: Vec<usize> = (0..ts.workloads.len()).collect();
+        let model = PerfPairModel::fit(&ts, &rows, baseline, other, &cfg, seed);
+        PackingScenario {
+            machine,
+            oracle,
+            vcpus,
+            workload: workload.to_string(),
+            placements,
+            baseline,
+            model,
+            os_samples: 6,
+        }
+    }
+
+    /// The important placements of the scenario.
+    pub fn placements(&self) -> &[ImportantPlacement] {
+        &self.placements
+    }
+
+    /// Reference performance in the baseline placement (the quantity the
+    /// goals are fractions of).
+    pub fn baseline_perf(&self) -> f64 {
+        self.oracle
+            .perf(&self.workload, &self.placements[self.baseline].spec, 1000)
+    }
+
+    /// The maximum number of instances that fit with one vCPU per
+    /// hardware thread.
+    pub fn max_instances(&self) -> usize {
+        self.machine.num_threads() / self.vcpus
+    }
+
+    /// Minimum number of nodes an instance needs.
+    pub fn min_nodes(&self) -> usize {
+        self.vcpus.div_ceil(self.machine.node_capacity())
+    }
+
+    /// Evaluates one policy at one goal fraction.
+    pub fn evaluate(&self, policy: Policy, goal_frac: f64, seed: u64) -> PolicyOutcome {
+        let goal = goal_frac * self.baseline_perf();
+        match policy {
+            Policy::Ml => self.eval_ml(goal, goal_frac, seed),
+            Policy::Conservative => {
+                self.eval_unpinned(1, goal, goal_frac, seed, Policy::Conservative)
+            }
+            Policy::Aggressive => self.eval_unpinned(
+                self.max_instances(),
+                goal,
+                goal_frac,
+                seed,
+                Policy::Aggressive,
+            ),
+            Policy::SmartAggressive => self.eval_smart(goal, goal_frac, seed),
+        }
+    }
+
+    /// Runs a set of concrete instances together and returns the mean
+    /// shortfall (%) against the goal.
+    fn measure_violation(&self, assignments: &[Vec<ThreadId>], goal: f64, seed: u64) -> f64 {
+        let w = workload_by_name(&self.workload).expect("known workload");
+        let runs: Vec<ContainerRun> = assignments
+            .iter()
+            .map(|a| ContainerRun {
+                workload: w.clone(),
+                assignment: a.clone(),
+            })
+            .collect();
+        let result = simulate(&self.machine, &runs, &SimConfig::default(), seed);
+        let total: f64 = result
+            .per_container
+            .iter()
+            .map(|p| ((goal - p.metric_value) / goal).max(0.0) * 100.0)
+            .sum();
+        total / assignments.len() as f64
+    }
+
+    fn eval_ml(&self, goal: f64, goal_frac: f64, seed: u64) -> PolicyOutcome {
+        // Probe: run the container briefly in the two probe placements.
+        let anchor_perf = self.oracle.perf(
+            &self.workload,
+            &self.placements[self.model.anchor].spec,
+            seed,
+        );
+        let other_perf = self.oracle.perf(
+            &self.workload,
+            &self.placements[self.model.other].spec,
+            seed.wrapping_add(1),
+        );
+        let predicted = self.model.predict_absolute(anchor_perf, other_perf);
+
+        // Pack: among surviving packings, choose the one that fits the
+        // most instances onto placement classes predicted to meet the
+        // goal. Parts host an instance only when their class prediction
+        // clears the goal.
+        let concerns = ConcernSet::for_machine(&self.machine);
+        let packings =
+            surviving_packings(&self.machine, &concerns, self.vcpus).expect("scenario is feasible");
+        let mut best: Option<(usize, Vec<PlacementSpec>)> = None;
+        for packing in &packings {
+            let mut specs = Vec::new();
+            for part in &packing.parts {
+                if part.len() * self.machine.node_capacity() < self.vcpus {
+                    continue;
+                }
+                for ip in &self.placements {
+                    if ip.spec.num_nodes() != part.len() {
+                        continue;
+                    }
+                    let candidate = PlacementSpec::new(
+                        self.vcpus,
+                        part.clone(),
+                        ip.spec.l3_groups_used,
+                        ip.spec.l2_groups_used,
+                    );
+                    if candidate.validate(&self.machine).is_err() {
+                        continue;
+                    }
+                    let scores = concerns.score_vector(&self.machine, &candidate);
+                    let matches = ip
+                        .scores
+                        .iter()
+                        .zip(&scores)
+                        .all(|(a, b)| (a - b).abs() <= 1e-9);
+                    if matches && predicted[ip.id - 1] >= goal {
+                        specs.push(candidate);
+                        break;
+                    }
+                }
+            }
+            let better = match &best {
+                None => true,
+                Some((n, _)) => specs.len() > *n,
+            };
+            if better {
+                best = Some((specs.len(), specs));
+            }
+        }
+        let (_, specs) = best.expect("at least one packing");
+
+        // Fall back to the best predicted placement when nothing is
+        // predicted to meet the goal (the operator still runs one
+        // instance; violations will show).
+        let specs = if specs.is_empty() {
+            let best_ip = self
+                .placements
+                .iter()
+                .max_by(|a, b| {
+                    predicted[a.id - 1]
+                        .partial_cmp(&predicted[b.id - 1])
+                        .expect("finite predictions")
+                })
+                .expect("non-empty placements");
+            vec![best_ip.spec.clone()]
+        } else {
+            specs
+        };
+
+        let assignments: Vec<Vec<ThreadId>> = specs
+            .iter()
+            .map(|s| assign_vcpus(&self.machine, s).expect("validated spec"))
+            .collect();
+        let violation = self.measure_violation(&assignments, goal, seed);
+        PolicyOutcome {
+            policy: Policy::Ml,
+            goal_frac,
+            instances: assignments.len(),
+            violation_pct: violation,
+        }
+    }
+
+    fn eval_unpinned(
+        &self,
+        instances: usize,
+        goal: f64,
+        goal_frac: f64,
+        seed: u64,
+        policy: Policy,
+    ) -> PolicyOutcome {
+        let sizes = vec![self.vcpus; instances];
+        let mut total = 0.0;
+        for s in 0..self.os_samples {
+            let assignments =
+                linux_like_assignments(&self.machine, &sizes, seed.wrapping_add(s * 7919));
+            total += self.measure_violation(&assignments, goal, seed.wrapping_add(s));
+        }
+        PolicyOutcome {
+            policy,
+            goal_frac,
+            instances,
+            violation_pct: total / self.os_samples as f64,
+        }
+    }
+
+    fn eval_smart(&self, goal: f64, goal_frac: f64, seed: u64) -> PolicyOutcome {
+        // Best minimum node sets: the packing into minimum-size parts
+        // whose sorted interconnect vector is lexicographically largest
+        // from the bottom (max-min).
+        let m = self.min_nodes();
+        let concerns = ConcernSet::for_machine(&self.machine);
+        let packings =
+            surviving_packings(&self.machine, &concerns, self.vcpus).expect("scenario is feasible");
+        let all_min: Vec<_> = packings
+            .iter()
+            .filter(|p| p.parts.iter().all(|part| part.len() == m))
+            .collect();
+        let best = all_min
+            .into_iter()
+            .max_by(|a, b| {
+                let ica = min_ic(&self.machine, a);
+                let icb = min_ic(&self.machine, b);
+                ica.partial_cmp(&icb).expect("finite scores")
+            })
+            .expect("a minimum-size packing always exists");
+        let l2 = self.vcpus.div_ceil(self.machine.l2_capacity()).max(m);
+        let assignments: Vec<Vec<ThreadId>> = best
+            .parts
+            .iter()
+            .map(|part| {
+                let spec = PlacementSpec::on_nodes(self.vcpus, part.clone(), l2);
+                assign_vcpus(&self.machine, &spec).expect("minimum placement is valid")
+            })
+            .collect();
+        let violation = self.measure_violation(&assignments, goal, seed);
+        PolicyOutcome {
+            policy: Policy::SmartAggressive,
+            goal_frac,
+            instances: assignments.len(),
+            violation_pct: violation,
+        }
+    }
+}
+
+fn min_ic(machine: &Machine, packing: &vc_core::packing::Packing) -> f64 {
+    packing
+        .parts
+        .iter()
+        .map(|p| vc_topology::stream::aggregate_bandwidth(machine.interconnect(), p))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+
+    fn amd_scenario(workload: &str) -> PackingScenario {
+        PackingScenario::new(machines::amd_opteron_6272(), 16, workload, 0, 7)
+    }
+
+    #[test]
+    fn conservative_packs_one_instance() {
+        let s = amd_scenario("WTbtree");
+        let o = s.evaluate(Policy::Conservative, 0.9, 1);
+        assert_eq!(o.instances, 1);
+    }
+
+    #[test]
+    fn aggressive_packs_the_machine_full() {
+        let s = amd_scenario("WTbtree");
+        let o = s.evaluate(Policy::Aggressive, 1.0, 1);
+        assert_eq!(o.instances, 4); // 64 threads / 16 vCPUs
+    }
+
+    #[test]
+    fn smart_aggressive_pins_disjoint_min_sets() {
+        let s = amd_scenario("WTbtree");
+        let o = s.evaluate(Policy::SmartAggressive, 1.0, 1);
+        assert_eq!(o.instances, 4);
+    }
+
+    #[test]
+    fn ml_meets_goals_that_aggressive_violates() {
+        let s = amd_scenario("WTbtree");
+        let ml = s.evaluate(Policy::Ml, 1.0, 2);
+        let agg = s.evaluate(Policy::Aggressive, 1.0, 2);
+        assert!(
+            ml.violation_pct <= 2.0,
+            "ML violates its goal: {}",
+            ml.violation_pct
+        );
+        assert!(
+            agg.violation_pct > ml.violation_pct,
+            "aggressive {} vs ml {}",
+            agg.violation_pct,
+            ml.violation_pct
+        );
+    }
+
+    #[test]
+    fn ml_packs_more_at_laxer_goals() {
+        let s = amd_scenario("WTbtree");
+        let strict = s.evaluate(Policy::Ml, 1.1, 3);
+        let lax = s.evaluate(Policy::Ml, 0.9, 3);
+        assert!(lax.instances >= strict.instances);
+        assert!(lax.instances >= 2, "lax goal packs {}", lax.instances);
+    }
+
+    #[test]
+    fn ml_beats_conservative_on_packing_density() {
+        let s = amd_scenario("swaptions");
+        let ml = s.evaluate(Policy::Ml, 0.9, 4);
+        let cons = s.evaluate(Policy::Conservative, 0.9, 4);
+        assert!(ml.instances > cons.instances);
+    }
+}

@@ -1,0 +1,78 @@
+//! Deterministic measurement noise.
+//!
+//! Real measurements vary run to run; the paper's training data are
+//! repeated executions. Noise here is a pure function of (workload,
+//! placement, seed, stream) so every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use vc_topology::ThreadId;
+
+/// Builds a seeded RNG from a workload name, an assignment and a run
+/// seed. Identical inputs always produce the identical RNG.
+pub fn measurement_rng(workload: &str, assignment: &[ThreadId], seed: u64, stream: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in workload.bytes() {
+        mix(b as u64);
+    }
+    for t in assignment {
+        mix(t.index() as u64 + 0x9e37);
+    }
+    mix(seed);
+    mix(stream);
+    StdRng::seed_from_u64(h)
+}
+
+/// A multiplicative noise factor around 1.0 with relative spread `sigma`
+/// (uniform in `[1-sigma, 1+sigma]`; measurement jitter, not heavy
+/// tails).
+pub fn noise_factor(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    1.0 + rng.random_range(-sigma..sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_noise() {
+        let a: Vec<ThreadId> = (0..4).map(ThreadId).collect();
+        let mut r1 = measurement_rng("wt", &a, 3, 0);
+        let mut r2 = measurement_rng("wt", &a, 3, 0);
+        assert_eq!(noise_factor(&mut r1, 0.05), noise_factor(&mut r2, 0.05));
+    }
+
+    #[test]
+    fn different_seed_changes_noise() {
+        let a: Vec<ThreadId> = (0..4).map(ThreadId).collect();
+        let mut r1 = measurement_rng("wt", &a, 3, 0);
+        let mut r2 = measurement_rng("wt", &a, 4, 0);
+        assert_ne!(noise_factor(&mut r1, 0.05), noise_factor(&mut r2, 0.05));
+    }
+
+    #[test]
+    fn zero_sigma_is_exactly_one() {
+        let a: Vec<ThreadId> = (0..2).map(ThreadId).collect();
+        let mut r = measurement_rng("x", &a, 0, 0);
+        assert_eq!(noise_factor(&mut r, 0.0), 1.0);
+    }
+
+    #[test]
+    fn noise_is_bounded_by_sigma() {
+        let a: Vec<ThreadId> = (0..2).map(ThreadId).collect();
+        let mut r = measurement_rng("y", &a, 1, 2);
+        for _ in 0..100 {
+            let f = noise_factor(&mut r, 0.02);
+            assert!((0.98..=1.02).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! [`vc_core::model::PerfOracle`] implementation backed by the simulator.
+
+use vc_core::assign::assign_vcpus;
+use vc_core::model::PerfOracle;
+use vc_core::placement::PlacementSpec;
+use vc_topology::Machine;
+use vc_workloads::{generator, suite, Workload};
+
+use crate::engine::{simulate, ContainerRun, SimConfig};
+use crate::hpe;
+use crate::noise::measurement_rng;
+
+/// A performance oracle for one machine: resolves workload names against
+/// the paper suite (plus optional extra workloads) and simulates each
+/// requested (workload, placement) measurement.
+pub struct SimOracle {
+    machine: Machine,
+    workloads: Vec<Workload>,
+    config: SimConfig,
+}
+
+impl SimOracle {
+    /// Oracle over the paper suite on `machine`.
+    pub fn new(machine: Machine) -> Self {
+        SimOracle {
+            machine,
+            workloads: suite::paper_suite(),
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Oracle over the paper suite plus `extra_synthetic` generated
+    /// workloads (a larger training corpus).
+    pub fn with_synthetic(machine: Machine, extra_synthetic: usize, seed: u64) -> Self {
+        let mut workloads = suite::paper_suite();
+        workloads.extend(generator::training_corpus(extra_synthetic, seed));
+        SimOracle {
+            machine,
+            workloads,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Overrides the simulator configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The machine this oracle simulates.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// All workloads the oracle can resolve.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    fn workload(&self, name: &str) -> &Workload {
+        self.workloads
+            .iter()
+            .find(|w| w.name == name)
+            .unwrap_or_else(|| panic!("unknown workload {name}"))
+    }
+
+    /// Runs one container alone on the machine and returns its full
+    /// simulated performance.
+    pub fn run(&self, name: &str, spec: &PlacementSpec, seed: u64) -> crate::engine::ContainerPerf {
+        let workload = self.workload(name).clone();
+        let assignment = assign_vcpus(&self.machine, spec)
+            .unwrap_or_else(|e| panic!("invalid placement for {name}: {e}"));
+        let result = simulate(
+            &self.machine,
+            &[ContainerRun {
+                workload,
+                assignment,
+            }],
+            &self.config,
+            seed,
+        );
+        result
+            .per_container
+            .into_iter()
+            .next()
+            .expect("one container")
+    }
+}
+
+impl PerfOracle for SimOracle {
+    fn perf(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> f64 {
+        self.run(workload, spec, seed).metric_value
+    }
+
+    fn hpes(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> Vec<f64> {
+        let perf = self.run(workload, spec, seed);
+        let w = self.workload(workload);
+        let assignment = assign_vcpus(&self.machine, spec).expect("validated in run");
+        let mut rng = measurement_rng(workload, &assignment, seed, 2);
+        hpe::synthesise(w, &perf, &mut rng, self.config.hpe_noise)
+    }
+
+    fn hpe_names(&self) -> Vec<String> {
+        hpe::hpe_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+    use vc_topology::NodeId;
+
+    #[test]
+    fn oracle_resolves_suite_workloads() {
+        let o = SimOracle::new(machines::amd_opteron_6272());
+        let spec = PlacementSpec::on_nodes(16, vec![NodeId(0), NodeId(1)], 8);
+        let p = o.perf("blast", &spec, 0);
+        assert!(p > 0.0);
+    }
+
+    #[test]
+    fn oracle_is_deterministic_per_seed() {
+        let o = SimOracle::new(machines::amd_opteron_6272());
+        let spec = PlacementSpec::on_nodes(16, vec![NodeId(2), NodeId(4)], 8);
+        assert_eq!(o.perf("wc", &spec, 5), o.perf("wc", &spec, 5));
+        assert_ne!(o.perf("wc", &spec, 5), o.perf("wc", &spec, 6));
+    }
+
+    #[test]
+    fn hpes_have_consistent_arity() {
+        let o = SimOracle::new(machines::intel_xeon_e7_4830_v3());
+        let spec = PlacementSpec::on_nodes(24, vec![NodeId(0)], 12);
+        let h = o.hpes("kmeans", &spec, 0);
+        assert_eq!(h.len(), o.hpe_names().len());
+    }
+
+    #[test]
+    fn synthetic_workloads_are_available() {
+        let o = SimOracle::with_synthetic(machines::amd_opteron_6272(), 4, 9);
+        let spec = PlacementSpec::on_nodes(16, vec![NodeId(0), NodeId(1)], 8);
+        assert!(o.perf("synth-0", &spec, 0) > 0.0);
+        assert_eq!(o.workloads().len(), 18 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let o = SimOracle::new(machines::amd_opteron_6272());
+        let spec = PlacementSpec::on_nodes(16, vec![NodeId(0), NodeId(1)], 8);
+        o.perf("nope", &spec, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! A CFS-like, NUMA-oblivious vCPU mapper.
+//!
+//! The paper's Conservative and Aggressive policies do not pin vCPUs;
+//! Linux "may map vCPUs unevenly to shared resources, causing unnecessary
+//! contention" (§7). This module samples such mappings: load is balanced
+//! over cores (idle cores first, SMT siblings second) but node and cache
+//! boundaries are ignored.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use vc_topology::{Machine, ThreadId};
+
+/// Maps the vCPUs of several containers onto the machine the way a
+/// NUMA-oblivious load balancer would: every vCPU gets its own hardware
+/// thread, distinct cores are preferred over SMT siblings, but the choice
+/// of node/cache is arbitrary.
+///
+/// Returns one assignment per container, in input order.
+///
+/// # Panics
+///
+/// Panics if the total vCPU count exceeds the machine's hardware threads.
+pub fn linux_like_assignments(
+    machine: &Machine,
+    vcpus_per_container: &[usize],
+    seed: u64,
+) -> Vec<Vec<ThreadId>> {
+    let total: usize = vcpus_per_container.iter().sum();
+    assert!(
+        total <= machine.num_threads(),
+        "{total} vCPUs exceed {} hardware threads",
+        machine.num_threads()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Shuffle cores, then take thread 0 of each core, then thread 1, ...
+    // — the "fill idle cores first" behaviour of a load balancer without
+    // any topology awareness across cores.
+    let mut cores: Vec<usize> = (0..machine.num_cores()).collect();
+    cores.shuffle(&mut rng);
+    let mut pool: Vec<ThreadId> = Vec::with_capacity(machine.num_threads());
+    for sibling in 0..machine.smt_ways() {
+        for &c in &cores {
+            let threads = &machine.cores()[c].threads;
+            if sibling < threads.len() {
+                pool.push(threads[sibling]);
+            }
+        }
+    }
+
+    // Containers' vCPUs interleave in the pool order, mimicking arrival
+    // order mixing.
+    let mut out: Vec<Vec<ThreadId>> = vcpus_per_container.iter().map(|_| Vec::new()).collect();
+    let mut next = 0usize;
+    let mut remaining: Vec<usize> = vcpus_per_container.to_vec();
+    let mut turn = 0usize;
+    while remaining.iter().any(|&r| r > 0) {
+        let c = turn % remaining.len();
+        turn += 1;
+        if remaining[c] == 0 {
+            continue;
+        }
+        out[c].push(pool[next]);
+        next += 1;
+        remaining[c] -= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+
+    #[test]
+    fn assignments_are_disjoint_and_complete() {
+        let amd = machines::amd_opteron_6272();
+        let asg = linux_like_assignments(&amd, &[16, 16, 16], 7);
+        assert_eq!(asg.len(), 3);
+        let mut seen = vec![false; amd.num_threads()];
+        for a in &asg {
+            assert_eq!(a.len(), 16);
+            for &t in a {
+                assert!(!seen[t.index()]);
+                seen[t.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn cores_fill_before_smt_siblings() {
+        let intel = machines::intel_xeon_e7_4830_v3();
+        // 48 vCPUs on a 48-core machine: every vCPU must land on a
+        // distinct core.
+        let asg = linux_like_assignments(&intel, &[48], 3);
+        let mut cores: Vec<_> = asg[0].iter().map(|&t| intel.thread(t).core).collect();
+        cores.sort();
+        cores.dedup();
+        assert_eq!(cores.len(), 48);
+    }
+
+    #[test]
+    fn mapping_is_numa_oblivious() {
+        // Across seeds, the per-node counts of a 16-vCPU container on the
+        // AMD machine should vary (Linux might even split 9/7).
+        let amd = machines::amd_opteron_6272();
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..10 {
+            let asg = linux_like_assignments(&amd, &[16], seed);
+            let mut counts = vec![0usize; amd.num_nodes()];
+            for &t in &asg[0] {
+                counts[amd.thread(t).node.index()] += 1;
+            }
+            distinct.insert(counts);
+        }
+        assert!(distinct.len() > 3, "mappings suspiciously uniform");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let amd = machines::amd_opteron_6272();
+        assert_eq!(
+            linux_like_assignments(&amd, &[16, 16], 5),
+            linux_like_assignments(&amd, &[16, 16], 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversubscription_panics() {
+        let amd = machines::amd_opteron_6272();
+        linux_like_assignments(&amd, &[40, 40], 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Strongly typed identifiers for topology components.
+//!
+//! All identifiers are dense indices into the corresponding `Vec` inside
+//! [`crate::Machine`], so they can be used for direct slice indexing while
+//! still preventing accidental cross-component mixups at compile time.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $short:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $short, self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a NUMA node (one memory controller + local DRAM).
+    NodeId,
+    "N"
+);
+define_id!(
+    /// Identifier of an L3 cache group (an L3 cache and the cores under it).
+    ///
+    /// On most machines there is exactly one L3 group per NUMA node; on
+    /// Zen-like machines a node contains several core complexes, each with
+    /// its own L3.
+    L3GroupId,
+    "L3."
+);
+define_id!(
+    /// Identifier of an L2 cache group.
+    ///
+    /// On AMD Bulldozer-family machines an L2 group is a *module* of two
+    /// cores sharing the L2, instruction front-end and FPU. On Intel
+    /// machines the L2 is private to a core, so the L2 group coincides with
+    /// the core and is shared only via SMT.
+    L2GroupId,
+    "L2."
+);
+define_id!(
+    /// Identifier of a physical core.
+    CoreId,
+    "C"
+);
+define_id!(
+    /// Identifier of a hardware thread (SMT context).
+    ThreadId,
+    "T"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NodeId(3).to_string(), "N3");
+        assert_eq!(L3GroupId(1).to_string(), "L3.1");
+        assert_eq!(L2GroupId(7).to_string(), "L2.7");
+        assert_eq!(CoreId(0).to_string(), "C0");
+        assert_eq!(ThreadId(63).to_string(), "T63");
+    }
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let n: NodeId = 5.into();
+        assert_eq!(n.index(), 5);
+        assert_eq!(NodeId::from(n.index()), n);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ThreadId(10) > ThreadId(9));
+    }
+}

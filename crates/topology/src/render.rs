@@ -1,0 +1,98 @@
+//! Textual rendering of machine descriptions (the repo's stand-in for the
+//! paper's Figure 2).
+
+use std::fmt::Write as _;
+
+use crate::machine::Machine;
+use crate::stream;
+
+/// Renders a one-screen summary of a machine: hierarchy counts, cache
+/// sizes, and the interconnect link list with bandwidths.
+pub fn render_machine(m: &Machine) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", m.name());
+    let _ = writeln!(
+        out,
+        "  {} nodes x {} hw threads ({} cores, {} L2 groups, {} L3 groups, {:.1} GHz)",
+        m.num_nodes(),
+        m.node_capacity(),
+        m.num_cores(),
+        m.num_l2_groups(),
+        m.num_l3_groups(),
+        m.clock_ghz(),
+    );
+    let _ = writeln!(
+        out,
+        "  L2 {:.2} MiB shared by {} hw threads; L3 {:.1} MiB shared by {} hw threads",
+        m.caches().l2_size_mib,
+        m.l2_capacity(),
+        m.caches().l3_size_mib,
+        m.l3_capacity(),
+    );
+    let _ = writeln!(
+        out,
+        "  DRAM {:.1} GB/s per node; SMT ways {}; cores per L2 group {}",
+        m.nodes()[0].dram_bw_gbs,
+        m.smt_ways(),
+        m.cores_per_l2(),
+    );
+    let _ = writeln!(
+        out,
+        "  interconnect ({} links):",
+        m.interconnect().links().len()
+    );
+    for l in m.interconnect().links() {
+        let _ = writeln!(out, "    {} -- {}  {:>6.2} GB/s", l.a, l.b, l.bandwidth_gbs);
+    }
+    out
+}
+
+/// Renders the measured pairwise bandwidth matrix (GB/s), the simulated
+/// equivalent of running `stream` on every node pair.
+pub fn render_bandwidth_matrix(m: &Machine) -> String {
+    let n = m.num_nodes();
+    let ic = m.interconnect();
+    let mut out = String::new();
+    let _ = write!(out, "      ");
+    for b in 0..n {
+        let _ = write!(out, "  N{b:<4}");
+    }
+    let _ = writeln!(out);
+    for a in 0..n {
+        let _ = write!(out, "  N{a:<3}");
+        for b in 0..n {
+            if a == b {
+                let _ = write!(out, "  {:>5}", "-");
+            } else {
+                let bw = stream::pair_bandwidth(ic, a.into(), b.into());
+                let _ = write!(out, "  {bw:>5.2}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn render_contains_key_facts() {
+        let m = machines::amd_opteron_6272();
+        let s = render_machine(&m);
+        assert!(s.contains("8 nodes"));
+        assert!(s.contains("64 cores"));
+        assert!(s.contains("interconnect (18 links)"));
+    }
+
+    #[test]
+    fn bandwidth_matrix_is_square_and_symmetric_text() {
+        let m = machines::tiny_two_node();
+        let s = render_bandwidth_matrix(&m);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 rows
+        assert!(lines[1].contains("6.40"));
+    }
+}

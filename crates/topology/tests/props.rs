@@ -1,0 +1,103 @@
+//! Property tests for topology and stream-measurement invariants.
+
+use proptest::prelude::*;
+use vc_topology::stream::{aggregate_bandwidth, pair_bandwidth};
+use vc_topology::{Interconnect, NodeId};
+
+/// A random connected-ish interconnect over n nodes.
+fn arb_interconnect() -> impl Strategy<Value = Interconnect> {
+    (
+        2usize..=8,
+        proptest::collection::vec((0usize..8, 0usize..8, 1u32..100), 1..16),
+    )
+        .prop_map(|(n, edges)| {
+            let mut ic = Interconnect::new(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a % n, b % n);
+                if a != b && ic.link_between(NodeId(a), NodeId(b)).is_none() {
+                    ic.add_link(NodeId(a), NodeId(b), w as f64 / 10.0);
+                }
+            }
+            ic
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hops_are_symmetric(ic in arb_interconnect()) {
+        let n = ic.num_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(ic.hops(NodeId(a), NodeId(b)), ic.hops(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_bandwidth_is_symmetric(ic in arb_interconnect()) {
+        let n = ic.num_nodes();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let ab = pair_bandwidth(&ic, NodeId(a), NodeId(b));
+                let ba = pair_bandwidth(&ic, NodeId(b), NodeId(a));
+                prop_assert!((ab - ba).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_pair_bandwidth_equals_link_width(ic in arb_interconnect()) {
+        for l in ic.links() {
+            let bw = pair_bandwidth(&ic, l.a, l.b);
+            prop_assert!((bw - l.bandwidth_gbs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn aggregate_is_monotone_in_subset_growth_for_cliques(n in 2usize..=6, w in 1u32..50) {
+        // On a uniform full mesh, adding a node to the measured set never
+        // reduces the aggregate (every new pair gets its own link).
+        let mut ic = Interconnect::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                ic.add_link(NodeId(a), NodeId(b), w as f64);
+            }
+        }
+        let mut prev = 0.0;
+        for k in 2..=n {
+            let subset: Vec<NodeId> = (0..k).map(NodeId).collect();
+            let agg = aggregate_bandwidth(&ic, &subset);
+            prop_assert!(agg >= prev - 1e-9);
+            prev = agg;
+        }
+    }
+
+    #[test]
+    fn aggregate_never_exceeds_internal_capacity(ic in arb_interconnect(), mask in 1u32..255) {
+        let nodes: Vec<NodeId> = (0..ic.num_nodes())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(NodeId)
+            .collect();
+        let agg = aggregate_bandwidth(&ic, &nodes);
+        let internal = ic.internal_link_sum(&nodes);
+        prop_assert!(agg <= internal + 1e-9, "agg {agg} > internal {internal}");
+    }
+
+    #[test]
+    fn scaling_preserves_subset_ordering(ic in arb_interconnect(), factor in 1u32..40) {
+        let n = ic.num_nodes();
+        prop_assume!(n >= 4);
+        let s1: Vec<NodeId> = vec![NodeId(0), NodeId(1)];
+        let s2: Vec<NodeId> = vec![NodeId(2), NodeId(3)];
+        let a1 = aggregate_bandwidth(&ic, &s1);
+        let a2 = aggregate_bandwidth(&ic, &s2);
+        let mut scaled = ic.clone();
+        scaled.scale_bandwidths(factor as f64 / 10.0);
+        let b1 = aggregate_bandwidth(&scaled, &s1);
+        let b2 = aggregate_bandwidth(&scaled, &s2);
+        prop_assert_eq!(a1 < a2, b1 < b2);
+        prop_assert_eq!(a1 > a2, b1 > b2);
+    }
+}

@@ -1,0 +1,170 @@
+//! The behavioural parameter vector describing one workload.
+
+use std::fmt;
+
+/// How the workload reports performance at runtime (§5: any online metric
+/// works — IPC, transactions per second, or an application metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Application operations per second (databases, key-value stores).
+    OpsPerSecond,
+    /// Instructions per cycle (batch/HPC workloads without an
+    /// application-level counter).
+    Ipc,
+}
+
+/// Behavioural description of a containerised workload.
+///
+/// All rate parameters are per-thread steady-state values; the simulator
+/// derives placement-dependent performance from them.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (paper's benchmark name).
+    pub name: String,
+    /// Family for leave-group-out cross-validation (e.g. both Spark jobs
+    /// share a family).
+    pub family: String,
+    /// Base IPC per thread with private caches and no contention.
+    pub ipc_base: f64,
+    /// Post-L1 memory accesses per kilo-instruction.
+    pub mem_per_kinst: f64,
+    /// Hot per-thread working set at L2 granularity (MiB).
+    pub ws_l2_mib: f64,
+    /// Private per-thread working set at L3/DRAM granularity (MiB).
+    pub ws_private_mib: f64,
+    /// Working set shared by all threads of the container (MiB).
+    pub ws_shared_mib: f64,
+    /// Cross-thread communication events per kilo-instruction (cache-line
+    /// transfers from another thread's cache).
+    pub comm_per_kinst: f64,
+    /// Combined throughput of two vCPUs sharing an SMT core, relative to
+    /// one vCPU alone (1.0 = no benefit, 2.0 = perfect scaling; above 2.0
+    /// the pair outruns two exclusive cores — shared-stream prefetching,
+    /// the paper's "inverse relationship with performance").
+    pub smt_pair_speedup: f64,
+    /// Combined throughput of two vCPUs on the two cores of a
+    /// Bulldozer-style module (shared front-end/L2/FPU), relative to one
+    /// vCPU alone.
+    pub cmt_pair_speedup: f64,
+    /// Memory-level parallelism: fraction of memory stall latency hidden
+    /// by overlapping misses (0 = fully exposed, 0.9 = mostly hidden).
+    pub mlp: f64,
+    /// Fraction of L3-miss latency removed by cooperative sharing when
+    /// all threads share one L3 (scaled down with spreading).
+    pub coop_prefetch: f64,
+    /// Anonymous (process) memory of the container in GB (Table 2).
+    pub anon_gb: f64,
+    /// Page-cache footprint of the container in GB (Table 2).
+    pub page_cache_gb: f64,
+    /// Number of OS processes in the container (Table 2 discussion:
+    /// per-task migration overhead).
+    pub processes: usize,
+    /// Performance metric reported online.
+    pub metric: Metric,
+    /// Instructions per application operation (converts instruction
+    /// throughput to ops/s for [`Metric::OpsPerSecond`] workloads).
+    pub inst_per_op: f64,
+}
+
+impl Workload {
+    /// Total memory footprint in GB (anonymous + page cache), the
+    /// quantity migrated in Table 2.
+    pub fn memory_gb(&self) -> f64 {
+        self.anon_gb + self.page_cache_gb
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks: [(&str, f64, f64, f64); 9] = [
+            ("ipc_base", self.ipc_base, 0.05, 8.0),
+            ("mem_per_kinst", self.mem_per_kinst, 0.0, 400.0),
+            ("comm_per_kinst", self.comm_per_kinst, 0.0, 100.0),
+            ("smt_pair_speedup", self.smt_pair_speedup, 1.0, 2.4),
+            ("cmt_pair_speedup", self.cmt_pair_speedup, 1.0, 2.4),
+            ("mlp", self.mlp, 0.0, 0.95),
+            ("coop_prefetch", self.coop_prefetch, 0.0, 0.9),
+            ("anon_gb", self.anon_gb, 0.0, 1024.0),
+            ("page_cache_gb", self.page_cache_gb, 0.0, 1024.0),
+        ];
+        for (name, v, lo, hi) in checks {
+            if !(lo..=hi).contains(&v) || !v.is_finite() {
+                return Err(format!("{name}={v} outside [{lo}, {hi}]"));
+            }
+        }
+        if self.processes == 0 {
+            return Err("processes must be >= 1".to_string());
+        }
+        if self.inst_per_op <= 0.0 {
+            return Err("inst_per_op must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (family {}, {:.1} GB, mem {:.0}/kinst, comm {:.1}/kinst)",
+            self.name,
+            self.family,
+            self.memory_gb(),
+            self.mem_per_kinst,
+            self.comm_per_kinst
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Workload {
+        Workload {
+            name: "test".into(),
+            family: "test".into(),
+            ipc_base: 1.0,
+            mem_per_kinst: 10.0,
+            ws_l2_mib: 0.2,
+            ws_private_mib: 2.0,
+            ws_shared_mib: 8.0,
+            comm_per_kinst: 1.0,
+            smt_pair_speedup: 1.3,
+            cmt_pair_speedup: 1.6,
+            mlp: 0.4,
+            coop_prefetch: 0.2,
+            anon_gb: 1.0,
+            page_cache_gb: 0.5,
+            processes: 1,
+            metric: Metric::Ipc,
+            inst_per_op: 10_000.0,
+        }
+    }
+
+    #[test]
+    fn valid_workload_passes() {
+        base().validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_parameters_are_rejected() {
+        let mut w = base();
+        w.smt_pair_speedup = 2.6;
+        assert!(w.validate().is_err());
+        let mut w = base();
+        w.mlp = -0.1;
+        assert!(w.validate().is_err());
+        let mut w = base();
+        w.processes = 0;
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn memory_gb_sums_anon_and_cache() {
+        assert!((base().memory_gb() - 1.5).abs() < 1e-12);
+    }
+}

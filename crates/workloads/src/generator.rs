@@ -1,0 +1,91 @@
+//! Synthetic workload generator.
+//!
+//! Samples workloads from the same parameter space as the paper suite.
+//! Used to enlarge training corpora (the paper trains on many executions)
+//! and by property tests that need arbitrary-but-valid workloads.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use crate::descriptor::{Metric, Workload};
+
+/// Samples one random, valid workload. The name doubles as its family, so
+/// generated workloads never leak into each other's cross-validation
+/// folds.
+pub fn random_workload(name: &str, rng: &mut StdRng) -> Workload {
+    let mem_per_kinst = rng.random_range(1.0..60.0);
+    let w = Workload {
+        name: name.to_string(),
+        family: name.to_string(),
+        ipc_base: rng.random_range(0.5..2.4),
+        mem_per_kinst,
+        ws_l2_mib: rng.random_range(0.05..0.4),
+        ws_private_mib: rng.random_range(0.2..16.0),
+        ws_shared_mib: rng.random_range(0.5..240.0),
+        comm_per_kinst: rng.random_range(0.0..7.0),
+        smt_pair_speedup: rng.random_range(1.05..1.8),
+        cmt_pair_speedup: rng.random_range(1.2..1.95),
+        mlp: rng.random_range(0.1..0.9),
+        coop_prefetch: rng.random_range(0.0..0.4),
+        anon_gb: rng.random_range(0.05..32.0),
+        page_cache_gb: rng.random_range(0.0..24.0),
+        processes: rng.random_range(1..64),
+        metric: if rng.random_bool(0.3) {
+            Metric::OpsPerSecond
+        } else {
+            Metric::Ipc
+        },
+        inst_per_op: rng.random_range(10_000.0..2_000_000.0),
+    };
+    debug_assert!(w.validate().is_ok());
+    w
+}
+
+/// Generates a deterministic corpus of `n` synthetic workloads named
+/// `synth-0` … `synth-(n-1)`.
+pub fn training_corpus(n: usize, seed: u64) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| random_workload(&format!("synth-{i}"), &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = training_corpus(5, 42);
+        let b = training_corpus(5, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.ipc_base, y.ipc_base);
+            assert_eq!(x.mem_per_kinst, y.mem_per_kinst);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = training_corpus(3, 1);
+        let b = training_corpus(3, 2);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.ipc_base != y.ipc_base));
+    }
+
+    #[test]
+    fn every_generated_workload_validates() {
+        for w in training_corpus(100, 7) {
+            w.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn names_and_families_are_unique_per_index() {
+        let c = training_corpus(10, 3);
+        for (i, w) in c.iter().enumerate() {
+            assert_eq!(w.name, format!("synth-{i}"));
+            assert_eq!(w.family, w.name);
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! The paper's benchmark suite as behavioural descriptors.
+//!
+//! Memory footprints, page-cache shares and process counts come from
+//! Table 2 and its discussion (BLAST's migration overhead is 93 % page
+//! cache, TPC-C's 75 %, TPC-H's 62 %; TPC-C runs many processes). The
+//! behavioural parameters encode each benchmark's published character:
+//! kmeans is the one suite member that likes module sharing on AMD (§6),
+//! WiredTiger's B-tree search is dominated by inter-thread communication
+//! latency (§6), streamcluster is extremely memory-bandwidth bound,
+//! swaptions is pure compute, ft.C stresses DRAM bandwidth and the FPU.
+//!
+//! Pair-speedup conventions: `smt_pair_speedup` (resp. `cmt`) is the
+//! combined throughput of two vCPUs sharing an SMT core (resp. a
+//! Bulldozer module) relative to a single vCPU running alone. Streaming,
+//! stall-heavy workloads approach 1.9 (sharing is nearly free); pure
+//! compute sits near 1.3.
+
+use crate::descriptor::{Metric, Workload};
+
+macro_rules! workload {
+    ($name:expr, $family:expr, $ipc:expr, $mem:expr, $l2:expr, $priv_:expr, $sh:expr,
+     $comm:expr, $smt:expr, $cmt:expr, $mlp:expr, $coop:expr,
+     $anon:expr, $cache:expr, $procs:expr, $metric:expr, $ipo:expr) => {
+        Workload {
+            name: $name.to_string(),
+            family: $family.to_string(),
+            ipc_base: $ipc,
+            mem_per_kinst: $mem,
+            ws_l2_mib: $l2,
+            ws_private_mib: $priv_,
+            ws_shared_mib: $sh,
+            comm_per_kinst: $comm,
+            smt_pair_speedup: $smt,
+            cmt_pair_speedup: $cmt,
+            mlp: $mlp,
+            coop_prefetch: $coop,
+            anon_gb: $anon,
+            page_cache_gb: $cache,
+            processes: $procs,
+            metric: $metric,
+            inst_per_op: $ipo,
+        }
+    };
+}
+
+/// The full 18-workload suite of the paper's evaluation (§6, Table 2).
+pub fn paper_suite() -> Vec<Workload> {
+    use Metric::{Ipc, OpsPerSecond};
+    vec![
+        // BLAST: streaming scans over a large mostly-page-cache database.
+        workload!(
+            "blast", "blast", 1.4, 18.0, 1.5, 1.0, 48.0, 0.2, 1.7, 1.75, 0.75, 0.25, 1.3, 17.2, 4,
+            Ipc, 50_000.0
+        ),
+        // canneal: cache-hostile pointer chasing over a large graph.
+        workload!(
+            "canneal",
+            "parsec-canneal",
+            0.7,
+            45.0,
+            4.0,
+            12.0,
+            180.0,
+            1.0,
+            1.75,
+            1.7,
+            0.3,
+            0.1,
+            1.1,
+            0.0,
+            1,
+            Ipc,
+            50_000.0
+        ),
+        // fluidanimate: neighbour-exchange stencil, moderate communication.
+        workload!(
+            "fluidanimate",
+            "parsec-fluid",
+            1.6,
+            12.0,
+            0.3,
+            1.5,
+            24.0,
+            2.5,
+            1.55,
+            1.7,
+            0.45,
+            0.3,
+            0.7,
+            0.0,
+            1,
+            Ipc,
+            50_000.0
+        ),
+        // freqmine: FP-growth mining, cache-friendly trees.
+        workload!(
+            "freqmine",
+            "parsec-freqmine",
+            1.5,
+            14.0,
+            0.4,
+            2.5,
+            40.0,
+            0.8,
+            1.6,
+            1.75,
+            0.4,
+            0.2,
+            1.3,
+            0.0,
+            1,
+            Ipc,
+            50_000.0
+        ),
+        // gcc: parallel kernel compile, many independent processes.
+        workload!(
+            "gcc", "gcc", 1.1, 16.0, 0.5, 6.0, 12.0, 0.1, 1.65, 1.8, 0.5, 0.05, 0.8, 0.6, 2, Ipc,
+            50_000.0
+        ),
+        // kmeans: streaming map-reduce; the suite's one SMT lover (§6).
+        workload!(
+            "kmeans",
+            "metis-kmeans",
+            1.2,
+            30.0,
+            4.0,
+            0.5,
+            220.0,
+            0.3,
+            2.0,
+            2.3,
+            0.85,
+            0.35,
+            7.2,
+            0.0,
+            1,
+            Ipc,
+            50_000.0
+        ),
+        // pca: dense linear algebra over a large matrix.
+        workload!(
+            "pca",
+            "metis-pca",
+            1.3,
+            24.0,
+            2.0,
+            2.0,
+            150.0,
+            0.5,
+            1.6,
+            1.7,
+            0.7,
+            0.2,
+            12.0,
+            0.0,
+            1,
+            Ipc,
+            50_000.0
+        ),
+        // postgres-tpch: scan/join analytics, bandwidth hungry, big page
+        // cache.
+        workload!(
+            "postgres-tpch",
+            "postgres-tpch",
+            1.0,
+            28.0,
+            1.5,
+            4.0,
+            120.0,
+            0.6,
+            1.65,
+            1.7,
+            0.65,
+            0.15,
+            10.2,
+            16.6,
+            40,
+            OpsPerSecond,
+            2_000_000.0
+        ),
+        // postgres-tpcc: OLTP, lock handoffs, hundreds of processes.
+        workload!(
+            "postgres-tpcc",
+            "postgres-tpcc",
+            0.8,
+            22.0,
+            0.6,
+            2.5,
+            60.0,
+            5.0,
+            1.6,
+            1.6,
+            0.35,
+            0.2,
+            9.4,
+            28.3,
+            200,
+            OpsPerSecond,
+            400_000.0
+        ),
+        // spark-cc: connected components on LiveJournal.
+        workload!(
+            "spark-cc", "spark", 0.9, 26.0, 1.5, 8.0, 90.0, 1.8, 1.6, 1.7, 0.55, 0.15, 15.5, 1.5,
+            27, Ipc, 500_000.0
+        ),
+        // spark-pr-lj: PageRank on LiveJournal.
+        workload!(
+            "spark-pr-lj",
+            "spark",
+            0.85,
+            30.0,
+            1.5,
+            9.0,
+            100.0,
+            2.2,
+            1.55,
+            1.65,
+            0.5,
+            0.15,
+            15.6,
+            1.5,
+            26,
+            OpsPerSecond,
+            500_000.0
+        ),
+        // streamcluster: extreme DRAM-bandwidth sensitivity.
+        workload!(
+            "streamcluster",
+            "parsec-stream",
+            0.9,
+            60.0,
+            8.0,
+            0.3,
+            110.0,
+            0.4,
+            1.9,
+            1.85,
+            0.9,
+            0.1,
+            0.1,
+            0.0,
+            1,
+            Ipc,
+            50_000.0
+        ),
+        // swaptions: pure compute Monte-Carlo; placement-insensitive.
+        workload!(
+            "swaptions",
+            "parsec-swaptions",
+            2.2,
+            1.2,
+            0.05,
+            0.2,
+            0.5,
+            0.05,
+            1.3,
+            1.85,
+            0.5,
+            0.0,
+            0.01,
+            0.0,
+            1,
+            Ipc,
+            50_000.0
+        ),
+        // ft.C: NAS FFT — DRAM bandwidth plus FPU pressure (module
+        // sharing hurts).
+        workload!(
+            "ft.C", "nas-ft", 1.1, 42.0, 4.0, 14.0, 80.0, 1.2, 1.55, 1.4, 0.8, 0.1, 5.0, 0.0, 1,
+            Ipc, 50_000.0
+        ),
+        // dc.B: NAS data cube, I/O and cache heavy.
+        workload!(
+            "dc.B", "nas-dc", 0.8, 20.0, 1.0, 10.0, 60.0, 0.4, 1.6, 1.7, 0.45, 0.1, 15.0, 12.3, 1,
+            Ipc, 50_000.0
+        ),
+        // wc: Metis wordcount over a big in-memory corpus.
+        workload!(
+            "wc",
+            "metis-text",
+            1.3,
+            22.0,
+            2.0,
+            1.2,
+            140.0,
+            0.5,
+            1.7,
+            1.8,
+            0.75,
+            0.3,
+            14.0,
+            1.4,
+            1,
+            Ipc,
+            50_000.0
+        ),
+        // wr: Metis word-reverse-index, same family as wc.
+        workload!(
+            "wr",
+            "metis-text",
+            1.25,
+            23.0,
+            2.0,
+            1.4,
+            150.0,
+            0.6,
+            1.65,
+            1.75,
+            0.7,
+            0.3,
+            15.6,
+            1.5,
+            1,
+            Ipc,
+            50_000.0
+        ),
+        // WTbtree: WiredTiger B-tree search — inter-thread communication
+        // latency dominates (§6); large page cache (Table 2).
+        workload!(
+            "WTbtree",
+            "wiredtiger",
+            1.0,
+            16.0,
+            0.3,
+            2.0,
+            14.0,
+            7.0,
+            1.5,
+            1.25,
+            0.25,
+            0.1,
+            12.0,
+            24.3,
+            1,
+            OpsPerSecond,
+            15_000.0
+        ),
+    ]
+}
+
+/// Looks up a suite workload by name.
+pub fn workload_by_name(name: &str) -> Option<Workload> {
+    paper_suite().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eighteen_workloads() {
+        assert_eq!(paper_suite().len(), 18); // Table 2 rows
+    }
+
+    #[test]
+    fn every_workload_validates() {
+        for w in paper_suite() {
+            w.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn memory_footprints_match_table_2() {
+        // Spot-check the Table 2 "Memory (GB)" column.
+        let expect = [
+            ("blast", 18.5),
+            ("canneal", 1.1),
+            ("fluidanimate", 0.7),
+            ("kmeans", 7.2),
+            ("postgres-tpch", 26.8),
+            ("postgres-tpcc", 37.7),
+            ("spark-cc", 17.0),
+            ("streamcluster", 0.1),
+            ("swaptions", 0.01),
+            ("ft.C", 5.0),
+            ("dc.B", 27.3),
+            ("WTbtree", 36.3),
+        ];
+        for (name, gb) in expect {
+            let w = workload_by_name(name).unwrap();
+            assert!(
+                (w.memory_gb() - gb).abs() < 0.15,
+                "{name}: {} != {gb}",
+                w.memory_gb()
+            );
+        }
+    }
+
+    #[test]
+    fn page_cache_shares_follow_the_paper() {
+        // §7: page cache dominates BLAST (93 %), TPC-C (75 %), TPC-H
+        // (62 %) migration overhead.
+        let blast = workload_by_name("blast").unwrap();
+        assert!(blast.page_cache_gb / blast.memory_gb() > 0.85);
+        let tpcc = workload_by_name("postgres-tpcc").unwrap();
+        assert!(tpcc.page_cache_gb / tpcc.memory_gb() > 0.65);
+        let tpch = workload_by_name("postgres-tpch").unwrap();
+        assert!(tpch.page_cache_gb / tpch.memory_gb() > 0.5);
+    }
+
+    #[test]
+    fn tpcc_has_many_processes() {
+        assert!(workload_by_name("postgres-tpcc").unwrap().processes >= 100);
+    }
+
+    #[test]
+    fn kmeans_is_the_module_sharing_outlier() {
+        let suite = paper_suite();
+        let kmeans = suite.iter().find(|w| w.name == "kmeans").unwrap();
+        for w in &suite {
+            if w.name != "kmeans" {
+                assert!(w.cmt_pair_speedup < kmeans.cmt_pair_speedup);
+            }
+        }
+    }
+
+    #[test]
+    fn spark_workloads_share_a_family() {
+        let cc = workload_by_name("spark-cc").unwrap();
+        let pr = workload_by_name("spark-pr-lj").unwrap();
+        assert_eq!(cc.family, pr.family);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = paper_suite();
+        for i in 0..suite.len() {
+            for j in i + 1..suite.len() {
+                assert_ne!(suite[i].name, suite[j].name);
+            }
+        }
+    }
+}

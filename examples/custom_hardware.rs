@@ -1,0 +1,83 @@
+//! Porting the model to new hardware (§8): describe a Zen-like machine —
+//! where L3 sharing is separate from memory-controller sharing — and get
+//! its concern set and important placements without any manual modelling.
+//!
+//! ```sh
+//! cargo run --release --example custom_hardware
+//! ```
+
+use vcplace::core::concern::ConcernSet;
+use vcplace::core::important::important_placements;
+use vcplace::topology::machines;
+use vcplace::topology::render::render_machine;
+use vcplace::topology::{CacheConfig, MachineBuilder};
+
+fn main() {
+    // The bundled Zen-like machine: 4 dies, 2 core complexes per die.
+    let zen = machines::zen_like();
+    print!("{}", render_machine(&zen));
+    let concerns = ConcernSet::for_machine(&zen);
+    println!(
+        "derived concerns: {}",
+        concerns
+            .concerns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let ips = important_placements(&zen, &concerns, 16).expect("feasible");
+    println!(
+        "{} important placements for a 16-vCPU container:",
+        ips.len()
+    );
+    for p in &ips {
+        println!("  {}", p.describe());
+    }
+
+    // Building your own machine takes a dozen lines: here is a two-socket
+    // cluster-on-die Haswell-style box with asymmetric links (§8 mentions
+    // Haswell-E cluster-on-die as another motivating architecture).
+    let cod = MachineBuilder::new("Haswell-EP cluster-on-die (2 sockets, 4 nodes)")
+        .packages(2)
+        .nodes_per_package(2)
+        .l3_groups_per_node(1)
+        .l2_groups_per_l3(6)
+        .cores_per_l2(1)
+        .threads_per_core(2)
+        .clock_ghz(2.3)
+        .caches(CacheConfig {
+            l2_size_mib: 0.25,
+            l3_size_mib: 15.0,
+        })
+        // On-die ring between the two clusters of a socket is much faster
+        // than QPI between sockets.
+        .link(0, 1, 48.0)
+        .link(2, 3, 48.0)
+        .link(0, 2, 9.6)
+        .link(1, 3, 9.6)
+        .link(0, 3, 9.6)
+        .link(1, 2, 9.6)
+        .build()
+        .expect("well-formed machine");
+    println!();
+    print!("{}", render_machine(&cod));
+    let concerns = ConcernSet::for_machine(&cod);
+    println!(
+        "derived concerns: {}",
+        concerns
+            .concerns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let ips = important_placements(&cod, &concerns, 12).expect("feasible");
+    println!(
+        "{} important placements for a 12-vCPU container:",
+        ips.len()
+    );
+    for p in &ips {
+        println!("  {}", p.describe());
+    }
+}

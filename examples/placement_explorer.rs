@@ -1,0 +1,72 @@
+//! Placement explorer: dump score vectors, surviving packings and the
+//! measured bandwidth matrix for any bundled machine.
+//!
+//! ```sh
+//! cargo run --release --example placement_explorer -- amd 16
+//! cargo run --release --example placement_explorer -- intel 24
+//! cargo run --release --example placement_explorer -- zen 16
+//! ```
+
+use vcplace::core::concern::ConcernSet;
+use vcplace::core::important::{important_placements, surviving_packings};
+use vcplace::topology::render::{render_bandwidth_matrix, render_machine};
+use vcplace::topology::{machines, Machine};
+
+fn machine_by_name(name: &str) -> Machine {
+    match name {
+        "amd" => machines::amd_opteron_6272(),
+        "intel" => machines::intel_xeon_e7_4830_v3(),
+        "zen" => machines::zen_like(),
+        other => {
+            eprintln!("unknown machine '{other}', expected amd | intel | zen");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let machine = machine_by_name(args.get(1).map(String::as_str).unwrap_or("amd"));
+    let vcpus: usize = args
+        .get(2)
+        .map(|s| s.parse().expect("vCPU count must be a number"))
+        .unwrap_or(16);
+
+    print!("{}", render_machine(&machine));
+    println!("measured pairwise bandwidth (GB/s):");
+    print!("{}", render_bandwidth_matrix(&machine));
+
+    let concerns = ConcernSet::for_machine(&machine);
+    match important_placements(&machine, &concerns, vcpus) {
+        Ok(ips) => {
+            println!("\n{} important placements for {vcpus} vCPUs:", ips.len());
+            for p in &ips {
+                println!("  {}  nodes {:?}", p.describe(), p.spec.nodes);
+            }
+        }
+        Err(e) => {
+            println!("\nno balanced feasible placement for {vcpus} vCPUs: {e}");
+            return;
+        }
+    }
+
+    let packings = surviving_packings(&machine, &concerns, vcpus).expect("checked above");
+    println!(
+        "\n{} surviving packings (co-location options):",
+        packings.len()
+    );
+    for p in packings.iter().take(12) {
+        let parts: Vec<String> = p
+            .parts
+            .iter()
+            .map(|part| {
+                let ids: Vec<String> = part.iter().map(|n| n.index().to_string()).collect();
+                format!("{{{}}}", ids.join(","))
+            })
+            .collect();
+        println!("  {}", parts.join(" + "));
+    }
+    if packings.len() > 12 {
+        println!("  ... and {} more", packings.len() - 12);
+    }
+}

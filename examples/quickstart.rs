@@ -1,0 +1,95 @@
+//! Quickstart: enumerate important placements, train the model, and
+//! predict a container's performance vector from two probe runs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vcplace::core::concern::ConcernSet;
+use vcplace::core::important::important_placements;
+use vcplace::core::model::{
+    select_probe_pair, PerfOracle, PerfPairModel, TrainingSet, TrainingWorkload,
+};
+use vcplace::ml::forest::ForestConfig;
+use vcplace::sim::SimOracle;
+use vcplace::topology::machines;
+
+fn main() {
+    // Step 1 (paper): describe the machine's shared resources. The
+    // concern set is derived automatically from the topology.
+    let machine = machines::amd_opteron_6272();
+    let concerns = ConcernSet::for_machine(&machine);
+    println!("machine: {}", machine.name());
+    for c in concerns.concerns() {
+        println!("  concern: {}", c.name);
+    }
+
+    // Step 2: generate the important placements for a 16-vCPU container.
+    let placements = important_placements(&machine, &concerns, 16).expect("feasible container");
+    println!("\n{} important placements:", placements.len());
+    for p in &placements {
+        println!("  {}", p.describe());
+    }
+
+    // Step 3: train the model. The oracle here is the bundled simulator;
+    // on real hardware it would run the training workloads under cpusets.
+    let oracle = SimOracle::new(machine.clone());
+    let training: Vec<TrainingWorkload> = oracle
+        .workloads()
+        .iter()
+        .filter(|w| w.family != "wiredtiger") // hold out the target
+        .map(|w| TrainingWorkload {
+            name: w.name.clone(),
+            family: w.family.clone(),
+        })
+        .collect();
+    let baseline = 0;
+    let ts = TrainingSet::build(&oracle, &training, &placements, baseline, 3);
+    let cfg = ForestConfig {
+        n_trees: 60,
+        ..ForestConfig::default()
+    };
+    let (probe, cv_err) = select_probe_pair(&ts, &cfg, 7);
+    println!(
+        "\nselected probe pair: baseline #{} + #{} (cv error {:.1} %)",
+        placements[baseline].id, placements[probe].id, cv_err
+    );
+    let rows: Vec<usize> = (0..ts.workloads.len()).collect();
+    let model = PerfPairModel::fit(&ts, &rows, baseline, probe, &cfg, 7);
+
+    // Step 4: run the target container in the two probe placements and
+    // predict its performance everywhere.
+    let target = "WTbtree";
+    let perf_a = oracle.perf(target, &placements[baseline].spec, 0);
+    let perf_b = oracle.perf(target, &placements[probe].spec, 0);
+    let predicted = model.predict_absolute(perf_a, perf_b);
+    println!("\npredicted vs actual for held-out workload {target}:");
+    println!("  {:<44} {:>12} {:>12}", "placement", "predicted", "actual");
+    for p in &placements {
+        let actual = oracle.perf(target, &p.spec, 99);
+        println!(
+            "  {:<44} {:>12.0} {:>12.0}",
+            p.describe(),
+            predicted[p.id - 1],
+            actual
+        );
+    }
+
+    // The operator can now pick the smallest placement that meets a
+    // performance objective and leave the remaining nodes for other
+    // containers.
+    let goal = 1.05 * perf_a;
+    let choice = placements
+        .iter()
+        .filter(|p| predicted[p.id - 1] >= goal)
+        .min_by_key(|p| p.spec.num_nodes());
+    match choice {
+        Some(p) => println!(
+            "\nsmallest placement predicted to beat {:.0} ops/s: #{} ({} nodes)",
+            goal,
+            p.id,
+            p.spec.num_nodes()
+        ),
+        None => println!("\nno placement is predicted to reach {goal:.0} ops/s"),
+    }
+}

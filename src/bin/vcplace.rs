@@ -1,0 +1,223 @@
+//! `vcplace` — command-line front end to the placement model.
+//!
+//! ```text
+//! vcplace machines
+//! vcplace placements <machine> <vcpus>
+//! vcplace predict  <machine> <vcpus> <workload>
+//! vcplace pack     <machine> <vcpus> <workload> <goal-pct>
+//! vcplace migrate  <workload>
+//! ```
+//!
+//! Machines: `amd` (quad Opteron 6272), `intel` (quad Xeon E7-4830 v3),
+//! `zen` (Zen-like demo). Workloads: any paper-suite name (see
+//! `vcplace migrate --list`).
+
+use vcplace::core::concern::ConcernSet;
+use vcplace::core::important::important_placements;
+use vcplace::core::model::{
+    select_probe_pair, PerfOracle, PerfPairModel, TrainingSet, TrainingWorkload,
+};
+use vcplace::migration::MigrationModel;
+use vcplace::ml::forest::ForestConfig;
+use vcplace::policy::{PackingScenario, Policy};
+use vcplace::sim::SimOracle;
+use vcplace::topology::{machines, render, Machine};
+use vcplace::workloads::suite::{paper_suite, workload_by_name};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  vcplace machines\n  vcplace placements <machine> <vcpus>\n  \
+         vcplace predict <machine> <vcpus> <workload>\n  \
+         vcplace pack <machine> <vcpus> <workload> <goal-pct>\n  \
+         vcplace migrate <workload>|--list\n\nmachines: amd | intel | zen | @path/to/file.spec"
+    );
+    std::process::exit(2);
+}
+
+fn machine_arg(name: &str) -> Machine {
+    if let Some(path) = name.strip_prefix('@') {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read spec {path}: {e}");
+            std::process::exit(1);
+        });
+        return vcplace::topology::spec::parse_machine(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse spec {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    match name {
+        "amd" => machines::amd_opteron_6272(),
+        "intel" => machines::intel_xeon_e7_4830_v3(),
+        "zen" => machines::zen_like(),
+        _ => usage(),
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| usage())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("machines") => cmd_machines(),
+        Some("placements") if args.len() >= 4 => {
+            cmd_placements(&machine_arg(&args[2]), parse(&args[3]))
+        }
+        Some("predict") if args.len() >= 5 => {
+            cmd_predict(&machine_arg(&args[2]), parse(&args[3]), &args[4])
+        }
+        Some("pack") if args.len() >= 6 => cmd_pack(
+            machine_arg(&args[2]),
+            parse(&args[3]),
+            &args[4],
+            parse::<f64>(&args[5]) / 100.0,
+        ),
+        Some("migrate") if args.len() >= 3 => cmd_migrate(&args[2]),
+        _ => usage(),
+    }
+}
+
+fn cmd_machines() {
+    for m in [
+        machines::amd_opteron_6272(),
+        machines::intel_xeon_e7_4830_v3(),
+        machines::zen_like(),
+    ] {
+        print!("{}", render::render_machine(&m));
+        let cs = ConcernSet::for_machine(&m);
+        let names: Vec<&str> = cs.concerns().iter().map(|c| c.name.as_str()).collect();
+        println!("  concerns: {}\n", names.join(", "));
+    }
+}
+
+fn cmd_placements(machine: &Machine, vcpus: usize) {
+    let cs = ConcernSet::for_machine(machine);
+    match important_placements(machine, &cs, vcpus) {
+        Ok(ips) => {
+            println!(
+                "{} important placements for {vcpus} vCPUs on {}:",
+                ips.len(),
+                machine.name()
+            );
+            for p in &ips {
+                println!("  {}  nodes {:?}", p.describe(), p.spec.nodes);
+            }
+        }
+        Err(e) => {
+            eprintln!("no balanced feasible placement: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_predict(machine: &Machine, vcpus: usize, workload: &str) {
+    let Some(target) = workload_by_name(workload) else {
+        eprintln!("unknown workload {workload}; try `vcplace migrate --list`");
+        std::process::exit(1);
+    };
+    let cs = ConcernSet::for_machine(machine);
+    let placements = important_placements(machine, &cs, vcpus).unwrap_or_else(|e| {
+        eprintln!("no balanced feasible placement: {e}");
+        std::process::exit(1);
+    });
+    let oracle = SimOracle::with_synthetic(machine.clone(), 12, 42);
+    let training: Vec<TrainingWorkload> = oracle
+        .workloads()
+        .iter()
+        .filter(|w| w.family != target.family)
+        .map(|w| TrainingWorkload {
+            name: w.name.clone(),
+            family: w.family.clone(),
+        })
+        .collect();
+    let ts = TrainingSet::build(&oracle, &training, &placements, 0, 3);
+    let cfg = ForestConfig {
+        n_trees: 60,
+        ..ForestConfig::default()
+    };
+    let (probe, err) = select_probe_pair(&ts, &cfg, 7);
+    eprintln!(
+        "probing placements #{} and #{} (cv error {err:.1} %)...",
+        placements[0].id, placements[probe].id
+    );
+    let rows: Vec<usize> = (0..ts.workloads.len()).collect();
+    let model = PerfPairModel::fit(&ts, &rows, 0, probe, &cfg, 7);
+    let pa = oracle.perf(workload, &placements[0].spec, 0);
+    let pb = oracle.perf(workload, &placements[probe].spec, 0);
+    let pred = model.predict_absolute(pa, pb);
+    println!("{:<46} {:>14}", "placement", "predicted perf");
+    for p in &placements {
+        println!("{:<46} {:>14.1}", p.describe(), pred[p.id - 1]);
+    }
+    let best = placements
+        .iter()
+        .max_by(|a, b| pred[a.id - 1].partial_cmp(&pred[b.id - 1]).unwrap())
+        .unwrap();
+    println!(
+        "\nbest predicted placement: #{} ({})",
+        best.id,
+        best.describe()
+    );
+}
+
+fn cmd_pack(machine: Machine, vcpus: usize, workload: &str, goal: f64) {
+    let scenario = PackingScenario::new(machine, vcpus, workload, 0, 7);
+    println!(
+        "baseline performance: {:.1}; goal {:.0} %",
+        scenario.baseline_perf(),
+        goal * 100.0
+    );
+    println!("{:<20} {:>12} {:>14}", "policy", "instances", "violation %");
+    for policy in [
+        Policy::Ml,
+        Policy::Conservative,
+        Policy::Aggressive,
+        Policy::SmartAggressive,
+    ] {
+        let o = scenario.evaluate(policy, goal, 5);
+        println!(
+            "{:<20} {:>12} {:>14.1}",
+            o.policy.to_string(),
+            o.instances,
+            o.violation_pct
+        );
+    }
+}
+
+fn cmd_migrate(workload: &str) {
+    if workload == "--list" {
+        for w in paper_suite() {
+            println!("{}", w.name);
+        }
+        return;
+    }
+    let Some(w) = workload_by_name(workload) else {
+        eprintln!("unknown workload {workload}");
+        std::process::exit(1);
+    };
+    let model = MigrationModel::default();
+    let fast = model.fast(&w);
+    let linux = model.linux_default(&w);
+    println!(
+        "{} ({:.1} GB total, {:.1} GB page cache)",
+        w.name,
+        w.memory_gb(),
+        w.page_cache_gb
+    );
+    println!(
+        "  fast:      {:>6.1} s (frozen {:>5.1} s, page cache migrated)",
+        fast.duration_s, fast.frozen_s
+    );
+    println!(
+        "  linux:     {:>6.1} s (frozen {:>5.1} s, ~{:.0} % overhead, page cache left)",
+        linux.duration_s, linux.frozen_s, linux.runtime_overhead_pct
+    );
+    for target in [30.0, 60.0] {
+        let t = model.throttled(&w, w.memory_gb() / target);
+        println!(
+            "  throttled: {:>6.1} s ({:.1} % overhead, container keeps running)",
+            t.duration_s, t.runtime_overhead_pct
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration tests: the full paper pipeline across crates.
+
+use vcplace::core::concern::ConcernSet;
+use vcplace::core::important::important_placements;
+use vcplace::core::model::{
+    select_probe_pair, PerfOracle, PerfPairModel, TrainingSet, TrainingWorkload,
+};
+use vcplace::migration::MigrationModel;
+use vcplace::ml::forest::ForestConfig;
+use vcplace::policy::{PackingScenario, Policy};
+use vcplace::sim::SimOracle;
+use vcplace::topology::machines;
+use vcplace::workloads::suite::{paper_suite, workload_by_name};
+
+fn build_training(
+    machine: vcplace::topology::Machine,
+    vcpus: usize,
+    baseline: usize,
+    hold_out_family: &str,
+) -> (
+    SimOracle,
+    Vec<vcplace::core::important::ImportantPlacement>,
+    TrainingSet,
+) {
+    let concerns = ConcernSet::for_machine(&machine);
+    let placements = important_placements(&machine, &concerns, vcpus).unwrap();
+    // Enlarge the corpus with synthetic workloads, as the paper trains
+    // on many executions; this populates sparse behaviour regions (e.g.
+    // communication-bound) so held-out families have neighbours.
+    let oracle = SimOracle::with_synthetic(machine, 12, 42);
+    let training: Vec<TrainingWorkload> = oracle
+        .workloads()
+        .iter()
+        .filter(|w| w.family != hold_out_family)
+        .map(|w| TrainingWorkload {
+            name: w.name.clone(),
+            family: w.family.clone(),
+        })
+        .collect();
+    let ts = TrainingSet::build(&oracle, &training, &placements, baseline, 3);
+    (oracle, placements, ts)
+}
+
+#[test]
+fn full_pipeline_predicts_held_out_wiredtiger_on_amd() {
+    let (oracle, placements, ts) =
+        build_training(machines::amd_opteron_6272(), 16, 0, "wiredtiger");
+    let cfg = ForestConfig {
+        n_trees: 60,
+        ..ForestConfig::default()
+    };
+    let (probe, _) = select_probe_pair(&ts, &cfg, 7);
+    let rows: Vec<usize> = (0..ts.workloads.len()).collect();
+    let model = PerfPairModel::fit(&ts, &rows, 0, probe, &cfg, 7);
+
+    let perf_a = oracle.perf("WTbtree", &placements[0].spec, 0);
+    let perf_b = oracle.perf("WTbtree", &placements[probe].spec, 0);
+    let predicted = model.predict_absolute(perf_a, perf_b);
+
+    // Mean prediction error across all 13 placements stays modest even
+    // for a workload family the model never saw.
+    let mut err = 0.0;
+    for p in &placements {
+        let actual = oracle.perf("WTbtree", &p.spec, 50);
+        err += ((predicted[p.id - 1] - actual) / actual).abs();
+    }
+    err = err / placements.len() as f64 * 100.0;
+    assert!(err < 15.0, "mean error {err:.1} % on held-out WiredTiger");
+}
+
+#[test]
+fn predictions_identify_the_best_placement_class() {
+    // The operator decision (§1): on Intel, the model must learn that a
+    // single node suffices to maximise WiredTiger throughput.
+    let (oracle, placements, ts) =
+        build_training(machines::intel_xeon_e7_4830_v3(), 24, 1, "wiredtiger");
+    let cfg = ForestConfig {
+        n_trees: 60,
+        ..ForestConfig::default()
+    };
+    let (probe, _) = select_probe_pair(&ts, &cfg, 7);
+    let rows: Vec<usize> = (0..ts.workloads.len()).collect();
+    let model = PerfPairModel::fit(&ts, &rows, 1, probe, &cfg, 7);
+    let perf_a = oracle.perf("WTbtree", &placements[1].spec, 0);
+    let perf_b = oracle.perf("WTbtree", &placements[probe].spec, 0);
+    let predicted = model.predict_absolute(perf_a, perf_b);
+    let best = placements
+        .iter()
+        .max_by(|a, b| {
+            predicted[a.id - 1]
+                .partial_cmp(&predicted[b.id - 1])
+                .unwrap()
+        })
+        .unwrap();
+    assert_eq!(
+        best.spec.num_nodes(),
+        1,
+        "predicted best: {}",
+        best.describe()
+    );
+}
+
+#[test]
+fn probing_two_placements_costs_one_migration_at_most() {
+    // The §7 cost argument: probing placements #1 and #probe moves the
+    // container once; the fast mechanism keeps that to seconds for every
+    // suite workload except the page-cache giants.
+    let model = MigrationModel::default();
+    for w in paper_suite() {
+        let est = model.fast(&w);
+        assert!(
+            est.duration_s < 20.0,
+            "{}: {:.1} s freeze",
+            w.name,
+            est.duration_s
+        );
+    }
+}
+
+#[test]
+fn ml_policy_dominates_aggressive_on_violations_across_machines() {
+    for (machine, vcpus, baseline) in [
+        (machines::amd_opteron_6272(), 16, 0),
+        (machines::intel_xeon_e7_4830_v3(), 24, 1),
+    ] {
+        let scenario = PackingScenario::new(machine, vcpus, "WTbtree", baseline, 7);
+        let ml = scenario.evaluate(Policy::Ml, 1.0, 3);
+        let agg = scenario.evaluate(Policy::Aggressive, 1.0, 3);
+        assert!(ml.violation_pct <= 2.0, "ML violated: {}", ml.violation_pct);
+        assert!(agg.violation_pct > ml.violation_pct);
+        assert!(agg.instances >= ml.instances);
+    }
+}
+
+#[test]
+fn oracle_metrics_are_consistent_across_crates() {
+    // The workload metric advertised by vc-workloads is what vc-sim
+    // reports through the PerfOracle.
+    let oracle = SimOracle::new(machines::amd_opteron_6272());
+    let concerns = ConcernSet::for_machine(oracle.machine());
+    let placements = important_placements(oracle.machine(), &concerns, 16).unwrap();
+    let wt = workload_by_name("WTbtree").unwrap();
+    let perf = oracle.perf(&wt.name, &placements[0].spec, 0);
+    // WiredTiger reports ops/s: hundreds of thousands, not an IPC-like
+    // scalar.
+    assert!(perf > 10_000.0, "{perf}");
+    let gcc = oracle.perf("gcc", &placements[0].spec, 0);
+    assert!(gcc < 10.0, "gcc reports IPC, got {gcc}");
+}
