@@ -1,0 +1,93 @@
+//! Serving-path baseline: cold vs warm-cache `place_batch` throughput.
+//!
+//! Cold = a fresh engine per batch (every stage recomputed: catalogs,
+//! training sweep, probe selection, forest training). Warm = the same
+//! long-lived engine answering repeated batches from its caches, paying
+//! only the two probe measurements per (request, machine).
+//!
+//! Prints an explicit cold/warm requests-per-second comparison before
+//! the timed sections so future PRs have a recorded serving baseline.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use vc_engine::{BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest};
+use vc_topology::machines;
+
+/// A small fleet: two AMD boxes (sharing cache entries by fingerprint)
+/// and one Intel box. Trimmed corpus so the cold path stays benchable.
+fn build_fleet() -> PlacementEngine {
+    let mut engine = PlacementEngine::new(EngineConfig {
+        n_seeds: 2,
+        extra_synthetic: 0,
+        ..EngineConfig::default()
+    });
+    engine.add_machine(machines::amd_opteron_6272());
+    engine.add_machine(machines::amd_opteron_6272());
+    engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+    engine
+}
+
+fn request_stream() -> Vec<PlacementRequest> {
+    let workloads = ["WTbtree", "swaptions", "blast", "kmeans"];
+    (0..8)
+        .map(|i| {
+            PlacementRequest::new(workloads[i % workloads.len()], 16)
+                .with_goal(0.9)
+                .with_probe_seed(i as u64)
+        })
+        .collect()
+}
+
+fn run_batch(engine: &PlacementEngine, reqs: &[PlacementRequest]) -> usize {
+    let decisions = engine.place_batch(reqs, BatchStrategy::FirstFit);
+    let placed: Vec<_> = decisions.iter().filter_map(|d| d.placed().cloned()).collect();
+    // Release so the fleet is empty again for the next batch.
+    for p in &placed {
+        engine.release(p);
+    }
+    placed.len()
+}
+
+fn bench(c: &mut Criterion) {
+    let reqs = request_stream();
+
+    // Explicit one-shot comparison for the recorded baseline.
+    let t0 = Instant::now();
+    let cold_engine = build_fleet();
+    let cold_placed = run_batch(&cold_engine, &reqs);
+    let cold = t0.elapsed().as_secs_f64();
+
+    let warm_runs = 20;
+    let t1 = Instant::now();
+    for _ in 0..warm_runs {
+        black_box(run_batch(&cold_engine, &reqs));
+    }
+    let warm = t1.elapsed().as_secs_f64() / warm_runs as f64;
+    println!(
+        "engine_throughput: cold batch {:.2} s ({:.1} req/s, {} placed) | warm batch {:.4} s \
+         ({:.0} req/s) | speedup {:.0}x",
+        cold,
+        reqs.len() as f64 / cold,
+        cold_placed,
+        warm,
+        reqs.len() as f64 / warm,
+        cold / warm
+    );
+
+    let mut group = c.benchmark_group("place_batch");
+    group.sample_size(5);
+    group.bench_function("cold_8req_3machines", |b| {
+        b.iter(|| {
+            let engine = build_fleet();
+            black_box(run_batch(&engine, &reqs))
+        })
+    });
+    let warm_engine = build_fleet();
+    run_batch(&warm_engine, &reqs); // prime every cache
+    group.bench_function("warm_8req_3machines", |b| {
+        b.iter(|| black_box(run_batch(&warm_engine, &reqs)))
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

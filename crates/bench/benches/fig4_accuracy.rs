@@ -3,39 +3,28 @@
 //! time is negligible (milliseconds)").
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vc_bench::experiments::fig4;
-use vc_core::concern::ConcernSet;
-use vc_core::important::important_placements;
-use vc_core::model::{PerfPairModel, TrainingSet, TrainingWorkload};
-use vc_ml::forest::ForestConfig;
-use vc_sim::SimOracle;
-use vc_topology::machines;
+use vc_bench::experiments::{fig4, reference_engine_with};
+use vc_core::model::PerfPairModel;
+use vc_engine::{EngineConfig, MachineId};
 
 fn bench(c: &mut Criterion) {
-    let amd = machines::amd_opteron_6272();
-    let fig = fig4::run(&amd, 16, 0, 3, 8, 3);
-    print!("{}", fig4::render(&amd, &fig, true));
-    let intel = machines::intel_xeon_e7_4830_v3();
-    let fig_i = fig4::run(&intel, 24, 1, 3, 8, 3);
-    print!("{}", fig4::render(&intel, &fig_i, true));
+    let engine = reference_engine_with(EngineConfig {
+        n_seeds: 3,
+        extra_synthetic: 8,
+        train_seed: 3,
+        ..EngineConfig::default()
+    });
+    let fig = fig4::run(&engine, MachineId(0), 16, 0);
+    print!("{}", fig4::render(engine.machine(MachineId(0)), &fig, true));
+    let fig_i = fig4::run(&engine, MachineId(1), 24, 1);
+    print!("{}", fig4::render(engine.machine(MachineId(1)), &fig_i, true));
 
-    // Time the training and inference steps.
-    let cs = ConcernSet::for_machine(&amd);
-    let ips = important_placements(&amd, &cs, 16).unwrap();
-    let oracle = SimOracle::new(amd.clone());
-    let workloads: Vec<TrainingWorkload> = oracle
-        .workloads()
-        .iter()
-        .map(|w| TrainingWorkload {
-            name: w.name.clone(),
-            family: w.family.clone(),
-        })
-        .collect();
-    let ts = TrainingSet::build(&oracle, &workloads, &ips, 0, 3);
-    let cfg = ForestConfig {
-        n_trees: 60,
-        ..ForestConfig::default()
-    };
+    // Time the training and inference steps against the engine's cached
+    // training set.
+    let ts = engine
+        .training_set(MachineId(0), 16, 0, None)
+        .expect("feasible container");
+    let cfg = engine.config().forest.clone();
     let rows: Vec<usize> = (0..ts.workloads.len()).collect();
     c.bench_function("train_perf_pair_model", |b| {
         b.iter(|| PerfPairModel::fit(black_box(&ts), &rows, 0, 12, &cfg, 0))

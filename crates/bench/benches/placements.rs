@@ -1,20 +1,23 @@
 //! E4/E3/E2: prints the concern tables and important-placement lists,
 //! then times the enumeration pipeline (§6: "the algorithms used to
-//! determine important placements run in a matter of seconds").
+//! determine important placements run in a matter of seconds") against
+//! the engine's O(1) warm-cache lookup.
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vc_bench::experiments::placements;
+use vc_bench::experiments::{placements, reference_engine};
 use vc_core::concern::ConcernSet;
 use vc_core::important::important_placements;
+use vc_engine::MachineId;
 use vc_topology::machines;
 
 fn bench(c: &mut Criterion) {
+    let engine = reference_engine();
     let amd = machines::amd_opteron_6272();
     let intel = machines::intel_xeon_e7_4830_v3();
     print!("{}", placements::render_concern_table(&amd));
     print!("{}", placements::render_concern_table(&intel));
-    print!("{}", placements::render_placements(&amd, 16));
-    print!("{}", placements::render_placements(&intel, 24));
+    print!("{}", placements::render_placements(&engine, MachineId(0), 16));
+    print!("{}", placements::render_placements(&engine, MachineId(1), 24));
 
     let cs_amd = ConcernSet::for_machine(&amd);
     c.bench_function("important_placements_amd_16vcpu", |b| {
@@ -23,6 +26,11 @@ fn bench(c: &mut Criterion) {
     let cs_intel = ConcernSet::for_machine(&intel);
     c.bench_function("important_placements_intel_24vcpu", |b| {
         b.iter(|| important_placements(black_box(&intel), &cs_intel, 24).unwrap())
+    });
+    // The serving path: the same enumeration answered from the engine's
+    // warm cache.
+    c.bench_function("engine_catalog_warm_lookup_amd_16vcpu", |b| {
+        b.iter(|| engine.catalog(black_box(MachineId(0)), 16).unwrap())
     });
 }
 criterion_group!(benches, bench);

@@ -1,15 +1,19 @@
 //! Prints Figure 4: per-workload prediction accuracy, perf-measurement
 //! model vs HPE model, leave-family-out cross-validated.
-use vc_bench::experiments::fig4;
-use vc_topology::machines;
+use vc_bench::experiments::{fig4, reference_engine_with, reference_setups};
+use vc_engine::{EngineConfig, MachineId};
 
 fn main() {
-    for (m, v, b) in [
-        (machines::amd_opteron_6272(), 16usize, 0usize),
-        (machines::intel_xeon_e7_4830_v3(), 24, 1),
-    ] {
-        let fig = fig4::run(&m, v, b, 3, 12, 3);
-        print!("{}", fig4::render(&m, &fig, true));
+    let engine = reference_engine_with(EngineConfig {
+        n_seeds: 3,
+        extra_synthetic: 12,
+        train_seed: 3,
+        ..EngineConfig::default()
+    });
+    for (i, (_, vcpus, baseline)) in reference_setups().into_iter().enumerate() {
+        let id = MachineId(i);
+        let fig = fig4::run(&engine, id, vcpus, baseline);
+        print!("{}", fig4::render(engine.machine(id), &fig, true));
         println!();
     }
 }

@@ -1,15 +1,22 @@
 //! Prints Figure 5: instances per machine and % goal violation for the
 //! four policies, three container types, both machines.
-use vc_bench::experiments::fig5;
-use vc_topology::machines;
+//!
+//! All six panels share one engine: the catalog and training sweep per
+//! machine are computed once, and each workload's leave-family-out model
+//! once, instead of once per panel.
+use std::sync::Arc;
+
+use vc_bench::experiments::{fig5, reference_engine_with, reference_setups};
+use vc_engine::{EngineConfig, MachineId};
 
 fn main() {
+    let engine = Arc::new(reference_engine_with(EngineConfig {
+        train_seed: 5,
+        ..EngineConfig::default()
+    }));
     for workload in ["WTbtree", "postgres-tpch", "spark-pr-lj"] {
-        for (m, v, b) in [
-            (machines::amd_opteron_6272(), 16usize, 0usize),
-            (machines::intel_xeon_e7_4830_v3(), 24, 1),
-        ] {
-            let panel = fig5::run_panel(&m, v, b, workload, 5);
+        for (i, (_, vcpus, baseline)) in reference_setups().into_iter().enumerate() {
+            let panel = fig5::run_panel(&engine, MachineId(i), vcpus, baseline, workload, 5);
             print!("{}", fig5::render(&panel));
             println!();
         }

@@ -1,15 +1,10 @@
 //! Prints the §4 important-placement lists (13 on AMD, 7 on Intel).
-use vc_bench::experiments::placements;
-use vc_topology::machines;
+use vc_bench::experiments::{placements, reference_engine};
+use vc_engine::MachineId;
 
 fn main() {
-    print!(
-        "{}",
-        placements::render_placements(&machines::amd_opteron_6272(), 16)
-    );
+    let engine = reference_engine();
+    print!("{}", placements::render_placements(&engine, MachineId(0), 16));
     println!();
-    print!(
-        "{}",
-        placements::render_placements(&machines::intel_xeon_e7_4830_v3(), 24)
-    );
+    print!("{}", placements::render_placements(&engine, MachineId(1), 24));
 }

@@ -7,12 +7,9 @@
 
 use std::fmt::Write as _;
 
-use vc_core::concern::ConcernSet;
-use vc_core::important::important_placements;
-use vc_core::model::{select_probe_pair, HpeModel, PerfPairModel, TrainingSet, TrainingWorkload};
+use vc_core::model::{HpeModel, PerfPairModel};
+use vc_engine::{MachineId, PlacementEngine};
 use vc_ml::cv::leave_group_out;
-use vc_ml::forest::ForestConfig;
-use vc_sim::SimOracle;
 use vc_topology::Machine;
 
 /// Cross-validated predictions for one workload.
@@ -44,52 +41,39 @@ pub struct Fig4 {
     pub hpe_features: Vec<String>,
 }
 
-/// Runs the experiment on a machine.
+/// Runs the experiment on one machine of an engine's fleet.
 ///
-/// `n_seeds` controls the measurement repetitions per (workload,
-/// placement); `extra_synthetic` enlarges the training corpus.
-pub fn run(
-    machine: &Machine,
-    vcpus: usize,
-    baseline: usize,
-    n_seeds: u64,
-    extra_synthetic: usize,
-    seed: u64,
-) -> Fig4 {
-    let cs = ConcernSet::for_machine(machine);
-    let ips = important_placements(machine, &cs, vcpus).expect("feasible container");
-    let oracle = if extra_synthetic > 0 {
-        SimOracle::with_synthetic(machine.clone(), extra_synthetic, 42)
-    } else {
-        SimOracle::new(machine.clone())
-    };
-    let workloads: Vec<TrainingWorkload> = oracle
-        .workloads()
-        .iter()
-        .map(|w| TrainingWorkload {
-            name: w.name.clone(),
-            family: w.family.clone(),
-        })
-        .collect();
-    let ts = TrainingSet::build(&oracle, &workloads, &ips, baseline, n_seeds);
-    let cfg = ForestConfig {
-        n_trees: 60,
-        ..ForestConfig::default()
-    };
+/// The engine's configuration supplies the measurement repetitions,
+/// synthetic-corpus size and training seed; its caches supply the
+/// important placements, the measured training set and the selected
+/// probe pair, so repeated runs (and other experiments on the same
+/// machine) only pay for the cross-validation loop below.
+pub fn run(engine: &PlacementEngine, id: MachineId, vcpus: usize, baseline: usize) -> Fig4 {
+    let catalog = engine.catalog(id, vcpus).expect("feasible container");
+    let ips = &catalog.placements;
+    let ts = engine
+        .training_set(id, vcpus, baseline, None)
+        .expect("feasible container");
+    let cfg = &engine.config().forest;
+    let seed = engine.config().train_seed;
 
-    // Probe pair and HPE feature selection on the full corpus. (The paper
-    // selects during training; doing it once outside the CV loop keeps
-    // the experiment tractable and affects both models equally.)
-    let (other, _) = select_probe_pair(&ts, &cfg, seed);
-    let (selected, _) = HpeModel::select_features(&ts, 6, &cfg, seed);
+    // Probe pair (cached in the engine's model artifact) and HPE feature
+    // selection on the full corpus. (The paper selects during training;
+    // doing it once outside the CV loop keeps the experiment tractable
+    // and affects both models equally.)
+    let other = engine
+        .model(id, vcpus, baseline, None)
+        .expect("feasible container")
+        .probe;
+    let (selected, _) = HpeModel::select_features(&ts, 6, cfg, seed);
 
     // Leave-family-out predictions.
     let families = ts.families();
     let splits = leave_group_out(&families);
     let mut rows: Vec<WorkloadAccuracy> = Vec::new();
     for split in &splits {
-        let perf_model = PerfPairModel::fit(&ts, &split.train, baseline, other, &cfg, seed);
-        let hpe_model = HpeModel::fit(&ts, &split.train, &selected, &cfg, seed);
+        let perf_model = PerfPairModel::fit(&ts, &split.train, baseline, other, cfg, seed);
+        let hpe_model = HpeModel::fit(&ts, &split.train, &selected, cfg, seed);
         for &w in &split.test {
             let actual = ts.mean_rel(w);
             let ratio = actual[other] / actual[baseline];
@@ -175,12 +159,25 @@ pub fn render(machine: &Machine, fig: &Fig4, only_suite: bool) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vc_engine::EngineConfig;
     use vc_topology::machines;
+
+    fn amd_engine(extra_synthetic: usize) -> PlacementEngine {
+        PlacementEngine::single(
+            machines::amd_opteron_6272(),
+            EngineConfig {
+                n_seeds: 2,
+                extra_synthetic,
+                train_seed: 3,
+                ..EngineConfig::default()
+            },
+        )
+    }
 
     #[test]
     fn perf_model_beats_hpe_model_on_amd() {
-        let amd = machines::amd_opteron_6272();
-        let fig = run(&amd, 16, 0, 2, 6, 3);
+        let engine = amd_engine(6);
+        let fig = run(&engine, MachineId(0), 16, 0);
         assert!(
             fig.mean_err_perf_pct < fig.mean_err_hpe_pct,
             "perf {:.2} vs hpe {:.2}",
@@ -191,8 +188,8 @@ mod tests {
 
     #[test]
     fn perf_model_error_is_single_digit_on_amd() {
-        let amd = machines::amd_opteron_6272();
-        let fig = run(&amd, 16, 0, 2, 6, 3);
+        let engine = amd_engine(6);
+        let fig = run(&engine, MachineId(0), 16, 0);
         assert!(
             fig.mean_err_perf_pct < 10.0,
             "mean error {:.2} %",
@@ -202,13 +199,25 @@ mod tests {
 
     #[test]
     fn rows_cover_every_suite_workload() {
-        let amd = machines::amd_opteron_6272();
-        let fig = run(&amd, 16, 0, 2, 0, 3);
+        let engine = amd_engine(0);
+        let fig = run(&engine, MachineId(0), 16, 0);
         assert_eq!(fig.rows.len(), 18);
         for r in &fig.rows {
             assert_eq!(r.actual.len(), 13);
             assert_eq!(r.pred_perf.len(), 13);
             assert_eq!(r.pred_hpe.len(), 13);
         }
+    }
+
+    #[test]
+    fn second_run_reuses_the_engine_caches() {
+        let engine = amd_engine(0);
+        let _ = run(&engine, MachineId(0), 16, 0);
+        let stats = engine.stats();
+        let _ = run(&engine, MachineId(0), 16, 0);
+        let warm = engine.stats();
+        assert_eq!(stats.catalogs.computes, warm.catalogs.computes);
+        assert_eq!(stats.training_sets.computes, warm.training_sets.computes);
+        assert_eq!(stats.models.computes, warm.models.computes);
     }
 }

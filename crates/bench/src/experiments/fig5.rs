@@ -1,9 +1,10 @@
 //! Figure 5: instances per machine and % goal violation per policy.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
+use vc_engine::{MachineId, PlacementEngine};
 use vc_policy::{PackingScenario, Policy, PolicyOutcome};
-use vc_topology::Machine;
 
 /// The policies in the figure's order.
 pub const POLICIES: [Policy; 4] = [
@@ -27,15 +28,21 @@ pub struct Fig5Panel {
     pub outcomes: Vec<PolicyOutcome>,
 }
 
-/// Runs one panel of the figure.
+/// Runs one panel of the figure on one machine of a shared engine.
+///
+/// Panels on the same machine model share the engine's cached catalog
+/// and training sweep; only the per-workload leave-family-out model is
+/// trained anew (and itself cached for repeated panels). `seed` drives
+/// the probe and OS-scheduler sampling during evaluation.
 pub fn run_panel(
-    machine: &Machine,
+    engine: &Arc<PlacementEngine>,
+    id: MachineId,
     vcpus: usize,
     baseline: usize,
     workload: &str,
     seed: u64,
 ) -> Fig5Panel {
-    let scenario = PackingScenario::new(machine.clone(), vcpus, workload, baseline, seed);
+    let scenario = PackingScenario::with_engine(engine, id, vcpus, workload, baseline);
     let mut outcomes = Vec::new();
     for policy in POLICIES {
         for goal in GOALS {
@@ -44,7 +51,7 @@ pub fn run_panel(
     }
     Fig5Panel {
         workload: workload.to_string(),
-        machine: machine.name().to_string(),
+        machine: engine.machine(id).name().to_string(),
         outcomes,
     }
 }
@@ -74,12 +81,23 @@ pub fn render(panel: &Fig5Panel) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vc_engine::EngineConfig;
     use vc_topology::machines;
+
+    fn amd_engine(seed: u64) -> Arc<PlacementEngine> {
+        Arc::new(PlacementEngine::single(
+            machines::amd_opteron_6272(),
+            EngineConfig {
+                train_seed: seed,
+                ..EngineConfig::default()
+            },
+        ))
+    }
 
     #[test]
     fn wiredtiger_amd_panel_matches_paper_shape() {
-        let amd = machines::amd_opteron_6272();
-        let panel = run_panel(&amd, 16, 0, "WTbtree", 5);
+        let engine = amd_engine(5);
+        let panel = run_panel(&engine, MachineId(0), 16, 0, "WTbtree", 5);
         let get = |p: Policy, g: f64| {
             panel
                 .outcomes
@@ -115,8 +133,8 @@ mod tests {
 
     #[test]
     fn render_contains_all_policy_rows() {
-        let amd = machines::amd_opteron_6272();
-        let panel = run_panel(&amd, 16, 0, "swaptions", 5);
+        let engine = amd_engine(5);
+        let panel = run_panel(&engine, MachineId(0), 16, 0, "swaptions", 5);
         let text = render(&panel);
         assert_eq!(text.lines().count(), 2 + 12);
         assert!(text.contains("Aggressive (Smart)"));

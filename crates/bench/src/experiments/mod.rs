@@ -16,3 +16,20 @@ pub fn reference_setups() -> Vec<(vc_topology::Machine, usize, usize)> {
         (vc_topology::machines::intel_xeon_e7_4830_v3(), 24, 1),
     ]
 }
+
+/// A placement engine over the two reference machines (AMD at id 0,
+/// Intel at id 1) with the paper's baselines, using the engine's default
+/// configuration. Experiments sharing one of these share every cached
+/// catalog, training sweep and model.
+pub fn reference_engine() -> vc_engine::PlacementEngine {
+    reference_engine_with(vc_engine::EngineConfig::default())
+}
+
+/// [`reference_engine`] with an explicit configuration.
+pub fn reference_engine_with(cfg: vc_engine::EngineConfig) -> vc_engine::PlacementEngine {
+    let mut engine = vc_engine::PlacementEngine::new(cfg);
+    for (machine, _vcpus, baseline) in reference_setups() {
+        engine.add_machine_with_baseline(machine, baseline);
+    }
+    engine
+}

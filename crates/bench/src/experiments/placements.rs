@@ -4,7 +4,8 @@
 use std::fmt::Write as _;
 
 use vc_core::concern::ConcernSet;
-use vc_core::important::{important_placements, ImportantPlacement};
+use vc_core::important::ImportantPlacement;
+use vc_engine::{MachineId, PlacementEngine};
 use vc_topology::Machine;
 
 /// Renders the machine's concern table (the repo's Table 1).
@@ -36,22 +37,26 @@ pub fn render_concern_table(machine: &Machine) -> String {
     out
 }
 
-/// Computes the important placements for a machine/container size.
-pub fn compute(machine: &Machine, vcpus: usize) -> Vec<ImportantPlacement> {
-    let cs = ConcernSet::for_machine(machine);
-    important_placements(machine, &cs, vcpus).expect("feasible container")
+/// Computes the important placements for a machine/container size from
+/// the engine's cached catalog.
+pub fn compute(engine: &PlacementEngine, id: MachineId, vcpus: usize) -> Vec<ImportantPlacement> {
+    engine
+        .catalog(id, vcpus)
+        .expect("feasible container")
+        .placements
+        .clone()
 }
 
 /// Renders the important-placement list.
-pub fn render_placements(machine: &Machine, vcpus: usize) -> String {
-    let ips = compute(machine, vcpus);
+pub fn render_placements(engine: &PlacementEngine, id: MachineId, vcpus: usize) -> String {
+    let ips = compute(engine, id, vcpus);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{} important placements for {} vCPUs on {}:",
         ips.len(),
         vcpus,
-        machine.name()
+        engine.machine(id).name()
     );
     for ip in &ips {
         let _ = writeln!(out, "  {}  nodes {:?}", ip.describe(), ip.spec.nodes);
@@ -76,13 +81,15 @@ mod tests {
 
     #[test]
     fn paper_counts_reproduce() {
-        assert_eq!(compute(&machines::amd_opteron_6272(), 16).len(), 13);
-        assert_eq!(compute(&machines::intel_xeon_e7_4830_v3(), 24).len(), 7);
+        let engine = crate::experiments::reference_engine();
+        assert_eq!(compute(&engine, MachineId(0), 16).len(), 13);
+        assert_eq!(compute(&engine, MachineId(1), 24).len(), 7);
     }
 
     #[test]
     fn rendering_lists_every_placement() {
-        let text = render_placements(&machines::amd_opteron_6272(), 16);
+        let engine = crate::experiments::reference_engine();
+        let text = render_placements(&engine, MachineId(0), 16);
         assert_eq!(text.lines().count(), 14);
     }
 }

@@ -10,7 +10,15 @@
 use vc_topology::Machine;
 
 /// All balanced, feasible scores for a resource (Algorithm 1's loop body).
+///
+/// A container with zero vCPUs has no feasible score: mathematically 0 is
+/// divisible by every count, but an empty container occupies nothing, so
+/// the degenerate input yields an empty vector rather than relying on
+/// upstream guards.
 pub fn feasible_scores(vcpus: usize, count: usize, capacity: usize) -> Vec<usize> {
+    if vcpus == 0 {
+        return Vec::new();
+    }
     (1..=count)
         .filter(|&i| vcpus.is_multiple_of(i) && vcpus / i <= capacity)
         .collect()
@@ -77,9 +85,11 @@ mod tests {
     }
 
     #[test]
-    fn zero_vcpus_yield_every_count() {
-        // Degenerate input: guarded at the placement layer; Algorithm 1
-        // itself treats 0 as divisible by everything.
-        assert_eq!(feasible_scores(0, 3, 1), vec![1, 2, 3]);
+    fn zero_vcpus_yield_no_scores() {
+        // Degenerate input: 0 is divisible by everything, but an empty
+        // container has no feasible placement, so the guard lives here
+        // rather than only at the placement layer.
+        assert_eq!(feasible_scores(0, 3, 1), Vec::<usize>::new());
+        assert_eq!(feasible_scores(0, 8, 64), Vec::<usize>::new());
     }
 }

@@ -43,4 +43,5 @@ pub mod placement;
 
 pub use concern::{Concern, ConcernKind, ConcernSet};
 pub use important::{important_placements, ImportantPlacement};
+pub use model::{PerfOracle, SharedOracle};
 pub use placement::{PlacementError, PlacementSpec};

@@ -36,6 +36,40 @@ pub trait PerfOracle {
     fn hpe_names(&self) -> Vec<String>;
 }
 
+/// A thread-safe, reference-counted oracle, shareable across a serving
+/// fleet. `vc-sim`'s `SimOracle` is `Send + Sync` (pure data plus pure
+/// functions), so it coerces directly; hardware-backed oracles must
+/// synchronise their measurement channel internally.
+pub type SharedOracle = std::sync::Arc<dyn PerfOracle + Send + Sync>;
+
+impl<T: PerfOracle + ?Sized> PerfOracle for std::sync::Arc<T> {
+    fn perf(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> f64 {
+        (**self).perf(workload, spec, seed)
+    }
+
+    fn hpes(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> Vec<f64> {
+        (**self).hpes(workload, spec, seed)
+    }
+
+    fn hpe_names(&self) -> Vec<String> {
+        (**self).hpe_names()
+    }
+}
+
+impl<T: PerfOracle + ?Sized> PerfOracle for &T {
+    fn perf(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> f64 {
+        (**self).perf(workload, spec, seed)
+    }
+
+    fn hpes(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> Vec<f64> {
+        (**self).hpes(workload, spec, seed)
+    }
+
+    fn hpe_names(&self) -> Vec<String> {
+        (**self).hpe_names()
+    }
+}
+
 /// A workload available for training, with its family for grouped
 /// cross-validation (the paper excludes *related* workloads, e.g. both
 /// Spark jobs, when predicting either).

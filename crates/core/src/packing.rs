@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn every_packing_covers_all_nodes_exactly_once() {
         for packing in generate_packings(6, &[2, 3, 6]) {
-            let mut seen = vec![false; 6];
+            let mut seen = [false; 6];
             for part in &packing.parts {
                 for n in part {
                     assert!(!seen[n.index()]);

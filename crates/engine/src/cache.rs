@@ -1,0 +1,142 @@
+//! Keyed, thread-safe, compute-once caches with hit/compute statistics.
+//!
+//! The engine's expensive intermediates (placement catalogs, training
+//! sets, trained models) are memoized behind [`KeyedCache`]s. Each key
+//! owns a [`OnceLock`] cell: when several threads request the same
+//! missing key concurrently, exactly one runs the compute closure and
+//! the rest block on the cell — repeated work is structurally
+//! impossible, not just unlikely.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Snapshot of one cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Total `get_or_compute` calls.
+    pub lookups: u64,
+    /// Times the compute closure actually ran (cold misses).
+    pub computes: u64,
+}
+
+impl CacheCounters {
+    /// Lookups that were served without running the compute closure.
+    pub fn hits(&self) -> u64 {
+        self.lookups - self.computes
+    }
+}
+
+/// A compute-once cache from `K` to `V`.
+///
+/// `V` is cloned out on every lookup, so values should be cheap to clone
+/// (the engine stores `Result<Arc<T>, E>`).
+pub struct KeyedCache<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    lookups: AtomicU64,
+    computes: AtomicU64,
+}
+
+impl<K, V> Default for KeyedCache<K, V> {
+    fn default() -> Self {
+        KeyedCache {
+            map: Mutex::new(HashMap::new()),
+            lookups: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
+    /// Returns the cached value for `key`, computing it with `f` on the
+    /// first request. Concurrent requests for the same missing key run
+    /// `f` exactly once; the map lock is *not* held while `f` runs, so
+    /// unrelated keys never contend.
+    pub fn get_or_compute<F: FnOnce() -> V>(&self, key: K, f: F) -> V {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let mut map = self.map.lock().expect("cache lock poisoned");
+            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        cell.get_or_init(|| {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+            f()
+        })
+        .clone()
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            computes: self.computes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct keys resident.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_once_per_key() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::default();
+        let runs = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_compute(7, || {
+                runs.fetch_add(1, Ordering::Relaxed);
+                42
+            });
+            assert_eq!(v, 42);
+        }
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        let c = cache.counters();
+        assert_eq!(c.lookups, 5);
+        assert_eq!(c.computes, 1);
+        assert_eq!(c.hits(), 4);
+    }
+
+    #[test]
+    fn distinct_keys_compute_separately() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::default();
+        assert_eq!(cache.get_or_compute(1, || 10), 10);
+        assert_eq!(cache.get_or_compute(2, || 20), 20);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().computes, 2);
+    }
+
+    #[test]
+    fn concurrent_requests_never_double_compute() {
+        let cache: KeyedCache<u32, u64> = KeyedCache::default();
+        let runs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for key in 0..16u32 {
+                        let v = cache.get_or_compute(key, || {
+                            runs.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window.
+                            std::thread::yield_now();
+                            key as u64 * 3
+                        });
+                        assert_eq!(v, key as u64 * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 16);
+        assert_eq!(cache.counters().computes, 16);
+    }
+}

@@ -1,0 +1,665 @@
+//! The [`PlacementEngine`]: a long-lived, thread-safe placement service.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use vc_core::concern::ConcernSet;
+use vc_core::important::{important_placements, surviving_packings, ImportantPlacement};
+use vc_core::model::{
+    select_probe_pair, PerfOracle, PerfPairModel, SharedOracle, TrainingSet, TrainingWorkload,
+};
+use vc_core::packing::Packing;
+use vc_core::placement::{PlacementError, PlacementSpec};
+use vc_ml::forest::ForestConfig;
+use vc_sim::SimOracle;
+use vc_topology::Machine;
+
+use crate::cache::{CacheCounters, KeyedCache};
+
+/// Engine-wide configuration: the training corpus and forest settings
+/// shared by every machine in the fleet. These parameters are part of
+/// every cache identity, so changing them requires a new engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Measurement repetitions per (workload, placement) when building
+    /// training sets.
+    pub n_seeds: u64,
+    /// Synthetic workloads added to the paper suite per oracle.
+    pub extra_synthetic: usize,
+    /// Seed of the synthetic corpus generator.
+    pub corpus_seed: u64,
+    /// Random-forest hyper-parameters for trained models.
+    pub forest: ForestConfig,
+    /// Seed for probe selection and forest training.
+    pub train_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            n_seeds: 3,
+            extra_synthetic: 12,
+            corpus_seed: 42,
+            forest: ForestConfig {
+                n_trees: 60,
+                ..ForestConfig::default()
+            },
+            train_seed: 7,
+        }
+    }
+}
+
+/// Index of a machine in the engine's fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(pub usize);
+
+/// Everything Algorithms 1–3 derive for one `(machine, vcpus)` pair:
+/// the concern set, the important placements and the surviving packings.
+#[derive(Debug, Clone)]
+pub struct PlacementCatalog {
+    /// The machine's scheduling concerns.
+    pub concerns: ConcernSet,
+    /// Important placements, id order.
+    pub placements: Vec<ImportantPlacement>,
+    /// Packings surviving duplicate removal and the Pareto filter.
+    pub packings: Vec<Packing>,
+}
+
+/// A trained perf-pair model plus the probe pair it selected.
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    /// Index of the anchor (baseline) placement.
+    pub baseline: usize,
+    /// Index of the second probe placement.
+    pub probe: usize,
+    /// Cross-validated error (%) of the selected probe pair.
+    pub cv_error_pct: f64,
+    /// The fitted model.
+    pub model: PerfPairModel,
+}
+
+/// One container placement request.
+#[derive(Debug, Clone)]
+pub struct PlacementRequest {
+    /// Workload name (must resolve against the target oracle's suite).
+    pub workload: String,
+    /// vCPUs requested.
+    pub vcpus: usize,
+    /// Performance goal as a fraction of the measured baseline
+    /// performance (the paper's 0.9 / 1.0 / 1.1 goals); `0.0` means best
+    /// effort.
+    pub goal_frac: f64,
+    /// Seed for the two probe measurements.
+    pub probe_seed: u64,
+}
+
+impl PlacementRequest {
+    /// A best-effort request (no performance goal).
+    pub fn new(workload: impl Into<String>, vcpus: usize) -> Self {
+        PlacementRequest {
+            workload: workload.into(),
+            vcpus,
+            goal_frac: 0.0,
+            probe_seed: 0,
+        }
+    }
+
+    /// Sets the performance goal.
+    pub fn with_goal(mut self, goal_frac: f64) -> Self {
+        self.goal_frac = goal_frac;
+        self
+    }
+
+    /// Sets the probe seed.
+    pub fn with_probe_seed(mut self, seed: u64) -> Self {
+        self.probe_seed = seed;
+        self
+    }
+}
+
+/// How [`PlacementEngine::place_batch`] chooses among feasible machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStrategy {
+    /// First machine (in fleet order) with enough free capacity.
+    FirstFit,
+    /// The machine whose predicted performance for the request is best.
+    BestScore,
+}
+
+/// A committed placement.
+#[derive(Debug, Clone)]
+pub struct Placed {
+    /// Machine the container was placed on.
+    pub machine: MachineId,
+    /// 1-based important-placement id used.
+    pub placement_id: usize,
+    /// Concrete placement spec.
+    pub spec: PlacementSpec,
+    /// Predicted performance in that placement.
+    pub predicted_perf: f64,
+    /// Absolute performance the goal translated to (0 if best-effort).
+    pub goal_perf: f64,
+    /// Whether the prediction clears the goal.
+    pub goal_met: bool,
+}
+
+/// Outcome of one request in a batch.
+#[derive(Debug, Clone)]
+pub enum PlacementDecision {
+    /// The request was placed and its capacity reserved.
+    Placed(Placed),
+    /// No machine could host the request.
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl PlacementDecision {
+    /// The placement, if any.
+    pub fn placed(&self) -> Option<&Placed> {
+        match self {
+            PlacementDecision::Placed(p) => Some(p),
+            PlacementDecision::Rejected { .. } => None,
+        }
+    }
+}
+
+/// Counter snapshot across all engine caches.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineStats {
+    /// Catalog cache (important placements + packings).
+    pub catalogs: CacheCounters,
+    /// Training-set cache (oracle measurement sweeps).
+    pub training_sets: CacheCounters,
+    /// Model cache (probe selection + forest training).
+    pub models: CacheCounters,
+}
+
+impl EngineStats {
+    /// Total compute-side work performed (cold misses across caches).
+    pub fn total_computes(&self) -> u64 {
+        self.catalogs.computes + self.training_sets.computes + self.models.computes
+    }
+}
+
+struct Host {
+    machine: Machine,
+    fingerprint: u64,
+    baseline: usize,
+    oracle: Arc<SimOracle>,
+    used_threads: AtomicUsize,
+}
+
+/// Cache key for training sets and models. `forest`/`seed`/corpus knobs
+/// are engine-wide (see [`EngineConfig`]), so the key is the fingerprint
+/// plus the request-visible parameters. Machines with identical
+/// fingerprints share entries: the fleet amortises training the way MAO
+/// amortises models across a warehouse.
+type TrainKey = (u64, usize, usize, Option<String>);
+
+/// A long-lived, thread-safe placement service over a fleet of machines.
+///
+/// The engine memoizes the three expensive stages of the paper's
+/// pipeline behind compute-once caches:
+///
+/// 1. **catalogs** — Algorithms 1–3 per `(machine fingerprint, vcpus)`;
+/// 2. **training sets** — the oracle measurement sweep per
+///    `(fingerprint, vcpus, baseline, excluded family)`;
+/// 3. **models** — probe-pair selection plus forest training, same key.
+///
+/// A warm query therefore performs *no* enumeration and *no* training —
+/// only the two probe measurements that the paper's §7 policy needs at
+/// decision time. All methods take `&self`; the engine can be shared
+/// behind an [`Arc`] and queried from many threads.
+pub struct PlacementEngine {
+    cfg: EngineConfig,
+    hosts: Vec<Host>,
+    catalogs: KeyedCache<(u64, usize), Result<Arc<PlacementCatalog>, PlacementError>>,
+    training_sets: KeyedCache<TrainKey, Result<Arc<TrainingSet>, PlacementError>>,
+    models: KeyedCache<TrainKey, Result<Arc<ModelArtifact>, PlacementError>>,
+}
+
+impl PlacementEngine {
+    /// An engine with an empty fleet.
+    pub fn new(cfg: EngineConfig) -> Self {
+        PlacementEngine {
+            cfg,
+            hosts: Vec::new(),
+            catalogs: KeyedCache::default(),
+            training_sets: KeyedCache::default(),
+            models: KeyedCache::default(),
+        }
+    }
+
+    /// An engine serving a single machine (baseline placement 0).
+    pub fn single(machine: Machine, cfg: EngineConfig) -> Self {
+        let mut engine = Self::new(cfg);
+        engine.add_machine(machine);
+        engine
+    }
+
+    /// Adds a machine with baseline placement index 0.
+    pub fn add_machine(&mut self, machine: Machine) -> MachineId {
+        self.add_machine_with_baseline(machine, 0)
+    }
+
+    /// Adds a machine whose reporting baseline is the important placement
+    /// at `baseline` (the paper uses #1 on AMD, #2 on Intel). Fleet
+    /// mutation requires `&mut self`, i.e. happens before serving starts.
+    pub fn add_machine_with_baseline(&mut self, machine: Machine, baseline: usize) -> MachineId {
+        let fingerprint = machine.fingerprint();
+        let oracle = Arc::new(SimOracle::with_synthetic(
+            machine.clone(),
+            self.cfg.extra_synthetic,
+            self.cfg.corpus_seed,
+        ));
+        self.hosts.push(Host {
+            machine,
+            fingerprint,
+            baseline,
+            oracle,
+            used_threads: AtomicUsize::new(0),
+        });
+        MachineId(self.hosts.len() - 1)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Number of machines in the fleet.
+    pub fn num_machines(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// All machine ids, in fleet order.
+    pub fn machine_ids(&self) -> Vec<MachineId> {
+        (0..self.hosts.len()).map(MachineId).collect()
+    }
+
+    /// The machine behind `id`.
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.hosts[id.0].machine
+    }
+
+    /// The machine's reporting-baseline placement index.
+    pub fn baseline(&self, id: MachineId) -> usize {
+        self.hosts[id.0].baseline
+    }
+
+    /// The machine's oracle as a shareable trait object.
+    pub fn oracle(&self, id: MachineId) -> SharedOracle {
+        Arc::clone(&self.hosts[id.0].oracle) as SharedOracle
+    }
+
+    /// The machine's concrete simulator oracle (for experiment harnesses
+    /// that need the workload list).
+    pub fn sim_oracle(&self, id: MachineId) -> Arc<SimOracle> {
+        Arc::clone(&self.hosts[id.0].oracle)
+    }
+
+    /// (used, total) hardware threads on a machine.
+    pub fn utilisation(&self, id: MachineId) -> (usize, usize) {
+        let host = &self.hosts[id.0];
+        (
+            host.used_threads.load(Ordering::Relaxed),
+            host.machine.num_threads(),
+        )
+    }
+
+    /// Releases the capacity a placement reserved.
+    ///
+    /// Releasing more than is currently reserved (e.g. releasing the
+    /// same placement twice) is API misuse: it panics in debug builds
+    /// and saturates at zero in release builds rather than wrapping the
+    /// counter.
+    pub fn release(&self, placed: &Placed) {
+        let host = &self.hosts[placed.machine.0];
+        let mut used = host.used_threads.load(Ordering::Relaxed);
+        loop {
+            debug_assert!(
+                used >= placed.spec.vcpus,
+                "release of {} vCPUs exceeds the {} reserved on {:?}",
+                placed.spec.vcpus,
+                used,
+                placed.machine
+            );
+            let next = used.saturating_sub(placed.spec.vcpus);
+            match host.used_threads.compare_exchange_weak(
+                used,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(current) => used = current,
+            }
+        }
+    }
+
+    /// Atomically reserves `vcpus` hardware threads on a host, failing
+    /// when they no longer fit (another batch may have committed since
+    /// this batch's planning snapshot).
+    fn try_reserve(&self, machine: usize, vcpus: usize) -> bool {
+        let host = &self.hosts[machine];
+        let total = host.machine.num_threads();
+        let mut used = host.used_threads.load(Ordering::Relaxed);
+        loop {
+            if used + vcpus > total {
+                return false;
+            }
+            match host.used_threads.compare_exchange_weak(
+                used,
+                used + vcpus,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(current) => used = current,
+            }
+        }
+    }
+
+    /// Counter snapshot across all caches.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            catalogs: self.catalogs.counters(),
+            training_sets: self.training_sets.counters(),
+            models: self.models.counters(),
+        }
+    }
+
+    /// The placement catalog for `vcpus` on a machine (cached per
+    /// machine fingerprint).
+    pub fn catalog(
+        &self,
+        id: MachineId,
+        vcpus: usize,
+    ) -> Result<Arc<PlacementCatalog>, PlacementError> {
+        let host = &self.hosts[id.0];
+        self.catalogs
+            .get_or_compute((host.fingerprint, vcpus), || {
+                let concerns = ConcernSet::for_machine(&host.machine);
+                let placements = important_placements(&host.machine, &concerns, vcpus)?;
+                let packings = surviving_packings(&host.machine, &concerns, vcpus)?;
+                Ok(Arc::new(PlacementCatalog {
+                    concerns,
+                    placements,
+                    packings,
+                }))
+            })
+    }
+
+    /// The measured training set for `(machine, vcpus, baseline)`,
+    /// optionally excluding one workload family (the leave-family-out
+    /// setting the paper's experiments use).
+    pub fn training_set(
+        &self,
+        id: MachineId,
+        vcpus: usize,
+        baseline: usize,
+        exclude_family: Option<&str>,
+    ) -> Result<Arc<TrainingSet>, PlacementError> {
+        let host = &self.hosts[id.0];
+        let key = (
+            host.fingerprint,
+            vcpus,
+            baseline,
+            exclude_family.map(str::to_string),
+        );
+        self.training_sets.get_or_compute(key, || {
+            let catalog = self.catalog(id, vcpus)?;
+            let workloads: Vec<TrainingWorkload> = host
+                .oracle
+                .workloads()
+                .iter()
+                .filter(|w| exclude_family != Some(w.family.as_str()))
+                .map(|w| TrainingWorkload {
+                    name: w.name.clone(),
+                    family: w.family.clone(),
+                })
+                .collect();
+            Ok(Arc::new(TrainingSet::build(
+                host.oracle.as_ref(),
+                &workloads,
+                &catalog.placements,
+                baseline,
+                self.cfg.n_seeds,
+            )))
+        })
+    }
+
+    /// The trained perf-pair model for `(machine, vcpus, baseline)`,
+    /// optionally excluding one workload family from training. Probe
+    /// selection and forest training run once per key; subsequent calls
+    /// are O(1) lookups.
+    pub fn model(
+        &self,
+        id: MachineId,
+        vcpus: usize,
+        baseline: usize,
+        exclude_family: Option<&str>,
+    ) -> Result<Arc<ModelArtifact>, PlacementError> {
+        let host = &self.hosts[id.0];
+        let key = (
+            host.fingerprint,
+            vcpus,
+            baseline,
+            exclude_family.map(str::to_string),
+        );
+        self.models.get_or_compute(key, || {
+            let ts = self.training_set(id, vcpus, baseline, exclude_family)?;
+            let (probe, cv_error_pct) = select_probe_pair(&ts, &self.cfg.forest, self.cfg.train_seed);
+            let rows: Vec<usize> = (0..ts.workloads.len()).collect();
+            let model = PerfPairModel::fit(
+                &ts,
+                &rows,
+                baseline,
+                probe,
+                &self.cfg.forest,
+                self.cfg.train_seed,
+            );
+            Ok(Arc::new(ModelArtifact {
+                baseline,
+                probe,
+                cv_error_pct,
+                model,
+            }))
+        })
+    }
+
+    /// Evaluates one request against one machine without committing
+    /// capacity: probes the two model placements, predicts the full
+    /// performance vector and returns the best placement for the goal.
+    fn candidate(&self, id: MachineId, req: &PlacementRequest) -> Result<Placed, String> {
+        if req.vcpus == 0 {
+            return Err("request has zero vCPUs".to_string());
+        }
+        let host = &self.hosts[id.0];
+        if !host.oracle.workloads().iter().any(|w| w.name == req.workload) {
+            return Err(format!(
+                "workload {} unknown on machine {}",
+                req.workload,
+                host.machine.name()
+            ));
+        }
+        let catalog = self
+            .catalog(id, req.vcpus)
+            .map_err(|e| format!("{}: {e}", host.machine.name()))?;
+        let artifact = self
+            .model(id, req.vcpus, host.baseline.min(catalog.placements.len() - 1), None)
+            .map_err(|e| format!("{}: {e}", host.machine.name()))?;
+
+        let anchor_spec = &catalog.placements[artifact.baseline].spec;
+        let probe_spec = &catalog.placements[artifact.probe].spec;
+        let anchor_perf = host.oracle.perf(&req.workload, anchor_spec, req.probe_seed);
+        let other_perf = host
+            .oracle
+            .perf(&req.workload, probe_spec, req.probe_seed.wrapping_add(1));
+        let predicted = artifact.model.predict_absolute(anchor_perf, other_perf);
+
+        let goal_perf = req.goal_frac * anchor_perf;
+        // Best predicted placement; among goal-clearing candidates prefer
+        // the one using the fewest nodes (cheapest for the operator).
+        let mut best: Option<(&ImportantPlacement, f64)> = None;
+        for ip in &catalog.placements {
+            let p = predicted[ip.id - 1];
+            let better = match best {
+                None => true,
+                Some((cur, cur_p)) => {
+                    let (meets, cur_meets) = (p >= goal_perf, cur_p >= goal_perf);
+                    if meets != cur_meets {
+                        meets
+                    } else if meets {
+                        ip.spec.num_nodes() < cur.spec.num_nodes()
+                            || (ip.spec.num_nodes() == cur.spec.num_nodes() && p > cur_p)
+                    } else {
+                        p > cur_p
+                    }
+                }
+            };
+            if better {
+                best = Some((ip, p));
+            }
+        }
+        let (ip, predicted_perf) = best.expect("catalog placements are never empty");
+        Ok(Placed {
+            machine: id,
+            placement_id: ip.id,
+            spec: ip.spec.clone(),
+            predicted_perf,
+            goal_perf,
+            goal_met: predicted_perf >= goal_perf,
+        })
+    }
+
+    /// Places a single request (see [`Self::place_batch`]).
+    pub fn place(&self, req: &PlacementRequest) -> PlacementDecision {
+        self.place_batch(std::slice::from_ref(req), BatchStrategy::FirstFit)
+            .pop()
+            .expect("one decision per request")
+    }
+
+    /// Places a stream of requests across the fleet.
+    ///
+    /// Candidate evaluation (probing + prediction, cache-warming on cold
+    /// paths) fans out over scoped worker threads; commitment is then
+    /// sequential in request order, so results are deterministic and
+    /// capacity accounting is exact. Requests that fit nowhere — or
+    /// whose goal no machine is predicted to meet — are rejected.
+    pub fn place_batch(
+        &self,
+        reqs: &[PlacementRequest],
+        strategy: BatchStrategy,
+    ) -> Vec<PlacementDecision> {
+        // Phase 1: evaluate every (request, machine) candidate in
+        // parallel. Pure reads plus cache fills; no capacity is touched.
+        let candidates = self.evaluate_candidates(reqs);
+
+        // Phase 2: commit sequentially in request order. `free` is this
+        // batch's planning view; the actual reservation is a CAS against
+        // the shared counter, so concurrent batches can never
+        // over-commit a machine — a lost race here just re-plans the
+        // request on the remaining machines.
+        let mut free: Vec<isize> = self
+            .hosts
+            .iter()
+            .map(|h| {
+                h.machine.num_threads() as isize - h.used_threads.load(Ordering::Relaxed) as isize
+            })
+            .collect();
+        let mut decisions = Vec::with_capacity(reqs.len());
+        for (req, options) in reqs.iter().zip(candidates) {
+            let decision = loop {
+                let fitting = options
+                    .iter()
+                    .filter_map(|c| c.as_ref().ok())
+                    .filter(|p| p.goal_met && free[p.machine.0] >= req.vcpus as isize);
+                let chosen = match strategy {
+                    BatchStrategy::FirstFit => fitting.min_by_key(|p| p.machine),
+                    BatchStrategy::BestScore => fitting.max_by(|a, b| {
+                        a.predicted_perf
+                            .partial_cmp(&b.predicted_perf)
+                            .expect("finite predictions")
+                            .then(b.machine.cmp(&a.machine))
+                    }),
+                };
+                let Some(p) = chosen else {
+                    break PlacementDecision::Rejected {
+                        reason: Self::rejection_reason(&options),
+                    };
+                };
+                if self.try_reserve(p.machine.0, req.vcpus) {
+                    free[p.machine.0] -= req.vcpus as isize;
+                    break PlacementDecision::Placed(p.clone());
+                }
+                // A concurrent batch claimed the capacity between our
+                // snapshot and the commit. Exclude this host for this
+                // request (capped below vcpus so the loop terminates)
+                // and re-plan.
+                let (used, total) = self.utilisation(p.machine);
+                free[p.machine.0] =
+                    (total as isize - used as isize).min(req.vcpus as isize - 1);
+            };
+            decisions.push(decision);
+        }
+        decisions
+    }
+
+    /// Why a request could not be placed: an actionable summary rather
+    /// than an arbitrary per-machine error.
+    fn rejection_reason(options: &[Result<Placed, String>]) -> String {
+        let ok: Vec<&Placed> = options.iter().filter_map(|c| c.as_ref().ok()).collect();
+        if ok.is_empty() {
+            return options
+                .iter()
+                .filter_map(|c| c.as_ref().err())
+                .next()
+                .cloned()
+                .unwrap_or_else(|| "no machines in the fleet".to_string());
+        }
+        let goal_ok = ok.iter().filter(|p| p.goal_met).count();
+        if goal_ok == 0 {
+            format!(
+                "no machine is predicted to meet the goal ({} evaluated)",
+                ok.len()
+            )
+        } else {
+            format!(
+                "no free capacity on the {goal_ok} of {} machines that meet the goal",
+                ok.len()
+            )
+        }
+    }
+
+    /// Phase 1 of [`Self::place_batch`]: per request, the candidate
+    /// outcome on every machine, computed on scoped worker threads.
+    fn evaluate_candidates(&self, reqs: &[PlacementRequest]) -> Vec<Vec<Result<Placed, String>>> {
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(reqs.len().max(1));
+        if n_workers <= 1 || reqs.len() <= 1 {
+            return reqs.iter().map(|r| self.candidates_for(r)).collect();
+        }
+        let chunk = reqs.len().div_ceil(n_workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = reqs
+                .chunks(chunk)
+                .map(|slice| s.spawn(move || slice.iter().map(|r| self.candidates_for(r)).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("candidate worker panicked"))
+                .collect()
+        })
+    }
+
+    fn candidates_for(&self, req: &PlacementRequest) -> Vec<Result<Placed, String>> {
+        (0..self.hosts.len())
+            .map(|i| self.candidate(MachineId(i), req))
+            .collect()
+    }
+}

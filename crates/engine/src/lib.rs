@@ -1,0 +1,216 @@
+//! # vc-engine — the cluster-scale placement service
+//!
+//! The crates below this one reproduce Funston et al.'s single-machine
+//! pipeline (concerns → important placements → probe selection → forest
+//! training). Every consumer used to re-wire that pipeline by hand and
+//! recompute everything per call. This crate turns the pipeline into a
+//! **long-lived, thread-safe service**: a [`PlacementEngine`] owns a
+//! fleet of machines and answers placement queries out of compute-once
+//! caches, so repeated queries cost two probe measurements instead of a
+//! full enumeration-plus-training run.
+//!
+//! What is memoized, and under which key:
+//!
+//! | cache | key | contents |
+//! |---|---|---|
+//! | catalogs | `(machine fingerprint, vcpus)` | concern set, important placements, surviving packings |
+//! | training sets | `(fingerprint, vcpus, baseline, excluded family)` | the oracle measurement sweep |
+//! | models | `(fingerprint, vcpus, baseline, excluded family)` | selected probe pair + fitted forest |
+//!
+//! Keys use [`vc_topology::Machine::fingerprint`], so identical machine
+//! models across a fleet share one catalog and one trained model — the
+//! ML stage is amortised across the fleet rather than retrained per
+//! machine, in the spirit of warehouse-scale systems like MAO.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vc_engine::{BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest};
+//! use vc_topology::machines;
+//!
+//! // A small fleet: two AMD boxes (they share caches!) and one Intel box.
+//! let mut engine = PlacementEngine::new(EngineConfig {
+//!     extra_synthetic: 0, // paper suite only, for a fast doc test
+//!     ..EngineConfig::default()
+//! });
+//! engine.add_machine(machines::amd_opteron_6272());
+//! engine.add_machine(machines::amd_opteron_6272());
+//! engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+//!
+//! // Place a stream of containers, first-fit.
+//! let reqs: Vec<PlacementRequest> = (0..4)
+//!     .map(|i| PlacementRequest::new("WTbtree", 16).with_probe_seed(i))
+//!     .collect();
+//! let decisions = engine.place_batch(&reqs, BatchStrategy::FirstFit);
+//! assert!(decisions.iter().all(|d| d.placed().is_some()));
+//!
+//! // The second identical batch is answered from warm caches: no new
+//! // enumeration, no new forest training.
+//! let before = engine.stats();
+//! let _ = engine.place_batch(&reqs, BatchStrategy::FirstFit);
+//! let after = engine.stats();
+//! assert_eq!(before.catalogs.computes, after.catalogs.computes);
+//! assert_eq!(before.models.computes, after.models.computes);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod engine;
+
+pub use cache::{CacheCounters, KeyedCache};
+pub use engine::{
+    BatchStrategy, EngineConfig, EngineStats, MachineId, ModelArtifact, Placed, PlacementCatalog,
+    PlacementDecision, PlacementEngine, PlacementRequest,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_topology::machines;
+
+    fn small_engine() -> PlacementEngine {
+        // Tiny corpus so unit tests stay fast; integration tests use the
+        // full default.
+        PlacementEngine::single(
+            machines::amd_opteron_6272(),
+            EngineConfig {
+                extra_synthetic: 0,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn catalog_matches_direct_enumeration() {
+        let engine = small_engine();
+        let catalog = engine.catalog(MachineId(0), 16).unwrap();
+        assert_eq!(catalog.placements.len(), 13); // the paper's count
+        let direct = vc_core::important::important_placements(
+            engine.machine(MachineId(0)),
+            &catalog.concerns,
+            16,
+        )
+        .unwrap();
+        for (a, b) in catalog.placements.iter().zip(&direct) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.scores, b.scores);
+        }
+    }
+
+    #[test]
+    fn infeasible_vcpus_error_is_cached_not_panicking() {
+        let engine = small_engine();
+        assert!(engine.catalog(MachineId(0), 0).is_err());
+        assert!(engine.catalog(MachineId(0), 1024).is_err());
+        // Second lookup hits the cached error.
+        let before = engine.stats().catalogs.computes;
+        assert!(engine.catalog(MachineId(0), 1024).is_err());
+        assert_eq!(engine.stats().catalogs.computes, before);
+    }
+
+    #[test]
+    fn warm_queries_do_no_enumeration_or_training() {
+        let engine = small_engine();
+        let req = PlacementRequest::new("WTbtree", 16).with_goal(0.9);
+        let cold = engine.place(&req);
+        assert!(cold.placed().is_some());
+        let after_cold = engine.stats();
+        assert!(after_cold.catalogs.computes >= 1);
+        assert!(after_cold.models.computes >= 1);
+
+        for seed in 1..5 {
+            let warm = engine.place(&PlacementRequest::new("WTbtree", 16).with_probe_seed(seed));
+            let placed = warm.placed().expect("capacity was released").clone();
+            engine.release(&placed); // keep capacity free for the next query
+        }
+        let after_warm = engine.stats();
+        assert_eq!(after_cold.catalogs.computes, after_warm.catalogs.computes);
+        assert_eq!(
+            after_cold.training_sets.computes,
+            after_warm.training_sets.computes
+        );
+        assert_eq!(after_cold.models.computes, after_warm.models.computes);
+        assert!(after_warm.models.hits() > after_cold.models.hits());
+    }
+
+    #[test]
+    fn identical_machines_share_cache_entries() {
+        let mut engine = PlacementEngine::new(EngineConfig {
+            extra_synthetic: 0,
+            ..EngineConfig::default()
+        });
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.catalog(MachineId(0), 16).unwrap();
+        let computes = engine.stats().catalogs.computes;
+        engine.catalog(MachineId(1), 16).unwrap();
+        assert_eq!(
+            engine.stats().catalogs.computes,
+            computes,
+            "same-fingerprint machine recomputed its catalog"
+        );
+    }
+
+    #[test]
+    fn capacity_is_reserved_and_released() {
+        let engine = small_engine();
+        let req = PlacementRequest::new("swaptions", 16);
+        let d1 = engine.place(&req);
+        let p1 = d1.placed().expect("fits").clone();
+        assert_eq!(engine.utilisation(MachineId(0)), (16, 64));
+        // Three more fill the 64-thread machine.
+        for _ in 0..3 {
+            assert!(engine.place(&req).placed().is_some());
+        }
+        let full = engine.place(&req);
+        assert!(full.placed().is_none(), "65th--80th vCPUs must not fit");
+        engine.release(&p1);
+        assert_eq!(engine.utilisation(MachineId(0)), (48, 64));
+        assert!(engine.place(&req).placed().is_some());
+    }
+
+    #[test]
+    fn zero_vcpu_and_unknown_workload_requests_are_rejected() {
+        let engine = small_engine();
+        assert!(engine
+            .place(&PlacementRequest::new("WTbtree", 0))
+            .placed()
+            .is_none());
+        assert!(engine
+            .place(&PlacementRequest::new("no-such-workload", 16))
+            .placed()
+            .is_none());
+    }
+
+    #[test]
+    fn best_score_meets_goals_it_predicts() {
+        let mut engine = PlacementEngine::new(EngineConfig {
+            extra_synthetic: 0,
+            ..EngineConfig::default()
+        });
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+        let req = PlacementRequest::new("WTbtree", 16).with_goal(1.0);
+        let decisions = engine.place_batch(std::slice::from_ref(&req), BatchStrategy::BestScore);
+        let placed = decisions[0].placed().expect("some machine meets the goal");
+        assert!(placed.goal_met);
+        assert!(placed.predicted_perf >= placed.goal_perf);
+    }
+
+    #[test]
+    fn batch_decisions_preserve_request_order() {
+        let engine = small_engine();
+        let reqs: Vec<PlacementRequest> = (0..6)
+            .map(|i| PlacementRequest::new("swaptions", 16).with_probe_seed(i))
+            .collect();
+        let decisions = engine.place_batch(&reqs, BatchStrategy::FirstFit);
+        assert_eq!(decisions.len(), 6);
+        // 64 threads / 16 vCPUs: exactly the first four fit.
+        for (i, d) in decisions.iter().enumerate() {
+            assert_eq!(d.placed().is_some(), i < 4, "request {i}");
+        }
+    }
+}

@@ -88,7 +88,7 @@ mod tests {
     fn k_fold_partitions_all_samples() {
         let splits = k_fold(10, 3, 0);
         assert_eq!(splits.len(), 3);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for s in &splits {
             for &i in &s.test {
                 assert!(!seen[i], "sample {i} tested twice");

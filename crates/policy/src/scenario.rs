@@ -1,16 +1,21 @@
 //! The packing scenario harness (Figure 5).
+//!
+//! Scenarios are served by the [`vc_engine::PlacementEngine`]: important
+//! placements, the training sweep and the trained model all come out of
+//! the engine's compute-once caches, so building many scenarios against
+//! the same machine model (Figure 5 runs twelve) trains once instead of
+//! twelve times.
 
 use std::fmt;
+use std::sync::Arc;
 
 use vc_core::assign::assign_vcpus;
-use vc_core::concern::ConcernSet;
-use vc_core::important::{important_placements, surviving_packings, ImportantPlacement};
-use vc_core::model::{select_probe_pair, PerfOracle, PerfPairModel, TrainingSet, TrainingWorkload};
+use vc_core::important::ImportantPlacement;
+use vc_core::model::{PerfOracle, SharedOracle};
 use vc_core::placement::PlacementSpec;
-use vc_ml::forest::ForestConfig;
+use vc_engine::{EngineConfig, MachineId, ModelArtifact, PlacementCatalog, PlacementEngine};
 use vc_sim::engine::{simulate, ContainerRun, SimConfig};
 use vc_sim::os_sched::linux_like_assignments;
-use vc_sim::SimOracle;
 use vc_topology::{Machine, ThreadId};
 use vc_workloads::suite::workload_by_name;
 
@@ -53,74 +58,85 @@ pub struct PolicyOutcome {
     pub violation_pct: f64,
 }
 
-/// A prepared scenario: one machine, one workload type, a trained model.
+/// A prepared scenario: one machine, one workload type, a trained model
+/// served out of a [`PlacementEngine`].
 pub struct PackingScenario {
     machine: Machine,
-    oracle: SimOracle,
+    oracle: SharedOracle,
+    catalog: Arc<PlacementCatalog>,
+    artifact: Arc<ModelArtifact>,
     vcpus: usize,
     workload: String,
-    placements: Vec<ImportantPlacement>,
     baseline: usize,
-    model: PerfPairModel,
     /// Number of OS-scheduler samples for unpinned policies.
     pub os_samples: u64,
 }
 
 impl PackingScenario {
-    /// Builds the scenario: enumerates important placements, builds the
-    /// training set over the paper suite *excluding the target workload's
-    /// family* (the model has never seen this workload), selects the
-    /// probe pair and trains the model.
+    /// Builds a scenario backed by a private single-machine engine.
+    ///
+    /// The engine enumerates important placements, builds the training
+    /// set over the paper suite *excluding the target workload's family*
+    /// (the model has never seen this workload), selects the probe pair
+    /// and trains the model — all cached, so a second scenario on an
+    /// identical machine reuses every stage. `seed` seeds probe selection
+    /// and forest training.
     ///
     /// `baseline` is the index of the baseline placement (the paper uses
     /// placement #1 on AMD and #2 on Intel).
     pub fn new(machine: Machine, vcpus: usize, workload: &str, baseline: usize, seed: u64) -> Self {
-        let concerns = ConcernSet::for_machine(&machine);
-        let placements =
-            important_placements(&machine, &concerns, vcpus).expect("feasible container");
-        let oracle = SimOracle::with_synthetic(machine.clone(), 12, 42);
+        let engine = Arc::new(PlacementEngine::single(
+            machine,
+            EngineConfig {
+                train_seed: seed,
+                ..EngineConfig::default()
+            },
+        ));
+        Self::with_engine(&engine, MachineId(0), vcpus, workload, baseline)
+    }
+
+    /// Builds a scenario on one machine of an existing (shared) engine,
+    /// reusing whatever catalogs, training sweeps and models the engine
+    /// has already computed.
+    pub fn with_engine(
+        engine: &Arc<PlacementEngine>,
+        id: MachineId,
+        vcpus: usize,
+        workload: &str,
+        baseline: usize,
+    ) -> Self {
         let target_family = workload_by_name(workload)
             .unwrap_or_else(|| panic!("unknown workload {workload}"))
             .family;
-        let training: Vec<TrainingWorkload> = oracle
-            .workloads()
-            .iter()
-            .filter(|w| w.family != target_family)
-            .map(|w| TrainingWorkload {
-                name: w.name.clone(),
-                family: w.family.clone(),
-            })
-            .collect();
-        let ts = TrainingSet::build(&oracle, &training, &placements, baseline, 3);
-        let cfg = ForestConfig {
-            n_trees: 60,
-            ..ForestConfig::default()
-        };
-        let (other, _) = select_probe_pair(&ts, &cfg, seed);
-        let rows: Vec<usize> = (0..ts.workloads.len()).collect();
-        let model = PerfPairModel::fit(&ts, &rows, baseline, other, &cfg, seed);
+        let catalog = engine.catalog(id, vcpus).expect("feasible container");
+        let artifact = engine
+            .model(id, vcpus, baseline, Some(&target_family))
+            .expect("feasible container");
         PackingScenario {
-            machine,
-            oracle,
+            machine: engine.machine(id).clone(),
+            oracle: engine.oracle(id),
+            catalog,
+            artifact,
             vcpus,
             workload: workload.to_string(),
-            placements,
             baseline,
-            model,
             os_samples: 6,
         }
     }
 
     /// The important placements of the scenario.
     pub fn placements(&self) -> &[ImportantPlacement] {
-        &self.placements
+        &self.catalog.placements
     }
 
     /// Reference performance in the baseline placement (the quantity the
     /// goals are fractions of).
     pub fn baseline_perf(&self) -> f64 {
-        self.oracle
-            .perf(&self.workload, &self.placements[self.baseline].spec, 1000)
+        self.oracle.perf(
+            &self.workload,
+            &self.catalog.placements[self.baseline].spec,
+            1000,
+        )
     }
 
     /// The maximum number of instances that fit with one vCPU per
@@ -174,34 +190,33 @@ impl PackingScenario {
     }
 
     fn eval_ml(&self, goal: f64, goal_frac: f64, seed: u64) -> PolicyOutcome {
+        let model = &self.artifact.model;
+        let placements = &self.catalog.placements;
         // Probe: run the container briefly in the two probe placements.
-        let anchor_perf = self.oracle.perf(
-            &self.workload,
-            &self.placements[self.model.anchor].spec,
-            seed,
-        );
+        let anchor_perf =
+            self.oracle
+                .perf(&self.workload, &placements[model.anchor].spec, seed);
         let other_perf = self.oracle.perf(
             &self.workload,
-            &self.placements[self.model.other].spec,
+            &placements[model.other].spec,
             seed.wrapping_add(1),
         );
-        let predicted = self.model.predict_absolute(anchor_perf, other_perf);
+        let predicted = model.predict_absolute(anchor_perf, other_perf);
 
         // Pack: among surviving packings, choose the one that fits the
         // most instances onto placement classes predicted to meet the
         // goal. Parts host an instance only when their class prediction
         // clears the goal.
-        let concerns = ConcernSet::for_machine(&self.machine);
-        let packings =
-            surviving_packings(&self.machine, &concerns, self.vcpus).expect("scenario is feasible");
+        let concerns = &self.catalog.concerns;
+        let packings = &self.catalog.packings;
         let mut best: Option<(usize, Vec<PlacementSpec>)> = None;
-        for packing in &packings {
+        for packing in packings {
             let mut specs = Vec::new();
             for part in &packing.parts {
                 if part.len() * self.machine.node_capacity() < self.vcpus {
                     continue;
                 }
-                for ip in &self.placements {
+                for ip in placements {
                     if ip.spec.num_nodes() != part.len() {
                         continue;
                     }
@@ -240,8 +255,7 @@ impl PackingScenario {
         // predicted to meet the goal (the operator still runs one
         // instance; violations will show).
         let specs = if specs.is_empty() {
-            let best_ip = self
-                .placements
+            let best_ip = placements
                 .iter()
                 .max_by(|a, b| {
                     predicted[a.id - 1]
@@ -295,10 +309,9 @@ impl PackingScenario {
         // whose sorted interconnect vector is lexicographically largest
         // from the bottom (max-min).
         let m = self.min_nodes();
-        let concerns = ConcernSet::for_machine(&self.machine);
-        let packings =
-            surviving_packings(&self.machine, &concerns, self.vcpus).expect("scenario is feasible");
-        let all_min: Vec<_> = packings
+        let all_min: Vec<_> = self
+            .catalog
+            .packings
             .iter()
             .filter(|p| p.parts.iter().all(|part| part.len() == m))
             .collect();
@@ -400,5 +413,34 @@ mod tests {
         let ml = s.evaluate(Policy::Ml, 0.9, 4);
         let cons = s.evaluate(Policy::Conservative, 0.9, 4);
         assert!(ml.instances > cons.instances);
+    }
+
+    #[test]
+    fn scenarios_sharing_an_engine_share_training() {
+        let engine = Arc::new(PlacementEngine::single(
+            machines::amd_opteron_6272(),
+            EngineConfig::default(),
+        ));
+        let a = PackingScenario::with_engine(&engine, MachineId(0), 16, "WTbtree", 0);
+        let after_first = engine.stats();
+        // Same workload family again: catalog, sweep and model all hit.
+        let b = PackingScenario::with_engine(&engine, MachineId(0), 16, "WTbtree", 0);
+        let stats = engine.stats();
+        assert_eq!(after_first.models.computes, stats.models.computes);
+        assert_eq!(after_first.catalogs.computes, stats.catalogs.computes);
+        assert_eq!(
+            after_first.training_sets.computes,
+            stats.training_sets.computes
+        );
+        // A different family retrains the model but reuses the catalog.
+        let _c = PackingScenario::with_engine(&engine, MachineId(0), 16, "swaptions", 0);
+        let stats2 = engine.stats();
+        assert_eq!(stats.catalogs.computes, stats2.catalogs.computes);
+        assert!(stats2.models.computes > stats.models.computes);
+        // The shared scenarios behave identically.
+        let oa = a.evaluate(Policy::Conservative, 0.9, 1);
+        let ob = b.evaluate(Policy::Conservative, 0.9, 1);
+        assert_eq!(oa.instances, ob.instances);
+        assert_eq!(oa.violation_pct, ob.violation_pct);
     }
 }

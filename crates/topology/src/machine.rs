@@ -276,6 +276,67 @@ impl Machine {
         &self.threads[id.index()]
     }
 
+    /// A stable 64-bit fingerprint of the hardware description.
+    ///
+    /// Two machines with identical topology (structure, clock, cache and
+    /// latency configuration, DRAM bandwidths and interconnect links)
+    /// produce identical fingerprints regardless of their display names,
+    /// so caches keyed by fingerprint are shared across a fleet of
+    /// same-model machines. The hash is FNV-1a over the canonical field
+    /// order, so it is stable across processes and platforms.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            // FNV-1a over the 8 bytes of v.
+            for i in 0..8 {
+                h ^= (v >> (i * 8)) & 0xff;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.clock_ghz.to_bits());
+        mix(self.nodes.len() as u64);
+        mix(self.l3_groups.len() as u64);
+        mix(self.l2_groups.len() as u64);
+        mix(self.cores.len() as u64);
+        mix(self.threads.len() as u64);
+        for n in &self.nodes {
+            mix(n.package as u64);
+            mix(n.l3_groups.len() as u64);
+            mix(n.dram_bw_gbs.to_bits());
+        }
+        for g in &self.l3_groups {
+            mix(g.node.index() as u64);
+            mix(g.l2_groups.len() as u64);
+        }
+        for g in &self.l2_groups {
+            mix(g.l3_group.index() as u64);
+            mix(g.cores.len() as u64);
+        }
+        for c in &self.cores {
+            mix(c.l2_group.index() as u64);
+            mix(c.threads.len() as u64);
+        }
+        for l in self.interconnect.links() {
+            mix(l.a.index() as u64);
+            mix(l.b.index() as u64);
+            mix(l.bandwidth_gbs.to_bits());
+        }
+        mix(self.caches.l2_size_mib.to_bits());
+        mix(self.caches.l3_size_mib.to_bits());
+        for lat in [
+            self.latencies.l1_cycles,
+            self.latencies.l2_cycles,
+            self.latencies.l3_cycles,
+            self.latencies.dram_cycles,
+            self.latencies.remote_hop_cycles,
+            self.latencies.c2c_l3_cycles,
+            self.latencies.c2c_remote_cycles,
+        ] {
+            mix(lat.to_bits());
+        }
+        h
+    }
+
     /// Validates internal consistency; machine constructors call this.
     pub fn validate(&self) -> Result<(), TopologyError> {
         if self.nodes.is_empty() {
@@ -642,6 +703,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_but_not_structure() {
+        let a = toy();
+        let renamed = MachineBuilder::new("other-name")
+            .packages(2)
+            .nodes_per_package(2)
+            .l3_groups_per_node(1)
+            .l2_groups_per_l3(2)
+            .cores_per_l2(2)
+            .threads_per_core(1)
+            .link(0, 1, 4.0)
+            .link(2, 3, 4.0)
+            .link(0, 2, 2.0)
+            .link(1, 3, 2.0)
+            .build()
+            .unwrap();
+        assert_eq!(a.fingerprint(), renamed.fingerprint());
+
+        let different_bw = MachineBuilder::new("toy")
+            .packages(2)
+            .nodes_per_package(2)
+            .l3_groups_per_node(1)
+            .l2_groups_per_l3(2)
+            .cores_per_l2(2)
+            .threads_per_core(1)
+            .link(0, 1, 4.0)
+            .link(2, 3, 4.0)
+            .link(0, 2, 2.0)
+            .link(1, 3, 9.0)
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), different_bw.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_clones() {
+        let m = toy();
+        assert_eq!(m.fingerprint(), m.clone().fingerprint());
     }
 
     #[test]

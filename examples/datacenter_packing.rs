@@ -1,22 +1,35 @@
-//! The §7 scenario: pack as many WiredTiger containers into a machine as
-//! possible while respecting a performance goal, comparing all four
-//! policies.
+//! The §7 scenario, served by the cluster engine: pack as many
+//! WiredTiger containers into a machine as possible while respecting a
+//! performance goal, comparing all four policies — then place a mixed
+//! request stream across a small fleet with `place_batch`.
 //!
 //! ```sh
 //! cargo run --release --example datacenter_packing
 //! ```
 
+use std::sync::Arc;
+
+use vcplace::engine::{BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest};
 use vcplace::policy::{PackingScenario, Policy};
 use vcplace::topology::machines;
 
 fn main() {
-    let machine = machines::amd_opteron_6272();
+    // One engine serves everything below; every catalog, training sweep
+    // and trained model is computed once and cached.
+    let mut engine = PlacementEngine::new(EngineConfig {
+        train_seed: 7,
+        ..EngineConfig::default()
+    });
+    let amd = engine.add_machine(machines::amd_opteron_6272());
+    let intel = engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+    let engine = Arc::new(engine);
+
     println!(
         "packing 16-vCPU WiredTiger containers onto {}",
-        machine.name()
+        engine.machine(amd).name()
     );
 
-    let scenario = PackingScenario::new(machine, 16, "WTbtree", 0, 7);
+    let scenario = PackingScenario::with_engine(&engine, amd, 16, "WTbtree", 0);
     println!(
         "baseline performance (placement #1): {:.0} ops/s\n",
         scenario.baseline_perf()
@@ -48,5 +61,52 @@ fn main() {
         "\nThe ML policy meets its goals while packing more instances than \
          Conservative; Aggressive fills the machine at the cost of large \
          violations (compare the stars in the paper's Figure 5)."
+    );
+
+    // Fleet serving: a mixed stream of container requests, best-score
+    // strategy, capacity accounted per machine.
+    println!("\nplacing a mixed request stream across the fleet:");
+    let reqs: Vec<PlacementRequest> = [
+        ("WTbtree", 16, 1.0),
+        ("swaptions", 16, 0.9),
+        ("blast", 24, 0.9),
+        ("kmeans", 16, 1.0),
+        ("WTbtree", 24, 0.9),
+        ("swaptions", 16, 0.9),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &(w, v, g))| {
+        PlacementRequest::new(w, v)
+            .with_goal(g)
+            .with_probe_seed(i as u64)
+    })
+    .collect();
+    let decisions = engine.place_batch(&reqs, BatchStrategy::BestScore);
+    for (req, d) in reqs.iter().zip(&decisions) {
+        match d.placed() {
+            Some(p) => println!(
+                "  {:<10} {:>2} vCPUs -> {:<28} placement #{:<2} predicted {:>10.0} (goal {})",
+                req.workload,
+                req.vcpus,
+                engine.machine(p.machine).name(),
+                p.placement_id,
+                p.predicted_perf,
+                if p.goal_met { "met" } else { "missed" },
+            ),
+            None => println!("  {:<10} {:>2} vCPUs -> rejected", req.workload, req.vcpus),
+        }
+    }
+    for id in [amd, intel] {
+        let (used, total) = engine.utilisation(id);
+        println!(
+            "  {}: {used}/{total} hardware threads committed",
+            engine.machine(id).name()
+        );
+    }
+    let stats = engine.stats();
+    println!(
+        "  engine caches: {} catalog / {} training / {} model computations total",
+        stats.catalogs.computes, stats.training_sets.computes, stats.models.computes
     );
 }

@@ -17,7 +17,10 @@
 //! * [`sim`] — the analytic NUMA performance simulator and HPE
 //!   synthesiser;
 //! * [`migration`] — the Table 2 memory migration cost model;
-//! * [`policy`] — the §7 packing policies and scenario harness.
+//! * [`policy`] — the §7 packing policies and scenario harness;
+//! * [`engine`] — the cluster-scale placement service: a cache-backed
+//!   [`engine::PlacementEngine`] serving placement and packing queries
+//!   over a fleet of machines.
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub use vc_core as core;
+pub use vc_engine as engine;
 pub use vc_migration as migration;
 pub use vc_ml as ml;
 pub use vc_policy as policy;
