@@ -2,41 +2,111 @@
 //! assignment.
 //!
 //! The assignment is the canonical balanced layout: vCPUs divide evenly
-//! over the nodes; within each node they occupy the first `L3S/n` L3
-//! groups and the first `L2S/n` L2 groups; within an L2 group they fill
-//! distinct cores before doubling up on SMT siblings. This mirrors what a
-//! pinning scheduler would do with cpusets.
+//! over the nodes; within each node they occupy `L3S/n` L3 groups and
+//! `L2S/n` L2 groups; within an L2 group they fill distinct cores before
+//! doubling up on SMT siblings. This mirrors what a pinning scheduler
+//! would do with cpusets.
+//!
+//! [`assign_vcpus_in`] is the occupancy-aware variant: it only hands out
+//! hardware threads that are free in an [`OccupancyMap`], preferring
+//! already-fragmented L3/L2 domains so untouched hardware stays
+//! contiguous for later containers. [`assign_vcpus`] is the same layout
+//! on an empty machine.
 
-use vc_topology::{Machine, ThreadId};
+use vc_topology::{Machine, OccupancyMap, ThreadId};
 
 use crate::placement::{PlacementError, PlacementSpec};
 
-/// Maps each vCPU (by index) to a hardware thread.
+/// Maps each vCPU (by index) to a hardware thread on an empty machine.
+///
+/// Equivalent to [`assign_vcpus_in`] with an all-free [`OccupancyMap`].
 ///
 /// # Errors
 ///
 /// Propagates [`PlacementSpec::validate`] failures.
+///
+/// # Examples
+///
+/// ```
+/// use vc_core::assign::assign_vcpus;
+/// use vc_core::placement::PlacementSpec;
+/// use vc_topology::{machines, NodeId};
+///
+/// let amd = machines::amd_opteron_6272();
+/// let spec = PlacementSpec::on_nodes(16, vec![NodeId(0), NodeId(1)], 8);
+/// let threads = assign_vcpus(&amd, &spec).unwrap();
+/// assert_eq!(threads.len(), 16);
+/// ```
 pub fn assign_vcpus(
     machine: &Machine,
     spec: &PlacementSpec,
 ) -> Result<Vec<ThreadId>, PlacementError> {
+    assign_vcpus_in(machine, spec, &OccupancyMap::new(machine))
+}
+
+/// Maps each vCPU (by index) to a *free* hardware thread, given the
+/// machine's current occupancy.
+///
+/// Within every node of the spec the function selects L3 groups that
+/// still hold enough sufficiently-free L2 groups, and within those the
+/// L2 groups with the fewest free threads that still fit — so partially
+/// used cache domains are packed tight before pristine ones are broken
+/// open. On an all-free map this reduces to the canonical first-groups
+/// layout of [`assign_vcpus`].
+///
+/// # Errors
+///
+/// Propagates [`PlacementSpec::validate`] failures, and returns
+/// [`PlacementError::NodeExhausted`] naming the first node of the spec
+/// whose free threads cannot host its share of the container.
+pub fn assign_vcpus_in(
+    machine: &Machine,
+    spec: &PlacementSpec,
+    occ: &OccupancyMap,
+) -> Result<Vec<ThreadId>, PlacementError> {
     spec.validate(machine)?;
     let n = spec.nodes.len();
+    let vcpus_per_node = spec.vcpus / n;
     let l3_per_node = spec.l3_groups_used / n;
     let l2_per_node = spec.l2_groups_used / n;
+    let l2_per_l3 = l2_per_node / l3_per_node;
     let vcpus_per_l2 = spec.vcpus / spec.l2_groups_used;
 
     let mut assignment = Vec::with_capacity(spec.vcpus);
     for &node in &spec.nodes {
-        // First `l3_per_node` L3 groups of the node, first
-        // `l2_per_node / l3_per_node` L2 groups of each.
-        let node_l3s = &machine.nodes()[node.index()].l3_groups[..l3_per_node];
-        let l2_per_l3 = l2_per_node / l3_per_node;
-        for &l3 in node_l3s {
-            let l3_l2s = &machine.l3_groups()[l3.index()].l2_groups[..l2_per_l3];
-            for &l2 in l3_l2s {
-                // Fill distinct cores first, then SMT siblings.
-                let cores = &machine.l2_groups()[l2.index()].cores;
+        let exhausted = || PlacementError::NodeExhausted {
+            node,
+            needed: vcpus_per_node,
+            free: occ.free_on_node(node),
+        };
+        // L3 groups of the node that still hold `l2_per_l3` L2 groups
+        // with room for `vcpus_per_l2` vCPUs each, most-used first.
+        let mut qualifying: Vec<(usize, usize)> = Vec::new(); // (free_in_l3, l3 index)
+        for &l3 in &machine.nodes()[node.index()].l3_groups {
+            let l2s = &machine.l3_groups()[l3.index()].l2_groups;
+            let eligible = l2s.iter().filter(|&&g| occ.free_in_l2(g) >= vcpus_per_l2).count();
+            if eligible >= l2_per_l3 {
+                let free: usize = l2s.iter().map(|&g| occ.free_in_l2(g)).sum();
+                qualifying.push((free, l3.index()));
+            }
+        }
+        if qualifying.len() < l3_per_node {
+            return Err(exhausted());
+        }
+        qualifying.sort_by_key(|&(free, _)| free);
+        for &(_, l3) in &qualifying[..l3_per_node] {
+            // Eligible L2 groups of the chosen L3, fewest free threads
+            // first (tightest fit), ties towards the smaller id.
+            let mut l2s: Vec<(usize, usize)> = machine.l3_groups()[l3]
+                .l2_groups
+                .iter()
+                .filter(|&&g| occ.free_in_l2(g) >= vcpus_per_l2)
+                .map(|&g| (occ.free_in_l2(g), g.index()))
+                .collect();
+            l2s.sort_by_key(|&(free, _)| free);
+            for &(_, l2) in &l2s[..l2_per_l3] {
+                // Fill distinct free cores first, then SMT siblings.
+                let cores = &machine.l2_groups()[l2].cores;
                 let mut picked = 0usize;
                 'outer: for sibling in 0..machine.smt_ways() {
                     for &core in cores {
@@ -44,7 +114,7 @@ pub fn assign_vcpus(
                             break 'outer;
                         }
                         let threads = &machine.cores()[core.index()].threads;
-                        if sibling < threads.len() {
+                        if sibling < threads.len() && occ.is_free(threads[sibling]) {
                             assignment.push(threads[sibling]);
                             picked += 1;
                         }

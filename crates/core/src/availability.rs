@@ -1,0 +1,265 @@
+//! Filtering the important-placement catalog by what is actually free.
+//!
+//! An [`ImportantPlacement`] is an
+//! *equivalence class*: its spec names one representative node set, but
+//! every node set with the same score vector predicts the same
+//! performance (§3). When containers come and go, the representative set
+//! may be busy while an equivalent set is free — so admission must
+//! *retarget* each class onto a node set that the machine's
+//! [`OccupancyMap`] says can really host it.
+//!
+//! Retargeting prefers node sets that consume the fewest pristine
+//! (completely untouched) nodes, so small containers are packed onto
+//! already-fragmented hardware and large contiguous room survives for
+//! later requests.
+//!
+//! # Examples
+//!
+//! ```
+//! use vc_core::availability::available_placements;
+//! use vc_core::concern::ConcernSet;
+//! use vc_core::important::important_placements;
+//! use vc_topology::{machines, NodeId, OccupancyMap};
+//!
+//! let amd = machines::amd_opteron_6272();
+//! let concerns = ConcernSet::for_machine(&amd);
+//! let catalog = important_placements(&amd, &concerns, 16).unwrap();
+//!
+//! // Occupy nodes 0 and 1 entirely.
+//! let mut occ = OccupancyMap::new(&amd);
+//! for node in [NodeId(0), NodeId(1)] {
+//!     occ.reserve(&amd.threads_on_node(node)).unwrap();
+//! }
+//!
+//! // Every class that can still be hosted is retargeted onto free nodes.
+//! for ap in available_placements(&amd, &concerns, &catalog, &occ) {
+//!     assert!(!ap.spec.nodes.contains(&NodeId(0)));
+//!     assert!(!ap.spec.nodes.contains(&NodeId(1)));
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use vc_topology::{Machine, NodeId, OccupancyMap, ThreadId};
+
+use crate::assign::assign_vcpus_in;
+use crate::concern::ConcernSet;
+use crate::important::ImportantPlacement;
+use crate::placement::PlacementSpec;
+
+/// An important-placement class realised on a currently-free node set.
+#[derive(Debug, Clone)]
+pub struct AvailablePlacement {
+    /// Id of the catalog class this availability realises.
+    pub id: usize,
+    /// Concrete spec on a node set that is free right now.
+    pub spec: PlacementSpec,
+    /// The free hardware threads that would host the vCPUs.
+    pub threads: Vec<ThreadId>,
+    /// Pristine (completely untouched) nodes this placement would break
+    /// open — the fragmentation cost the admission scorer penalises.
+    pub pristine_consumed: usize,
+}
+
+/// Score-vector cache keyed by `(node set, L3 groups, L2 groups)`,
+/// shared across the classes of one retargeting pass (the interconnect
+/// score is a flow computation).
+type ScoreCache = BTreeMap<(Vec<NodeId>, usize, usize), Vec<f64>>;
+
+/// Retargets every class in `placements` onto free hardware.
+///
+/// Classes with no free equivalent node set are dropped; the survivors
+/// keep their catalog `id`, so model predictions (indexed by class id)
+/// remain valid for the retargeted specs.
+pub fn available_placements(
+    machine: &Machine,
+    concerns: &ConcernSet,
+    placements: &[ImportantPlacement],
+    occ: &OccupancyMap,
+) -> Vec<AvailablePlacement> {
+    let mut cache = ScoreCache::new();
+    placements
+        .iter()
+        .filter_map(|ip| retarget(machine, concerns, ip, occ, &mut cache))
+        .collect()
+}
+
+/// Retargets a single class onto free hardware (`None` when every
+/// equivalent node set is busy).
+pub fn retarget_placement(
+    machine: &Machine,
+    concerns: &ConcernSet,
+    placement: &ImportantPlacement,
+    occ: &OccupancyMap,
+) -> Option<AvailablePlacement> {
+    let mut cache = ScoreCache::new();
+    retarget(machine, concerns, placement, occ, &mut cache)
+}
+
+fn retarget(
+    machine: &Machine,
+    concerns: &ConcernSet,
+    ip: &ImportantPlacement,
+    occ: &OccupancyMap,
+    cache: &mut ScoreCache,
+) -> Option<AvailablePlacement> {
+    let n = ip.spec.num_nodes();
+    let per_node = ip.spec.vcpus / n;
+    let eligible: Vec<NodeId> = machine
+        .nodes()
+        .iter()
+        .map(|nd| nd.id)
+        .filter(|&nd| occ.free_on_node(nd) >= per_node)
+        .collect();
+    if eligible.len() < n {
+        return None;
+    }
+
+    // All size-n subsets of the eligible nodes, cheapest fragmentation
+    // first, ties towards the lexicographically smallest set.
+    let mut combos: Vec<(usize, Vec<NodeId>)> = Vec::new();
+    let mut buf = Vec::with_capacity(n);
+    crate::packing::choose(&eligible, n, &mut buf, &mut |set| {
+        let pristine = set.iter().filter(|&&nd| occ.node_is_pristine(nd)).count();
+        combos.push((pristine, set.to_vec()));
+    });
+    combos.sort();
+
+    for (pristine, set) in combos {
+        let key = (set.clone(), ip.spec.l3_groups_used, ip.spec.l2_groups_used);
+        let scores = cache.entry(key).or_insert_with(|| {
+            let probe = PlacementSpec::new(
+                ip.spec.vcpus,
+                set.clone(),
+                ip.spec.l3_groups_used,
+                ip.spec.l2_groups_used,
+            );
+            concerns.score_vector(machine, &probe)
+        });
+        let equivalent = scores.len() == ip.scores.len()
+            && scores
+                .iter()
+                .zip(&ip.scores)
+                .all(|(a, b)| (a - b).abs() <= 1e-9);
+        if !equivalent {
+            continue;
+        }
+        let spec = PlacementSpec::new(
+            ip.spec.vcpus,
+            set,
+            ip.spec.l3_groups_used,
+            ip.spec.l2_groups_used,
+        );
+        if let Ok(threads) = assign_vcpus_in(machine, &spec, occ) {
+            return Some(AvailablePlacement {
+                id: ip.id,
+                spec,
+                threads,
+                pristine_consumed: pristine,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::important::important_placements;
+    use vc_topology::machines;
+
+    fn amd_setup() -> (Machine, ConcernSet, Vec<ImportantPlacement>) {
+        let amd = machines::amd_opteron_6272();
+        let cs = ConcernSet::for_machine(&amd);
+        let ips = important_placements(&amd, &cs, 16).unwrap();
+        (amd, cs, ips)
+    }
+
+    #[test]
+    fn empty_machine_offers_every_class_on_its_representative() {
+        let (amd, cs, ips) = amd_setup();
+        let occ = OccupancyMap::new(&amd);
+        let avail = available_placements(&amd, &cs, &ips, &occ);
+        assert_eq!(avail.len(), ips.len());
+        for (ap, ip) in avail.iter().zip(&ips) {
+            assert_eq!(ap.id, ip.id);
+            // All nodes pristine: the lexicographically smallest
+            // equivalent set wins; it carries the class's exact scores.
+            let scores = cs.score_vector(&amd, &ap.spec);
+            for (a, b) in scores.iter().zip(&ip.scores) {
+                assert!((a - b).abs() <= 1e-9);
+            }
+            assert_eq!(ap.pristine_consumed, ap.spec.num_nodes());
+        }
+    }
+
+    #[test]
+    fn busy_representative_is_retargeted_to_an_equivalent_set() {
+        let (amd, cs, ips) = amd_setup();
+        let mut occ = OccupancyMap::new(&amd);
+        // Fill nodes 0 and 1 (the smallest intra-package pair).
+        for n in [NodeId(0), NodeId(1)] {
+            occ.reserve(&amd.threads_on_node(n)).unwrap();
+        }
+        let avail = available_placements(&amd, &cs, &ips, &occ);
+        // The intra-package 2-node class must reappear on another pair
+        // ({2,3}, {4,5} or {6,7} score identically).
+        let two_node: Vec<_> = avail.iter().filter(|a| a.spec.num_nodes() == 2).collect();
+        assert!(!two_node.is_empty());
+        for ap in &avail {
+            assert!(!ap.spec.nodes.contains(&NodeId(0)), "{:?}", ap.spec.nodes);
+            assert!(!ap.spec.nodes.contains(&NodeId(1)), "{:?}", ap.spec.nodes);
+        }
+    }
+
+    #[test]
+    fn exhausted_machine_offers_nothing() {
+        let (amd, cs, ips) = amd_setup();
+        let mut occ = OccupancyMap::new(&amd);
+        for n in 0..amd.num_nodes() {
+            occ.reserve(&amd.threads_on_node(NodeId(n))).unwrap();
+        }
+        assert!(available_placements(&amd, &cs, &ips, &occ).is_empty());
+    }
+
+    #[test]
+    fn retargeted_threads_are_free_and_disjoint() {
+        let (amd, cs, ips) = amd_setup();
+        let mut occ = OccupancyMap::new(&amd);
+        occ.reserve(&amd.threads_on_node(NodeId(2))).unwrap();
+        for ap in available_placements(&amd, &cs, &ips, &occ) {
+            assert_eq!(ap.threads.len(), 16);
+            let mut sorted = ap.threads.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 16, "class {} hands out duplicates", ap.id);
+            for &t in &ap.threads {
+                assert!(occ.is_free(t), "class {} uses reserved thread {t}", ap.id);
+            }
+        }
+    }
+
+    #[test]
+    fn partially_used_nodes_are_preferred_over_pristine_ones() {
+        // A 12-vCPU single-node container uses half an Intel node, so
+        // two instances can stack on one node without sharing threads.
+        let intel = machines::intel_xeon_e7_4830_v3();
+        let cs = ConcernSet::for_machine(&intel);
+        let ips = important_placements(&intel, &cs, 12).unwrap();
+        let single = ips
+            .iter()
+            .find(|ip| ip.spec.num_nodes() == 1)
+            .expect("12 vCPUs fit one 24-thread node");
+        let mut occ = OccupancyMap::new(&intel);
+        let first = retarget_placement(&intel, &cs, single, &occ).unwrap();
+        occ.reserve(&first.threads).unwrap();
+        // The second instance of the same class must pack onto the
+        // half-used node rather than break open a pristine one.
+        let second = retarget_placement(&intel, &cs, single, &occ).unwrap();
+        assert_eq!(second.pristine_consumed, 0);
+        assert_eq!(second.spec.nodes, first.spec.nodes);
+        for &t in &second.threads {
+            assert!(!first.threads.contains(&t), "thread {t} double-booked");
+        }
+    }
+}

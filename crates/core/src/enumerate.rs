@@ -15,6 +15,16 @@ use vc_topology::Machine;
 /// divisible by every count, but an empty container occupies nothing, so
 /// the degenerate input yields an empty vector rather than relying on
 /// upstream guards.
+///
+/// # Examples
+///
+/// ```
+/// use vc_core::enumerate::feasible_scores;
+///
+/// // 16 vCPUs over 8 nodes of 8 threads each: one node cannot hold
+/// // them, so the feasible node scores are 2, 4 and 8 (paper §4).
+/// assert_eq!(feasible_scores(16, 8, 8), vec![2, 4, 8]);
+/// ```
 pub fn feasible_scores(vcpus: usize, count: usize, capacity: usize) -> Vec<usize> {
     if vcpus == 0 {
         return Vec::new();

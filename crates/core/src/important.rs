@@ -125,36 +125,56 @@ fn pareto_filter(packings: Vec<Packing>, ic: &mut IcScores<'_>) -> Vec<Packing> 
 /// Returns [`PlacementError::NoVcpus`] for an empty container and
 /// [`PlacementError::Unbalanced`] when no balanced feasible placement
 /// exists at all.
+///
+/// # Examples
+///
+/// ```
+/// use vc_core::concern::ConcernSet;
+/// use vc_core::important::important_placements;
+/// use vc_topology::machines;
+///
+/// let amd = machines::amd_opteron_6272();
+/// let concerns = ConcernSet::for_machine(&amd);
+/// let placements = important_placements(&amd, &concerns, 16).unwrap();
+/// // The paper's §4 result: 16 vCPUs on this machine give 13 classes.
+/// assert_eq!(placements.len(), 13);
+/// assert!(placements.iter().all(|p| p.spec.vcpus == 16));
+/// ```
 pub fn important_placements(
     machine: &Machine,
     concerns: &ConcernSet,
     vcpus: usize,
 ) -> Result<Vec<ImportantPlacement>, PlacementError> {
+    let surviving = surviving_packings(machine, concerns, vcpus)?;
+    important_placements_from_packings(machine, concerns, vcpus, &surviving)
+}
+
+/// Expands precomputed surviving packings (from [`surviving_packings`])
+/// into important placements.
+///
+/// This is Algorithm 3 without the packing-generation prefix: callers
+/// that need both the packings *and* the placements (the engine's
+/// catalog) generate packings once and thread them through here instead
+/// of paying Algorithm 2 twice.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::NoVcpus`] for an empty container and
+/// [`PlacementError::Unbalanced`] when no balanced, feasible expansion
+/// of the packings exists.
+pub fn important_placements_from_packings(
+    machine: &Machine,
+    concerns: &ConcernSet,
+    vcpus: usize,
+    surviving: &[Packing],
+) -> Result<Vec<ImportantPlacement>, PlacementError> {
     if vcpus == 0 {
         return Err(PlacementError::NoVcpus);
     }
-    let nscores = node_scores(machine, vcpus);
-    if nscores.is_empty() {
-        return Err(PlacementError::Unbalanced {
-            what: "nodes",
-            vcpus,
-            count: machine.num_nodes(),
-        });
-    }
-
-    // Algorithm 2, then Algorithm 3's duplicate removal (the generator is
-    // already duplicate-free) and Pareto filter.
-    let packings = generate_packings(machine.num_nodes(), &nscores);
-    let mut ic = IcScores::new(machine);
-    let surviving = if concerns.has_interconnect() {
-        pareto_filter(packings, &mut ic)
-    } else {
-        packings
-    };
 
     // Collect candidate node sets from surviving packings.
     let mut node_sets: Vec<NodeSet> = Vec::new();
-    for p in &surviving {
+    for p in surviving {
         for part in &p.parts {
             if !node_sets.contains(part) {
                 node_sets.push(part.clone());
@@ -241,6 +261,28 @@ pub fn important_placements(
 /// Returns the surviving packings (after duplicate removal and the Pareto
 /// filter) — the co-location options a scheduler can combine on one
 /// machine.
+///
+/// # Examples
+///
+/// ```
+/// use vc_core::concern::ConcernSet;
+/// use vc_core::important::{important_placements_from_packings, surviving_packings};
+/// use vc_topology::machines;
+///
+/// let amd = machines::amd_opteron_6272();
+/// let concerns = ConcernSet::for_machine(&amd);
+/// let packings = surviving_packings(&amd, &concerns, 16).unwrap();
+/// // Every packing partitions all 8 nodes.
+/// assert!(packings
+///     .iter()
+///     .all(|p| p.parts.iter().map(|part| part.len()).sum::<usize>() == 8));
+///
+/// // The packings expand into the important placements without
+/// // re-running Algorithm 2.
+/// let placements =
+///     important_placements_from_packings(&amd, &concerns, 16, &packings).unwrap();
+/// assert_eq!(placements.len(), 13);
+/// ```
 pub fn surviving_packings(
     machine: &Machine,
     concerns: &ConcernSet,

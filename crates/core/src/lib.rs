@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod assign;
+pub mod availability;
 pub mod concern;
 pub mod enumerate;
 pub mod important;
@@ -41,6 +42,7 @@ pub mod model;
 pub mod packing;
 pub mod placement;
 
+pub use availability::{available_placements, AvailablePlacement};
 pub use concern::{Concern, ConcernKind, ConcernSet};
 pub use important::{important_placements, ImportantPlacement};
 pub use model::{PerfOracle, SharedOracle};

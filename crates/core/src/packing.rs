@@ -6,10 +6,24 @@
 //! machine, so every placement appearing in any packing is a candidate
 //! important placement (§4).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use vc_topology::NodeId;
 
 /// A sorted set of NUMA nodes forming one placement.
 pub type NodeSet = Vec<NodeId>;
+
+/// Process-wide count of [`generate_packings`] runs.
+static GENERATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// How many times [`generate_packings`] has run in this process.
+///
+/// Instrumentation for tests and benchmarks that assert the enumeration
+/// is not repeated behind a cache (packing generation is the most
+/// expensive step of a cold catalog miss).
+pub fn generations() -> u64 {
+    GENERATIONS.load(Ordering::Relaxed)
+}
 
 /// A partition of all NUMA nodes into placements.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +59,7 @@ impl Packing {
 /// canonicalises away the orderings Algorithm 2 would otherwise
 /// enumerate and later dedup.
 pub fn generate_packings(num_nodes: usize, node_scores: &[usize]) -> Vec<Packing> {
+    GENERATIONS.fetch_add(1, Ordering::Relaxed);
     let mut packings = Vec::new();
     let nodes: Vec<NodeId> = (0..num_nodes).map(NodeId).collect();
     let mut current: Vec<NodeSet> = Vec::new();
@@ -86,8 +101,9 @@ fn gen_pack(
     }
 }
 
-/// Calls `f` with every `k`-combination of `items` (in order).
-fn choose<F: FnMut(&[NodeId])>(items: &[NodeId], k: usize, buf: &mut Vec<NodeId>, f: &mut F) {
+/// Calls `f` with every `k`-combination of `items` (in order). Shared
+/// with the availability retargeting in [`crate::availability`].
+pub(crate) fn choose<F: FnMut(&[NodeId])>(items: &[NodeId], k: usize, buf: &mut Vec<NodeId>, f: &mut F) {
     if buf.len() == k {
         f(buf);
         return;

@@ -48,6 +48,18 @@ pub enum PlacementError {
         /// Node count.
         nodes: usize,
     },
+    /// A node in the spec lacks the free hardware threads — in the
+    /// L2/L3 arrangement the placement prescribes — that its share of
+    /// the container needs. `free` can exceed `needed` when enough
+    /// threads are free but scattered across the wrong cache domains.
+    NodeExhausted {
+        /// The exhausted node.
+        node: NodeId,
+        /// Free threads the placement needs on that node.
+        needed: usize,
+        /// Free threads the node actually has (in any arrangement).
+        free: usize,
+    },
 }
 
 impl fmt::Display for PlacementError {
@@ -76,6 +88,20 @@ impl fmt::Display for PlacementError {
                     f,
                     "{groups} {what} cannot be spread evenly over {nodes} nodes"
                 )
+            }
+            PlacementError::NodeExhausted { node, needed, free } => {
+                if free < needed {
+                    write!(
+                        f,
+                        "node {node} exhausted: placement needs {needed} free hardware threads, {free} free"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "node {node} fragmented: {free} threads free but not in the \
+                         {needed}-thread L2/L3 arrangement the placement needs"
+                    )
+                }
             }
         }
     }

@@ -1,10 +1,12 @@
 //! The [`PlacementEngine`]: a long-lived, thread-safe placement service.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use vc_core::availability::{available_placements, AvailablePlacement};
 use vc_core::concern::ConcernSet;
-use vc_core::important::{important_placements, surviving_packings, ImportantPlacement};
+use vc_core::important::{
+    important_placements_from_packings, surviving_packings, ImportantPlacement,
+};
 use vc_core::model::{
     select_probe_pair, PerfOracle, PerfPairModel, SharedOracle, TrainingSet, TrainingWorkload,
 };
@@ -12,7 +14,7 @@ use vc_core::packing::Packing;
 use vc_core::placement::{PlacementError, PlacementSpec};
 use vc_ml::forest::ForestConfig;
 use vc_sim::SimOracle;
-use vc_topology::Machine;
+use vc_topology::{Machine, NodeId, OccupancyMap, ThreadId};
 
 use crate::cache::{CacheCounters, KeyedCache};
 
@@ -79,6 +81,24 @@ pub struct ModelArtifact {
 }
 
 /// One container placement request.
+///
+/// # Examples
+///
+/// ```
+/// use vc_engine::PlacementRequest;
+///
+/// // Best effort: place 16 vCPUs of WiredTiger wherever they fit.
+/// let best_effort = PlacementRequest::new("WTbtree", 16);
+/// assert_eq!(best_effort.goal_frac, 0.0);
+///
+/// // Demand at least 90% of baseline performance, with a fixed probe
+/// // seed so repeated placements observe the same measurements.
+/// let strict = PlacementRequest::new("WTbtree", 16)
+///     .with_goal(0.9)
+///     .with_probe_seed(7);
+/// assert_eq!(strict.goal_frac, 0.9);
+/// assert_eq!(strict.probe_seed, 7);
+/// ```
 #[derive(Debug, Clone)]
 pub struct PlacementRequest {
     /// Workload name (must resolve against the target oracle's suite).
@@ -118,6 +138,37 @@ impl PlacementRequest {
 }
 
 /// How [`PlacementEngine::place_batch`] chooses among feasible machines.
+///
+/// Both strategies only consider machines predicted to meet the
+/// request's goal; they differ in which of those machines is tried
+/// first. A machine whose occupancy can no longer host any goal-clearing
+/// placement class is skipped and the request re-planned on the rest.
+///
+/// # Examples
+///
+/// ```
+/// use vc_engine::{BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest};
+/// use vc_topology::machines;
+///
+/// let mut engine = PlacementEngine::new(EngineConfig {
+///     extra_synthetic: 0, // paper suite only, for a fast doc test
+///     ..EngineConfig::default()
+/// });
+/// engine.add_machine(machines::amd_opteron_6272());
+/// engine.add_machine(machines::amd_opteron_6272());
+///
+/// // First-fit walks the fleet in id order: the first container lands
+/// // on machine 0.
+/// let req = PlacementRequest::new("WTbtree", 16);
+/// let placed = engine.place(&req).placed().expect("fleet has room").clone();
+/// assert_eq!(placed.machine.0, 0);
+///
+/// // Best-score would instead pick the machine with the highest
+/// // predicted performance — identical here, since the machines are
+/// // identical and empty.
+/// let best = engine.place_batch(std::slice::from_ref(&req), BatchStrategy::BestScore);
+/// assert!(best[0].placed().is_some());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchStrategy {
     /// First machine (in fleet order) with enough free capacity.
@@ -126,15 +177,24 @@ pub enum BatchStrategy {
     BestScore,
 }
 
-/// A committed placement.
+/// A committed placement: a placement class retargeted onto concrete,
+/// previously-free hardware threads that are now reserved.
+///
+/// Hand the value back to [`PlacementEngine::release`] when the
+/// container departs; the engine frees exactly [`Placed::threads`].
 #[derive(Debug, Clone)]
 pub struct Placed {
     /// Machine the container was placed on.
     pub machine: MachineId,
     /// 1-based important-placement id used.
     pub placement_id: usize,
-    /// Concrete placement spec.
+    /// Concrete placement spec; `spec.nodes` is the node set actually
+    /// reserved (an equivalently-scored set, not necessarily the
+    /// catalog representative).
     pub spec: PlacementSpec,
+    /// The hardware threads this placement reserved. Disjoint from
+    /// every other committed placement on the machine.
+    pub threads: Vec<ThreadId>,
     /// Predicted performance in that placement.
     pub predicted_perf: f64,
     /// Absolute performance the goal translated to (0 if best-effort).
@@ -188,7 +248,31 @@ struct Host {
     fingerprint: u64,
     baseline: usize,
     oracle: Arc<SimOracle>,
-    used_threads: AtomicUsize,
+    /// Node-granular reservation state. Commits and releases lock this
+    /// map; candidate evaluation never does, so the model path stays
+    /// contention-free.
+    occupancy: Mutex<OccupancyMap>,
+}
+
+/// One request evaluated against one machine: per-class performance
+/// predictions, no capacity touched. Committing picks the best class
+/// that the machine's occupancy can still host.
+struct Candidate {
+    machine: MachineId,
+    catalog: Arc<PlacementCatalog>,
+    /// Predicted absolute performance per catalog class, indexed by
+    /// `id - 1`.
+    predicted: Vec<f64>,
+    goal_perf: f64,
+    /// Best prediction over all classes.
+    best_perf: f64,
+}
+
+impl Candidate {
+    /// Whether any class is predicted to clear the goal.
+    fn goal_met(&self) -> bool {
+        self.best_perf >= self.goal_perf
+    }
 }
 
 /// Cache key for training sets and models. `forest`/`seed`/corpus knobs
@@ -212,6 +296,41 @@ type TrainKey = (u64, usize, usize, Option<String>);
 /// only the two probe measurements that the paper's §7 policy needs at
 /// decision time. All methods take `&self`; the engine can be shared
 /// behind an [`Arc`] and queried from many threads.
+///
+/// Capacity is accounted **per NUMA node and L2 domain**, not per
+/// machine: every commit reserves the concrete hardware threads of its
+/// placement (see [`Placed::threads`]), so co-located containers never
+/// overlap, and [`Self::release`] returns exactly those threads when a
+/// container departs. Rejections for lack of capacity name the
+/// exhausted node.
+///
+/// # Examples
+///
+/// Inspecting a machine's catalog and occupancy without placing
+/// anything (no model training, so this runs fast):
+///
+/// ```
+/// use vc_engine::{EngineConfig, MachineId, PlacementEngine};
+/// use vc_topology::machines;
+///
+/// let engine = PlacementEngine::single(
+///     machines::amd_opteron_6272(),
+///     EngineConfig::default(),
+/// );
+/// let catalog = engine.catalog(MachineId(0), 16).unwrap();
+/// assert_eq!(catalog.placements.len(), 13); // the paper's count
+///
+/// let (used, total) = engine.utilisation(MachineId(0));
+/// assert_eq!((used, total), (0, 64));
+/// for (node, used, capacity) in engine.node_utilisation(MachineId(0)) {
+///     assert_eq!(used, 0);
+///     assert_eq!(capacity, 8);
+///     let _ = node;
+/// }
+/// ```
+///
+/// See the [crate-level quickstart](crate) for the full serving loop
+/// (placements, departures, warm-cache behaviour).
 pub struct PlacementEngine {
     cfg: EngineConfig,
     hosts: Vec<Host>,
@@ -254,12 +373,13 @@ impl PlacementEngine {
             self.cfg.extra_synthetic,
             self.cfg.corpus_seed,
         ));
+        let occupancy = Mutex::new(OccupancyMap::new(&machine));
         self.hosts.push(Host {
             machine,
             fingerprint,
             baseline,
             oracle,
-            used_threads: AtomicUsize::new(0),
+            occupancy,
         });
         MachineId(self.hosts.len() - 1)
     }
@@ -302,63 +422,44 @@ impl PlacementEngine {
 
     /// (used, total) hardware threads on a machine.
     pub fn utilisation(&self, id: MachineId) -> (usize, usize) {
-        let host = &self.hosts[id.0];
-        (
-            host.used_threads.load(Ordering::Relaxed),
-            host.machine.num_threads(),
-        )
+        let occ = self.hosts[id.0].occupancy.lock().expect("occupancy lock poisoned");
+        (occ.used_threads(), occ.total_threads())
     }
 
-    /// Releases the capacity a placement reserved.
+    /// Per-node `(node, used, capacity)` hardware-thread usage on a
+    /// machine, node-id order.
+    pub fn node_utilisation(&self, id: MachineId) -> Vec<(NodeId, usize, usize)> {
+        self.hosts[id.0]
+            .occupancy
+            .lock()
+            .expect("occupancy lock poisoned")
+            .node_usage()
+    }
+
+    /// A point-in-time copy of a machine's occupancy map.
+    pub fn occupancy(&self, id: MachineId) -> OccupancyMap {
+        self.hosts[id.0]
+            .occupancy
+            .lock()
+            .expect("occupancy lock poisoned")
+            .clone()
+    }
+
+    /// Releases the hardware threads a placement reserved.
     ///
-    /// Releasing more than is currently reserved (e.g. releasing the
-    /// same placement twice) is API misuse: it panics in debug builds
-    /// and saturates at zero in release builds rather than wrapping the
-    /// counter.
+    /// Releasing threads that are not currently reserved (e.g. releasing
+    /// the same placement twice) is API misuse: it panics in debug
+    /// builds and leaves the occupancy map untouched in release builds
+    /// (the release is all-or-nothing, so no partial free occurs).
     pub fn release(&self, placed: &Placed) {
         let host = &self.hosts[placed.machine.0];
-        let mut used = host.used_threads.load(Ordering::Relaxed);
-        loop {
+        let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
+        if let Err(e) = occ.release(&placed.threads) {
             debug_assert!(
-                used >= placed.spec.vcpus,
-                "release of {} vCPUs exceeds the {} reserved on {:?}",
-                placed.spec.vcpus,
-                used,
+                false,
+                "release of a placement not currently reserved on {:?}: {e}",
                 placed.machine
             );
-            let next = used.saturating_sub(placed.spec.vcpus);
-            match host.used_threads.compare_exchange_weak(
-                used,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return,
-                Err(current) => used = current,
-            }
-        }
-    }
-
-    /// Atomically reserves `vcpus` hardware threads on a host, failing
-    /// when they no longer fit (another batch may have committed since
-    /// this batch's planning snapshot).
-    fn try_reserve(&self, machine: usize, vcpus: usize) -> bool {
-        let host = &self.hosts[machine];
-        let total = host.machine.num_threads();
-        let mut used = host.used_threads.load(Ordering::Relaxed);
-        loop {
-            if used + vcpus > total {
-                return false;
-            }
-            match host.used_threads.compare_exchange_weak(
-                used,
-                used + vcpus,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(current) => used = current,
-            }
         }
     }
 
@@ -382,8 +483,16 @@ impl PlacementEngine {
         self.catalogs
             .get_or_compute((host.fingerprint, vcpus), || {
                 let concerns = ConcernSet::for_machine(&host.machine);
-                let placements = important_placements(&host.machine, &concerns, vcpus)?;
+                // Generate (and Pareto-filter) the packings once, then
+                // expand them into important placements — a cold miss
+                // pays Algorithm 2 a single time.
                 let packings = surviving_packings(&host.machine, &concerns, vcpus)?;
+                let placements = important_placements_from_packings(
+                    &host.machine,
+                    &concerns,
+                    vcpus,
+                    &packings,
+                )?;
                 Ok(Arc::new(PlacementCatalog {
                     concerns,
                     placements,
@@ -471,9 +580,11 @@ impl PlacementEngine {
     }
 
     /// Evaluates one request against one machine without committing
-    /// capacity: probes the two model placements, predicts the full
-    /// performance vector and returns the best placement for the goal.
-    fn candidate(&self, id: MachineId, req: &PlacementRequest) -> Result<Placed, String> {
+    /// capacity: probes the two model placements and predicts the full
+    /// per-class performance vector. Pure model work — which class (and
+    /// which concrete node set) actually hosts the container is decided
+    /// at commit time against live occupancy.
+    fn evaluate(&self, id: MachineId, req: &PlacementRequest) -> Result<Candidate, String> {
         if req.vcpus == 0 {
             return Err("request has zero vCPUs".to_string());
         }
@@ -501,37 +612,101 @@ impl PlacementEngine {
         let predicted = artifact.model.predict_absolute(anchor_perf, other_perf);
 
         let goal_perf = req.goal_frac * anchor_perf;
-        // Best predicted placement; among goal-clearing candidates prefer
-        // the one using the fewest nodes (cheapest for the operator).
-        let mut best: Option<(&ImportantPlacement, f64)> = None;
-        for ip in &catalog.placements {
-            let p = predicted[ip.id - 1];
+        let best_perf = catalog
+            .placements
+            .iter()
+            .map(|ip| predicted[ip.id - 1])
+            .fold(f64::NEG_INFINITY, f64::max);
+        Ok(Candidate {
+            machine: id,
+            catalog,
+            predicted,
+            goal_perf,
+            best_perf,
+        })
+    }
+
+    /// The placement `try_commit` would choose for `cand` on the given
+    /// occupancy: the best goal-clearing class currently hostable.
+    ///
+    /// Class preference among goal-clearing, currently-hostable
+    /// classes: fewest nodes (cheapest for the operator), then fewest
+    /// pristine nodes broken open (least fragmentation of contiguous
+    /// room), then highest predicted performance. `Err` carries a
+    /// human-readable reason naming the exhausted node.
+    fn best_available(
+        &self,
+        cand: &Candidate,
+        occ: &OccupancyMap,
+    ) -> Result<(AvailablePlacement, f64), String> {
+        let host = &self.hosts[cand.machine.0];
+        let available = available_placements(
+            &host.machine,
+            &cand.catalog.concerns,
+            &cand.catalog.placements,
+            occ,
+        );
+        let mut best: Option<(&AvailablePlacement, f64)> = None;
+        for ap in &available {
+            let p = cand.predicted[ap.id - 1];
+            if p < cand.goal_perf {
+                continue;
+            }
+            let rank = (ap.spec.num_nodes(), ap.pristine_consumed);
             let better = match best {
                 None => true,
                 Some((cur, cur_p)) => {
-                    let (meets, cur_meets) = (p >= goal_perf, cur_p >= goal_perf);
-                    if meets != cur_meets {
-                        meets
-                    } else if meets {
-                        ip.spec.num_nodes() < cur.spec.num_nodes()
-                            || (ip.spec.num_nodes() == cur.spec.num_nodes() && p > cur_p)
-                    } else {
-                        p > cur_p
-                    }
+                    let cur_rank = (cur.spec.num_nodes(), cur.pristine_consumed);
+                    rank < cur_rank || (rank == cur_rank && p > cur_p)
                 }
             };
             if better {
-                best = Some((ip, p));
+                best = Some((ap, p));
             }
         }
-        let (ip, predicted_perf) = best.expect("catalog placements are never empty");
+        match best {
+            Some((ap, p)) => Ok((ap.clone(), p)),
+            None => {
+                let node = occ.most_exhausted_node();
+                Err(format!(
+                    "{}: no goal-clearing placement class fits the free capacity \
+                     (node {} exhausted: {}/{} threads free)",
+                    host.machine.name(),
+                    node,
+                    occ.free_on_node(node),
+                    occ.node_capacity(),
+                ))
+            }
+        }
+    }
+
+    /// The predicted performance `try_commit` would deliver for `cand`
+    /// right now, without reserving anything (a dry run under the host's
+    /// occupancy lock).
+    fn offer(&self, cand: &Candidate) -> Result<f64, String> {
+        let host = &self.hosts[cand.machine.0];
+        let occ = host.occupancy.lock().expect("occupancy lock poisoned");
+        self.best_available(cand, &occ).map(|(_, p)| p)
+    }
+
+    /// Attempts to commit a candidate on its machine: retargets the
+    /// best goal-clearing placement class onto node sets with free
+    /// hardware threads (see [`Self::best_available`]) and reserves
+    /// those threads, atomically under the host's occupancy lock.
+    fn try_commit(&self, cand: &Candidate) -> Result<Placed, String> {
+        let host = &self.hosts[cand.machine.0];
+        let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
+        let (ap, predicted_perf) = self.best_available(cand, &occ)?;
+        occ.reserve(&ap.threads)
+            .expect("availability was computed under this lock");
         Ok(Placed {
-            machine: id,
-            placement_id: ip.id,
-            spec: ip.spec.clone(),
+            machine: cand.machine,
+            placement_id: ap.id,
+            spec: ap.spec,
+            threads: ap.threads,
             predicted_perf,
-            goal_perf,
-            goal_met: predicted_perf >= goal_perf,
+            goal_perf: cand.goal_perf,
+            goal_met: predicted_perf >= cand.goal_perf,
         })
     }
 
@@ -547,8 +722,13 @@ impl PlacementEngine {
     /// Candidate evaluation (probing + prediction, cache-warming on cold
     /// paths) fans out over scoped worker threads; commitment is then
     /// sequential in request order, so results are deterministic and
-    /// capacity accounting is exact. Requests that fit nowhere — or
-    /// whose goal no machine is predicted to meet — are rejected.
+    /// occupancy accounting is exact. Each commit reserves the concrete
+    /// hardware threads of a placement class retargeted onto currently
+    /// free node sets, atomically under the host's occupancy lock —
+    /// committed containers never share hardware threads, even across
+    /// concurrent batches. Requests that fit nowhere — or whose goal no
+    /// machine is predicted to meet — are rejected with a reason naming
+    /// the exhausted node.
     pub fn place_batch(
         &self,
         reqs: &[PlacementRequest],
@@ -558,50 +738,62 @@ impl PlacementEngine {
         // parallel. Pure reads plus cache fills; no capacity is touched.
         let candidates = self.evaluate_candidates(reqs);
 
-        // Phase 2: commit sequentially in request order. `free` is this
-        // batch's planning view; the actual reservation is a CAS against
-        // the shared counter, so concurrent batches can never
-        // over-commit a machine — a lost race here just re-plans the
-        // request on the remaining machines.
-        let mut free: Vec<isize> = self
-            .hosts
-            .iter()
-            .map(|h| {
-                h.machine.num_threads() as isize - h.used_threads.load(Ordering::Relaxed) as isize
-            })
-            .collect();
+        // Phase 2: commit sequentially in request order. A commit that
+        // finds the machine exhausted (either by earlier requests in
+        // this batch or by a concurrent batch) removes the machine from
+        // this request's consideration and re-plans on the rest.
         let mut decisions = Vec::with_capacity(reqs.len());
-        for (req, options) in reqs.iter().zip(candidates) {
+        for options in candidates {
+            let mut commit_errors: Vec<String> = Vec::new();
+            let mut tried = vec![false; self.hosts.len()];
             let decision = loop {
-                let fitting = options
+                let viable: Vec<&Candidate> = options
                     .iter()
                     .filter_map(|c| c.as_ref().ok())
-                    .filter(|p| p.goal_met && free[p.machine.0] >= req.vcpus as isize);
+                    .filter(|c| c.goal_met() && !tried[c.machine.0])
+                    .collect();
                 let chosen = match strategy {
-                    BatchStrategy::FirstFit => fitting.min_by_key(|p| p.machine),
-                    BatchStrategy::BestScore => fitting.max_by(|a, b| {
-                        a.predicted_perf
-                            .partial_cmp(&b.predicted_perf)
-                            .expect("finite predictions")
-                            .then(b.machine.cmp(&a.machine))
-                    }),
+                    BatchStrategy::FirstFit => viable.iter().copied().min_by_key(|c| c.machine),
+                    BatchStrategy::BestScore => {
+                        // Rank machines by the performance of the class
+                        // that would actually be committed under their
+                        // current occupancy (a dry run per machine), not
+                        // by the catalog-wide ceiling — a busy machine's
+                        // best class may be unavailable.
+                        let mut best: Option<(&Candidate, f64)> = None;
+                        for c in viable {
+                            match self.offer(c) {
+                                Ok(p) => {
+                                    let better = match best {
+                                        None => true,
+                                        Some((cur, cur_p)) => {
+                                            p > cur_p
+                                                || (p == cur_p && c.machine < cur.machine)
+                                        }
+                                    };
+                                    if better {
+                                        best = Some((c, p));
+                                    }
+                                }
+                                Err(e) => {
+                                    tried[c.machine.0] = true;
+                                    commit_errors.push(e);
+                                }
+                            }
+                        }
+                        best.map(|(c, _)| c)
+                    }
                 };
-                let Some(p) = chosen else {
+                let Some(c) = chosen else {
                     break PlacementDecision::Rejected {
-                        reason: Self::rejection_reason(&options),
+                        reason: Self::rejection_reason(&options, &commit_errors),
                     };
                 };
-                if self.try_reserve(p.machine.0, req.vcpus) {
-                    free[p.machine.0] -= req.vcpus as isize;
-                    break PlacementDecision::Placed(p.clone());
+                tried[c.machine.0] = true;
+                match self.try_commit(c) {
+                    Ok(p) => break PlacementDecision::Placed(p),
+                    Err(e) => commit_errors.push(e),
                 }
-                // A concurrent batch claimed the capacity between our
-                // snapshot and the commit. Exclude this host for this
-                // request (capped below vcpus so the loop terminates)
-                // and re-plan.
-                let (used, total) = self.utilisation(p.machine);
-                free[p.machine.0] =
-                    (total as isize - used as isize).min(req.vcpus as isize - 1);
             };
             decisions.push(decision);
         }
@@ -609,9 +801,10 @@ impl PlacementEngine {
     }
 
     /// Why a request could not be placed: an actionable summary rather
-    /// than an arbitrary per-machine error.
-    fn rejection_reason(options: &[Result<Placed, String>]) -> String {
-        let ok: Vec<&Placed> = options.iter().filter_map(|c| c.as_ref().ok()).collect();
+    /// than an arbitrary per-machine error. Capacity rejections carry
+    /// the per-machine commit failures, which name the exhausted node.
+    fn rejection_reason(options: &[Result<Candidate, String>], commit_errors: &[String]) -> String {
+        let ok: Vec<&Candidate> = options.iter().filter_map(|c| c.as_ref().ok()).collect();
         if ok.is_empty() {
             return options
                 .iter()
@@ -620,7 +813,7 @@ impl PlacementEngine {
                 .cloned()
                 .unwrap_or_else(|| "no machines in the fleet".to_string());
         }
-        let goal_ok = ok.iter().filter(|p| p.goal_met).count();
+        let goal_ok = ok.iter().filter(|c| c.goal_met()).count();
         if goal_ok == 0 {
             format!(
                 "no machine is predicted to meet the goal ({} evaluated)",
@@ -628,15 +821,16 @@ impl PlacementEngine {
             )
         } else {
             format!(
-                "no free capacity on the {goal_ok} of {} machines that meet the goal",
-                ok.len()
+                "no free capacity on the {goal_ok} of {} machines that meet the goal: {}",
+                ok.len(),
+                commit_errors.join("; ")
             )
         }
     }
 
     /// Phase 1 of [`Self::place_batch`]: per request, the candidate
     /// outcome on every machine, computed on scoped worker threads.
-    fn evaluate_candidates(&self, reqs: &[PlacementRequest]) -> Vec<Vec<Result<Placed, String>>> {
+    fn evaluate_candidates(&self, reqs: &[PlacementRequest]) -> Vec<Vec<Result<Candidate, String>>> {
         let n_workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
@@ -657,9 +851,9 @@ impl PlacementEngine {
         })
     }
 
-    fn candidates_for(&self, req: &PlacementRequest) -> Vec<Result<Placed, String>> {
+    fn candidates_for(&self, req: &PlacementRequest) -> Vec<Result<Candidate, String>> {
         (0..self.hosts.len())
-            .map(|i| self.candidate(MachineId(i), req))
+            .map(|i| self.evaluate(MachineId(i), req))
             .collect()
     }
 }

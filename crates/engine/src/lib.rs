@@ -22,6 +22,17 @@
 //! ML stage is amortised across the fleet rather than retrained per
 //! machine, in the spirit of warehouse-scale systems like MAO.
 //!
+//! # Occupancy
+//!
+//! Capacity is accounted at **node granularity**: every committed
+//! placement reserves the concrete hardware threads of its spec (see
+//! [`Placed::threads`]) in the host's
+//! [`vc_topology::OccupancyMap`], so two co-located containers never
+//! share a thread, an L2 domain is only shared when the placement class
+//! says so, and [`PlacementEngine::release`] returns exactly what a
+//! departing container held. When a machine cannot host a request the
+//! rejection names the exhausted node.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -47,10 +58,17 @@
 //! // The second identical batch is answered from warm caches: no new
 //! // enumeration, no new forest training.
 //! let before = engine.stats();
-//! let _ = engine.place_batch(&reqs, BatchStrategy::FirstFit);
+//! let more = engine.place_batch(&reqs, BatchStrategy::FirstFit);
 //! let after = engine.stats();
 //! assert_eq!(before.catalogs.computes, after.catalogs.computes);
 //! assert_eq!(before.models.computes, after.models.computes);
+//!
+//! // Departures hand their exact hardware threads back.
+//! let departing = more[0].placed().expect("fleet still has room").clone();
+//! let (used_before, _) = engine.utilisation(departing.machine);
+//! engine.release(&departing);
+//! let (used_after, _) = engine.utilisation(departing.machine);
+//! assert_eq!(used_before - used_after, departing.threads.len());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,0 +1,36 @@
+//! A cold catalog miss runs Algorithm 2 (packing generation) exactly
+//! once: the surviving packings are threaded through the placement
+//! expansion instead of being regenerated.
+//!
+//! This test lives in its own integration binary because
+//! `vc_core::packing::generations()` is a process-global counter.
+
+use vc_engine::{EngineConfig, MachineId, PlacementEngine};
+use vc_topology::machines;
+
+#[test]
+fn cold_catalog_generates_packings_exactly_once() {
+    let engine = PlacementEngine::single(
+        machines::amd_opteron_6272(),
+        EngineConfig {
+            extra_synthetic: 0,
+            ..EngineConfig::default()
+        },
+    );
+    let before = vc_core::packing::generations();
+    let catalog = engine.catalog(MachineId(0), 16).unwrap();
+    let after = vc_core::packing::generations();
+    assert_eq!(
+        after - before,
+        1,
+        "a cold catalog miss must run packing generation exactly once \
+         (it used to run it twice: once for placements, once for packings)"
+    );
+    // Both catalog halves were produced from that single run.
+    assert_eq!(catalog.placements.len(), 13);
+    assert!(!catalog.packings.is_empty());
+
+    // Warm lookups generate nothing at all.
+    engine.catalog(MachineId(0), 16).unwrap();
+    assert_eq!(vc_core::packing::generations(), after);
+}

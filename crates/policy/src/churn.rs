@@ -1,0 +1,274 @@
+//! Fleet churn: arrivals *and* departures against a shared engine.
+//!
+//! The Figure 5 scenario packs one machine once; real fleets see
+//! containers come and go, and the point of node-granular occupancy is
+//! that departures hand their exact hardware threads back. This module
+//! drives a [`PlacementEngine`] through a deterministic arrival/departure
+//! schedule and reports what happened — placements, rejections (with the
+//! engine's exhausted-node reasons), and how much capacity each departure
+//! restored.
+//!
+//! # Examples
+//!
+//! ```
+//! use vc_engine::{EngineConfig, PlacementEngine, PlacementRequest};
+//! use vc_policy::churn::{ChurnEvent, ChurnScenario};
+//! use vc_topology::machines;
+//!
+//! let engine = PlacementEngine::single(
+//!     machines::amd_opteron_6272(),
+//!     EngineConfig { extra_synthetic: 0, ..EngineConfig::default() },
+//! );
+//! // Five arrivals against a 4-container machine, with one departure
+//! // in between: the departure makes room for the final arrival.
+//! let events = vec![
+//!     ChurnEvent::arrive("c0", PlacementRequest::new("WTbtree", 16)),
+//!     ChurnEvent::arrive("c1", PlacementRequest::new("WTbtree", 16)),
+//!     ChurnEvent::arrive("c2", PlacementRequest::new("WTbtree", 16)),
+//!     ChurnEvent::arrive("c3", PlacementRequest::new("WTbtree", 16)),
+//!     ChurnEvent::depart("c1"),
+//!     ChurnEvent::arrive("c4", PlacementRequest::new("WTbtree", 16)),
+//! ];
+//! let report = ChurnScenario::new(events).run(&engine);
+//! assert_eq!(report.placed, 5);
+//! assert_eq!(report.departed, 1);
+//! assert_eq!(report.rejected, 0);
+//! assert_eq!(report.peak_threads_used, 64);
+//! ```
+
+use std::collections::HashMap;
+
+use vc_engine::{BatchStrategy, Placed, PlacementEngine, PlacementRequest};
+
+/// One event in a churn schedule.
+#[derive(Debug, Clone)]
+pub enum ChurnEvent {
+    /// A container arrives and asks to be placed.
+    Arrive {
+        /// Caller-chosen container name (used by later departures).
+        name: String,
+        /// The placement request.
+        request: PlacementRequest,
+    },
+    /// A previously placed container departs, releasing its threads.
+    Depart {
+        /// Name given at arrival.
+        name: String,
+    },
+}
+
+impl ChurnEvent {
+    /// An arrival event.
+    pub fn arrive(name: impl Into<String>, request: PlacementRequest) -> Self {
+        ChurnEvent::Arrive {
+            name: name.into(),
+            request,
+        }
+    }
+
+    /// A departure event.
+    pub fn depart(name: impl Into<String>) -> Self {
+        ChurnEvent::Depart { name: name.into() }
+    }
+}
+
+/// What happened to one arrival.
+#[derive(Debug, Clone)]
+pub struct ArrivalOutcome {
+    /// Container name.
+    pub name: String,
+    /// The committed placement, or `None` when rejected.
+    pub placed: Option<Placed>,
+    /// The engine's rejection reason (names the exhausted node when the
+    /// fleet was out of capacity).
+    pub rejection: Option<String>,
+}
+
+/// Aggregate report of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Per-arrival outcomes, schedule order.
+    pub arrivals: Vec<ArrivalOutcome>,
+    /// Arrivals that were placed.
+    pub placed: usize,
+    /// Arrivals that were rejected.
+    pub rejected: usize,
+    /// Departures processed (departures of unknown or already-departed
+    /// names are ignored and not counted).
+    pub departed: usize,
+    /// Highest total thread reservation observed across the fleet.
+    pub peak_threads_used: usize,
+}
+
+/// A deterministic arrival/departure schedule.
+#[derive(Debug, Clone)]
+pub struct ChurnScenario {
+    events: Vec<ChurnEvent>,
+    strategy: BatchStrategy,
+}
+
+impl ChurnScenario {
+    /// A scenario placing arrivals first-fit.
+    pub fn new(events: Vec<ChurnEvent>) -> Self {
+        ChurnScenario {
+            events,
+            strategy: BatchStrategy::FirstFit,
+        }
+    }
+
+    /// Overrides the batch strategy used for arrivals.
+    pub fn with_strategy(mut self, strategy: BatchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Runs the schedule against `engine`, mutating its occupancy the
+    /// way a live fleet would (placements reserve threads, departures
+    /// release them).
+    pub fn run(&self, engine: &PlacementEngine) -> ChurnReport {
+        let mut live: HashMap<String, Placed> = HashMap::new();
+        let mut arrivals = Vec::new();
+        let mut departed = 0usize;
+        let mut peak = 0usize;
+        for event in &self.events {
+            match event {
+                ChurnEvent::Arrive { name, request } => {
+                    let decision = engine
+                        .place_batch(std::slice::from_ref(request), self.strategy)
+                        .pop()
+                        .expect("one decision per request");
+                    let outcome = match decision {
+                        vc_engine::PlacementDecision::Placed(p) => {
+                            live.insert(name.clone(), p.clone());
+                            ArrivalOutcome {
+                                name: name.clone(),
+                                placed: Some(p),
+                                rejection: None,
+                            }
+                        }
+                        vc_engine::PlacementDecision::Rejected { reason } => ArrivalOutcome {
+                            name: name.clone(),
+                            placed: None,
+                            rejection: Some(reason),
+                        },
+                    };
+                    arrivals.push(outcome);
+                }
+                ChurnEvent::Depart { name } => {
+                    if let Some(p) = live.remove(name) {
+                        engine.release(&p);
+                        departed += 1;
+                    }
+                }
+            }
+            let used: usize = engine
+                .machine_ids()
+                .into_iter()
+                .map(|id| engine.utilisation(id).0)
+                .sum();
+            peak = peak.max(used);
+        }
+        let placed = arrivals.iter().filter(|a| a.placed.is_some()).count();
+        let rejected = arrivals.len() - placed;
+        ChurnReport {
+            arrivals,
+            placed,
+            rejected,
+            departed,
+            peak_threads_used: peak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_engine::EngineConfig;
+    use vc_topology::machines;
+
+    fn engine() -> PlacementEngine {
+        PlacementEngine::single(
+            machines::amd_opteron_6272(),
+            EngineConfig {
+                extra_synthetic: 0,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn departures_make_room_for_later_arrivals() {
+        let engine = engine();
+        let req = || PlacementRequest::new("swaptions", 16);
+        let mut events: Vec<ChurnEvent> = (0..4)
+            .map(|i| ChurnEvent::arrive(format!("c{i}"), req()))
+            .collect();
+        // Machine full: a fifth arrival is rejected...
+        events.push(ChurnEvent::arrive("overflow", req()));
+        // ...but after two departures, two more arrivals fit.
+        events.push(ChurnEvent::depart("c0"));
+        events.push(ChurnEvent::depart("c2"));
+        events.push(ChurnEvent::arrive("c5", req()));
+        events.push(ChurnEvent::arrive("c6", req()));
+        let report = ChurnScenario::new(events).run(&engine);
+        assert_eq!(report.placed, 6);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.departed, 2);
+        assert_eq!(report.peak_threads_used, 64);
+        let overflow = &report.arrivals[4];
+        assert_eq!(overflow.name, "overflow");
+        let reason = overflow.rejection.as_ref().expect("rejected");
+        assert!(reason.contains("node N"), "reason must name a node: {reason}");
+        // After the churn, the machine holds exactly four containers.
+        assert_eq!(engine.utilisation(vc_engine::MachineId(0)).0, 64);
+    }
+
+    #[test]
+    fn no_live_containers_share_threads_at_any_point() {
+        let engine = engine();
+        let req = |i: u64| PlacementRequest::new("WTbtree", 16).with_probe_seed(i);
+        let events = vec![
+            ChurnEvent::arrive("a", req(0)),
+            ChurnEvent::arrive("b", req(1)),
+            ChurnEvent::depart("a"),
+            ChurnEvent::arrive("c", req(2)),
+            ChurnEvent::arrive("d", req(3)),
+            ChurnEvent::depart("c"),
+            ChurnEvent::arrive("e", req(4)),
+        ];
+        let report = ChurnScenario::new(events).run(&engine);
+        assert_eq!(report.rejected, 0);
+        // b, d, e live at the end: pairwise thread-disjoint.
+        let live: Vec<&ArrivalOutcome> = report
+            .arrivals
+            .iter()
+            .filter(|a| ["b", "d", "e"].contains(&a.name.as_str()))
+            .collect();
+        for (i, x) in live.iter().enumerate() {
+            for y in &live[i + 1..] {
+                let tx = &x.placed.as_ref().unwrap().threads;
+                let ty = &y.placed.as_ref().unwrap().threads;
+                assert!(
+                    tx.iter().all(|t| !ty.contains(t)),
+                    "{} and {} share threads",
+                    x.name,
+                    y.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_departures_are_ignored() {
+        let engine = engine();
+        let events = vec![
+            ChurnEvent::depart("ghost"),
+            ChurnEvent::arrive("a", PlacementRequest::new("swaptions", 16)),
+            ChurnEvent::depart("a"),
+            ChurnEvent::depart("a"), // double departure: ignored
+        ];
+        let report = ChurnScenario::new(events).run(&engine);
+        assert_eq!(report.departed, 1);
+        assert_eq!(engine.utilisation(vc_engine::MachineId(0)).0, 0);
+    }
+}

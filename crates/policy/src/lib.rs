@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod scenario;
 
+pub use churn::{ChurnEvent, ChurnReport, ChurnScenario};
 pub use scenario::{PackingScenario, Policy, PolicyOutcome};

@@ -30,6 +30,7 @@ pub mod ids;
 pub mod interconnect;
 pub mod machine;
 pub mod machines;
+pub mod occupancy;
 pub mod render;
 pub mod spec;
 pub mod stream;
@@ -40,3 +41,4 @@ pub use machine::{
     CacheConfig, Core, HwThread, L2Group, L3Group, LatencyConfig, Machine, MachineBuilder, Node,
     TopologyError,
 };
+pub use occupancy::{OccupancyError, OccupancyMap};

@@ -284,6 +284,22 @@ impl Machine {
     /// so caches keyed by fingerprint are shared across a fleet of
     /// same-model machines. The hash is FNV-1a over the canonical field
     /// order, so it is stable across processes and platforms.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vc_topology::machines;
+    ///
+    /// // Two boxes of the same model share a fingerprint (and therefore
+    /// // share catalogs and trained models in a placement engine)…
+    /// let a = machines::amd_opteron_6272();
+    /// let b = machines::amd_opteron_6272();
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    ///
+    /// // …while a different machine model does not.
+    /// let intel = machines::intel_xeon_e7_4830_v3();
+    /// assert_ne!(a.fingerprint(), intel.fingerprint());
+    /// ```
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |v: u64| {

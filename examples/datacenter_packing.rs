@@ -1,7 +1,9 @@
 //! The §7 scenario, served by the cluster engine: pack as many
 //! WiredTiger containers into a machine as possible while respecting a
 //! performance goal, comparing all four policies — then place a mixed
-//! request stream across a small fleet with `place_batch`.
+//! request stream across a small fleet with `place_batch`, and run an
+//! arrival/departure churn schedule to show node-granular occupancy
+//! handing departed capacity back.
 //!
 //! ```sh
 //! cargo run --release --example datacenter_packing
@@ -10,7 +12,7 @@
 use std::sync::Arc;
 
 use vcplace::engine::{BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest};
-use vcplace::policy::{PackingScenario, Policy};
+use vcplace::policy::{ChurnEvent, ChurnScenario, PackingScenario, Policy};
 use vcplace::topology::machines;
 
 fn main() {
@@ -83,30 +85,103 @@ fn main() {
     })
     .collect();
     let decisions = engine.place_batch(&reqs, BatchStrategy::BestScore);
+    let mut placed = Vec::new();
     for (req, d) in reqs.iter().zip(&decisions) {
         match d.placed() {
-            Some(p) => println!(
-                "  {:<10} {:>2} vCPUs -> {:<28} placement #{:<2} predicted {:>10.0} (goal {})",
-                req.workload,
-                req.vcpus,
-                engine.machine(p.machine).name(),
-                p.placement_id,
-                p.predicted_perf,
-                if p.goal_met { "met" } else { "missed" },
-            ),
+            Some(p) => {
+                println!(
+                    "  {:<10} {:>2} vCPUs -> {:<28} placement #{:<2} on nodes {:?} predicted {:>10.0} (goal {})",
+                    req.workload,
+                    req.vcpus,
+                    engine.machine(p.machine).name(),
+                    p.placement_id,
+                    p.spec.nodes.iter().map(|n| n.index()).collect::<Vec<_>>(),
+                    p.predicted_perf,
+                    if p.goal_met { "met" } else { "missed" },
+                );
+                placed.push(p.clone());
+            }
             None => println!("  {:<10} {:>2} vCPUs -> rejected", req.workload, req.vcpus),
         }
     }
-    for id in [amd, intel] {
-        let (used, total) = engine.utilisation(id);
-        println!(
-            "  {}: {used}/{total} hardware threads committed",
-            engine.machine(id).name()
-        );
+    print_fleet_occupancy(&engine, &[amd, intel]);
+
+    // Departures: node-granular occupancy hands the departed containers'
+    // exact hardware threads back, so the freed node sets host the next
+    // wave without fragmenting the rest of the fleet.
+    println!("\nreleasing every second container, then placing a second wave:");
+    for p in placed.iter().step_by(2) {
+        engine.release(p);
     }
+    let wave2: Vec<PlacementRequest> = (0..3)
+        .map(|i| {
+            PlacementRequest::new("WTbtree", 16)
+                .with_goal(0.9)
+                .with_probe_seed(100 + i)
+        })
+        .collect();
+    for d in engine.place_batch(&wave2, BatchStrategy::BestScore) {
+        match d.placed() {
+            Some(p) => println!(
+                "  WTbtree    16 vCPUs -> {:<28} placement #{:<2} on nodes {:?}",
+                engine.machine(p.machine).name(),
+                p.placement_id,
+                p.spec.nodes.iter().map(|n| n.index()).collect::<Vec<_>>(),
+            ),
+            None => println!("  WTbtree    16 vCPUs -> rejected"),
+        }
+    }
+    print_fleet_occupancy(&engine, &[amd, intel]);
+
+    // The same pattern as a declarative schedule: the ChurnScenario
+    // drives arrivals and departures against a fresh single-machine
+    // engine and reports rejections with exhausted-node reasons.
+    println!("\nchurn schedule on one AMD machine (4-container capacity):");
+    let churn_engine = PlacementEngine::single(
+        machines::amd_opteron_6272(),
+        EngineConfig::default(),
+    );
+    let events = vec![
+        ChurnEvent::arrive("c0", PlacementRequest::new("swaptions", 16)),
+        ChurnEvent::arrive("c1", PlacementRequest::new("swaptions", 16)),
+        ChurnEvent::arrive("c2", PlacementRequest::new("swaptions", 16)),
+        ChurnEvent::arrive("c3", PlacementRequest::new("swaptions", 16)),
+        ChurnEvent::arrive("c4", PlacementRequest::new("swaptions", 16)),
+        ChurnEvent::depart("c1"),
+        ChurnEvent::arrive("c5", PlacementRequest::new("swaptions", 16)),
+    ];
+    let report = ChurnScenario::new(events).run(&churn_engine);
+    println!(
+        "  {} placed, {} rejected, {} departed, peak {} threads",
+        report.placed, report.rejected, report.departed, report.peak_threads_used
+    );
+    for a in report.arrivals.iter().filter(|a| a.rejection.is_some()) {
+        println!("  {} rejected: {}", a.name, a.rejection.as_ref().unwrap());
+    }
+
     let stats = engine.stats();
     println!(
-        "  engine caches: {} catalog / {} training / {} model computations total",
+        "\nengine caches: {} catalog / {} training / {} model computations total",
         stats.catalogs.computes, stats.training_sets.computes, stats.models.computes
     );
+}
+
+/// Prints per-node thread usage for each machine of the fleet.
+fn print_fleet_occupancy(
+    engine: &PlacementEngine,
+    ids: &[vcplace::engine::MachineId],
+) {
+    for &id in ids {
+        let (used, total) = engine.utilisation(id);
+        let per_node: Vec<String> = engine
+            .node_utilisation(id)
+            .into_iter()
+            .map(|(n, u, c)| format!("{n}:{u}/{c}"))
+            .collect();
+        println!(
+            "  {}: {used}/{total} threads [{}]",
+            engine.machine(id).name(),
+            per_node.join(" ")
+        );
+    }
 }

@@ -46,3 +46,9 @@ pub use vc_policy as policy;
 pub use vc_sim as sim;
 pub use vc_topology as topology;
 pub use vc_workloads as workloads;
+
+/// The README's code blocks compile and run as doctests, so the
+/// quickstart can never rot silently.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
