@@ -1,0 +1,118 @@
+//! Fleet-scale serving: `place_batch` throughput as the host count
+//! grows from 10 to 1000 while the machine-*class* count stays at 3.
+//!
+//! The fingerprint-sharded fleet index should make phase-1 work (the
+//! expensive probing + prediction) a function of the class count, not
+//! the host count, and the lock-free capacity summaries should keep the
+//! per-host commit cost to a few atomic reads for hosts without room —
+//! so warm-path throughput must scale *sublinearly* in host count: the
+//! 100× bigger fleet is allowed to be somewhat slower per batch (it
+//! walks 100× more summaries) but nowhere near 100×.
+//!
+//! Prints one JSON line per configuration (recorded in
+//! `BENCH_engine_fleet.json` at the repo root) before the timed
+//! criterion sections.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use vc_engine::{BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest};
+use vc_topology::machines;
+
+/// A fleet of `hosts` machines drawn from 3 machine classes (AMD,
+/// Zen-like, Intel — AMD twice as common), trimmed corpus so the cold
+/// path stays benchable.
+fn build_fleet(hosts: usize) -> PlacementEngine {
+    let mut engine = PlacementEngine::new(EngineConfig {
+        n_seeds: 2,
+        extra_synthetic: 0,
+        ..EngineConfig::default()
+    });
+    for i in 0..hosts {
+        match i % 4 {
+            0 | 1 => engine.add_machine(machines::amd_opteron_6272()),
+            2 => engine.add_machine(machines::zen_like()),
+            _ => engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1),
+        };
+    }
+    engine
+}
+
+fn request_stream() -> Vec<PlacementRequest> {
+    let workloads = ["WTbtree", "swaptions", "blast", "kmeans"];
+    (0..16)
+        .map(|i| {
+            PlacementRequest::new(workloads[i % workloads.len()], 16)
+                .with_goal(0.9)
+                .with_probe_seed(i as u64)
+        })
+        .collect()
+}
+
+fn run_batch(engine: &PlacementEngine, reqs: &[PlacementRequest]) -> usize {
+    let decisions = engine.place_batch(reqs, BatchStrategy::FirstFit);
+    let placed: Vec<_> = decisions.iter().filter_map(|d| d.placed().cloned()).collect();
+    // Release so the fleet is empty again for the next batch.
+    for p in &placed {
+        engine.release(p);
+    }
+    placed.len()
+}
+
+/// One-shot cold/warm measurement for a fleet size, printed as JSON.
+fn record(hosts: usize, reqs: &[PlacementRequest]) -> PlacementEngine {
+    let t0 = Instant::now();
+    let engine = build_fleet(hosts);
+    let placed = run_batch(&engine, reqs);
+    let cold = t0.elapsed().as_secs_f64();
+
+    let warm_runs = 20;
+    let t1 = Instant::now();
+    for _ in 0..warm_runs {
+        black_box(run_batch(&engine, reqs));
+    }
+    let warm = t1.elapsed().as_secs_f64() / warm_runs as f64;
+
+    let stats = engine.stats();
+    println!(
+        "{{\"bench\":\"engine_fleet\",\"hosts\":{hosts},\"classes\":{},\"requests\":{},\
+         \"placed\":{placed},\"cold_s\":{cold:.4},\"warm_s\":{warm:.6},\
+         \"cold_req_per_s\":{:.1},\"warm_req_per_s\":{:.0},\
+         \"evaluations\":{},\"catalog_computes\":{},\"model_computes\":{},\
+         \"summary_skips\":{},\"summary_admits\":{}}}",
+        engine.fleet_index().num_classes(),
+        reqs.len(),
+        reqs.len() as f64 / cold,
+        reqs.len() as f64 / warm,
+        stats.evaluations,
+        stats.catalogs.computes,
+        stats.models.computes,
+        stats.summary.skips,
+        stats.summary.admits,
+    );
+    assert_eq!(
+        stats.models.computes as usize,
+        engine.fleet_index().num_classes(),
+        "model training must be per class, not per host"
+    );
+    engine
+}
+
+fn bench(c: &mut Criterion) {
+    let reqs = request_stream();
+
+    let small = record(10, &reqs);
+    let large = record(1000, &reqs);
+
+    let mut group = c.benchmark_group("place_batch_fleet");
+    group.sample_size(5);
+    group.bench_function("warm_16req_10hosts_3classes", |b| {
+        b.iter(|| black_box(run_batch(&small, &reqs)))
+    });
+    group.bench_function("warm_16req_1000hosts_3classes", |b| {
+        b.iter(|| black_box(run_batch(&large, &reqs)))
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

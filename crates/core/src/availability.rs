@@ -62,15 +62,210 @@ pub struct AvailablePlacement {
 }
 
 /// Score-vector cache keyed by `(node set, L3 groups, L2 groups)`,
-/// shared across the classes of one retargeting pass (the interconnect
-/// score is a flow computation).
+/// shared across the classes of one equivalence precompute (the
+/// interconnect score is a flow computation).
 type ScoreCache = BTreeMap<(Vec<NodeId>, usize, usize), Vec<f64>>;
+
+/// The availability equivalence classes of one catalog class: every node
+/// set on this machine whose score vector equals the class's (§3: equal
+/// scores ⇒ equal predicted performance). The *orbit* of the class under
+/// the machine's symmetries.
+#[derive(Debug, Clone)]
+pub struct ClassOrbit {
+    /// 1-based catalog class id this orbit belongs to.
+    pub id: usize,
+    /// Nodes the class spans.
+    pub num_nodes: usize,
+    /// vCPUs each node must host (`vcpus / num_nodes`).
+    pub per_node: usize,
+    /// Equivalently-scored node sets, lexicographic order. Always
+    /// contains the class's representative set.
+    pub node_sets: Vec<Vec<NodeId>>,
+    /// The class's spec template (vcpus / L3 / L2 shape); `spec.nodes`
+    /// is the catalog representative.
+    spec: PlacementSpec,
+}
+
+/// Precomputed availability equivalence classes for one catalog.
+///
+/// Retargeting a class at admission time used to enumerate and *score*
+/// every `C(nodes, n)` subset under the host's occupancy lock. The score
+/// vector of a node set is occupancy-independent, so an
+/// `AvailabilityIndex` computes each class's equivalently-scored node
+/// sets once (per catalog, off the lock path); admission then only
+/// filters the precomputed sets by free capacity — O(sets) counter reads
+/// instead of O(sets) flow computations, with no scoring under any lock.
+///
+/// # Examples
+///
+/// ```
+/// use vc_core::availability::AvailabilityIndex;
+/// use vc_core::concern::ConcernSet;
+/// use vc_core::important::important_placements;
+/// use vc_topology::{machines, NodeId, OccupancyMap};
+///
+/// let amd = machines::amd_opteron_6272();
+/// let concerns = ConcernSet::for_machine(&amd);
+/// let catalog = important_placements(&amd, &concerns, 16).unwrap();
+/// let index = AvailabilityIndex::build(&amd, &concerns, &catalog);
+///
+/// // Every class's orbit contains its own representative node set.
+/// for (orbit, ip) in index.orbits().iter().zip(&catalog) {
+///     assert!(orbit.node_sets.contains(&ip.spec.nodes));
+/// }
+///
+/// // Querying against live occupancy does no scoring at all.
+/// let mut occ = OccupancyMap::new(&amd);
+/// occ.reserve(&amd.threads_on_node(NodeId(0))).unwrap();
+/// for ap in index.available(&amd, &occ) {
+///     assert!(!ap.spec.nodes.contains(&NodeId(0)));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AvailabilityIndex {
+    orbits: Vec<ClassOrbit>,
+}
+
+impl AvailabilityIndex {
+    /// Computes the equivalence classes for every catalog class: all
+    /// `C(nodes, n)` subsets are enumerated and scored exactly once,
+    /// sharing score computations across classes with identical shape.
+    pub fn build(
+        machine: &Machine,
+        concerns: &ConcernSet,
+        placements: &[ImportantPlacement],
+    ) -> Self {
+        let all_nodes: Vec<NodeId> = machine.nodes().iter().map(|nd| nd.id).collect();
+        let mut cache = ScoreCache::new();
+        let orbits = placements
+            .iter()
+            .map(|ip| {
+                let n = ip.spec.num_nodes();
+                let mut node_sets = Vec::new();
+                let mut buf = Vec::with_capacity(n);
+                crate::packing::choose(&all_nodes, n, &mut buf, &mut |set| {
+                    if scores_equivalent(score_of(machine, concerns, ip, set, &mut cache), &ip.scores)
+                    {
+                        node_sets.push(set.to_vec());
+                    }
+                });
+                ClassOrbit {
+                    id: ip.id,
+                    num_nodes: n,
+                    per_node: ip.spec.vcpus / n,
+                    node_sets,
+                    spec: ip.spec.clone(),
+                }
+            })
+            .collect();
+        AvailabilityIndex { orbits }
+    }
+
+    /// The per-class orbits, catalog order.
+    pub fn orbits(&self) -> &[ClassOrbit] {
+        &self.orbits
+    }
+
+    /// `(num_nodes, per_node)` requirement of each class, catalog order —
+    /// the shape a lock-free capacity summary checks before any lock is
+    /// taken.
+    pub fn requirements(&self) -> Vec<(usize, usize)> {
+        self.orbits.iter().map(|o| (o.num_nodes, o.per_node)).collect()
+    }
+
+    /// Retargets every class onto free hardware using only the
+    /// precomputed orbits (no scoring). Classes with no free equivalent
+    /// node set are dropped; survivors keep their catalog `id`, so model
+    /// predictions (indexed by class id) remain valid.
+    pub fn available(&self, machine: &Machine, occ: &OccupancyMap) -> Vec<AvailablePlacement> {
+        self.orbits
+            .iter()
+            .filter_map(|o| Self::realise(o, machine, occ))
+            .collect()
+    }
+
+    /// Retargets the single class at catalog position `class_index`
+    /// (`None` when every equivalent node set is busy).
+    pub fn retarget(
+        &self,
+        class_index: usize,
+        machine: &Machine,
+        occ: &OccupancyMap,
+    ) -> Option<AvailablePlacement> {
+        Self::realise(&self.orbits[class_index], machine, occ)
+    }
+
+    /// Picks the cheapest-fragmentation free node set of one orbit:
+    /// fewest pristine nodes broken open, ties towards the
+    /// lexicographically smallest set.
+    fn realise(
+        orbit: &ClassOrbit,
+        machine: &Machine,
+        occ: &OccupancyMap,
+    ) -> Option<AvailablePlacement> {
+        let mut fitting: Vec<(usize, &Vec<NodeId>)> = orbit
+            .node_sets
+            .iter()
+            .filter(|set| set.iter().all(|&nd| occ.free_on_node(nd) >= orbit.per_node))
+            .map(|set| {
+                let pristine = set.iter().filter(|&&nd| occ.node_is_pristine(nd)).count();
+                (pristine, set)
+            })
+            .collect();
+        fitting.sort();
+        for (pristine, set) in fitting {
+            let spec = PlacementSpec::new(
+                orbit.spec.vcpus,
+                set.clone(),
+                orbit.spec.l3_groups_used,
+                orbit.spec.l2_groups_used,
+            );
+            if let Ok(threads) = assign_vcpus_in(machine, &spec, occ) {
+                return Some(AvailablePlacement {
+                    id: orbit.id,
+                    spec,
+                    threads,
+                    pristine_consumed: pristine,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Whether two score vectors are equal to the equivalence tolerance.
+fn scores_equivalent(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-9)
+}
+
+/// The (cached) score vector of `ip`'s shape on `set`.
+fn score_of<'c>(
+    machine: &Machine,
+    concerns: &ConcernSet,
+    ip: &ImportantPlacement,
+    set: &[NodeId],
+    cache: &'c mut ScoreCache,
+) -> &'c [f64] {
+    let key = (set.to_vec(), ip.spec.l3_groups_used, ip.spec.l2_groups_used);
+    cache.entry(key).or_insert_with(|| {
+        let probe = PlacementSpec::new(
+            ip.spec.vcpus,
+            set.to_vec(),
+            ip.spec.l3_groups_used,
+            ip.spec.l2_groups_used,
+        );
+        concerns.score_vector(machine, &probe)
+    })
+}
 
 /// Retargets every class in `placements` onto free hardware.
 ///
-/// Classes with no free equivalent node set are dropped; the survivors
-/// keep their catalog `id`, so model predictions (indexed by class id)
-/// remain valid for the retargeted specs.
+/// One-shot variant: enumerates only occupancy-eligible node sets and
+/// stops scoring at the first hostable equivalent per class. Serving
+/// paths that retarget repeatedly against changing occupancy should
+/// build an [`AvailabilityIndex`] once and call
+/// [`AvailabilityIndex::available`] instead — same results
+/// (cross-checked in this module's tests), no scoring per query.
 pub fn available_placements(
     machine: &Machine,
     concerns: &ConcernSet,
@@ -80,12 +275,13 @@ pub fn available_placements(
     let mut cache = ScoreCache::new();
     placements
         .iter()
-        .filter_map(|ip| retarget(machine, concerns, ip, occ, &mut cache))
+        .filter_map(|ip| retarget_lazy(machine, concerns, ip, occ, &mut cache))
         .collect()
 }
 
 /// Retargets a single class onto free hardware (`None` when every
-/// equivalent node set is busy).
+/// equivalent node set is busy). One-shot variant of
+/// [`AvailabilityIndex::retarget`].
 pub fn retarget_placement(
     machine: &Machine,
     concerns: &ConcernSet,
@@ -93,10 +289,13 @@ pub fn retarget_placement(
     occ: &OccupancyMap,
 ) -> Option<AvailablePlacement> {
     let mut cache = ScoreCache::new();
-    retarget(machine, concerns, placement, occ, &mut cache)
+    retarget_lazy(machine, concerns, placement, occ, &mut cache)
 }
 
-fn retarget(
+/// Lazy retargeting for the one-shot entry points: size-n subsets of
+/// the *currently eligible* nodes, cheapest fragmentation first, scored
+/// one at a time until an equivalent, assignable set is found.
+fn retarget_lazy(
     machine: &Machine,
     concerns: &ConcernSet,
     ip: &ImportantPlacement,
@@ -114,9 +313,6 @@ fn retarget(
     if eligible.len() < n {
         return None;
     }
-
-    // All size-n subsets of the eligible nodes, cheapest fragmentation
-    // first, ties towards the lexicographically smallest set.
     let mut combos: Vec<(usize, Vec<NodeId>)> = Vec::new();
     let mut buf = Vec::with_capacity(n);
     crate::packing::choose(&eligible, n, &mut buf, &mut |set| {
@@ -126,22 +322,7 @@ fn retarget(
     combos.sort();
 
     for (pristine, set) in combos {
-        let key = (set.clone(), ip.spec.l3_groups_used, ip.spec.l2_groups_used);
-        let scores = cache.entry(key).or_insert_with(|| {
-            let probe = PlacementSpec::new(
-                ip.spec.vcpus,
-                set.clone(),
-                ip.spec.l3_groups_used,
-                ip.spec.l2_groups_used,
-            );
-            concerns.score_vector(machine, &probe)
-        });
-        let equivalent = scores.len() == ip.scores.len()
-            && scores
-                .iter()
-                .zip(&ip.scores)
-                .all(|(a, b)| (a - b).abs() <= 1e-9);
-        if !equivalent {
+        if !scores_equivalent(score_of(machine, concerns, ip, &set, cache), &ip.scores) {
             continue;
         }
         let spec = PlacementSpec::new(
@@ -236,6 +417,65 @@ mod tests {
             for &t in &ap.threads {
                 assert!(occ.is_free(t), "class {} uses reserved thread {t}", ap.id);
             }
+        }
+    }
+
+    #[test]
+    fn index_orbits_cover_the_representative_and_only_equivalents() {
+        let (amd, cs, ips) = amd_setup();
+        let index = AvailabilityIndex::build(&amd, &cs, &ips);
+        assert_eq!(index.orbits().len(), ips.len());
+        for (orbit, ip) in index.orbits().iter().zip(&ips) {
+            assert_eq!(orbit.id, ip.id);
+            assert!(
+                orbit.node_sets.contains(&ip.spec.nodes),
+                "orbit of class {} misses its representative",
+                ip.id
+            );
+            for set in &orbit.node_sets {
+                let probe = PlacementSpec::new(
+                    ip.spec.vcpus,
+                    set.clone(),
+                    ip.spec.l3_groups_used,
+                    ip.spec.l2_groups_used,
+                );
+                let scores = cs.score_vector(&amd, &probe);
+                for (a, b) in scores.iter().zip(&ip.scores) {
+                    assert!((a - b).abs() <= 1e-9, "non-equivalent set in orbit {}", ip.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_query_matches_on_the_fly_retargeting() {
+        let (amd, cs, ips) = amd_setup();
+        let index = AvailabilityIndex::build(&amd, &cs, &ips);
+        let mut occ = OccupancyMap::new(&amd);
+        for n in [NodeId(0), NodeId(3)] {
+            occ.reserve(&amd.threads_on_node(n)).unwrap();
+        }
+        let via_index = index.available(&amd, &occ);
+        let via_wrapper = available_placements(&amd, &cs, &ips, &occ);
+        assert_eq!(via_index.len(), via_wrapper.len());
+        for (a, b) in via_index.iter().zip(&via_wrapper) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.threads, b.threads);
+            assert_eq!(a.pristine_consumed, b.pristine_consumed);
+        }
+    }
+
+    #[test]
+    fn requirements_match_class_shapes() {
+        let (amd, cs, ips) = amd_setup();
+        let index = AvailabilityIndex::build(&amd, &cs, &ips);
+        let reqs = index.requirements();
+        assert_eq!(reqs.len(), ips.len());
+        for ((n, per), ip) in reqs.iter().zip(&ips) {
+            assert_eq!(*n, ip.spec.num_nodes());
+            assert_eq!(*per, ip.spec.vcpus / ip.spec.num_nodes());
+            assert_eq!(n * per, ip.spec.vcpus);
         }
     }
 

@@ -485,11 +485,47 @@ mod tests {
         let ips = important_placements(&zen, &cs, 16).unwrap();
         let two_node_l3s: Vec<usize> = ips
             .iter()
-            .filter(|p| p.spec.num_nodes() == 2 && !p.spec.shares_l2())
+            .filter(|p| p.spec.num_nodes() == 2)
             .map(|p| p.spec.l3_groups_used)
             .collect();
         assert!(two_node_l3s.contains(&2), "{two_node_l3s:?}");
         assert!(two_node_l3s.contains(&4), "{two_node_l3s:?}");
+        // The 2-CCX variant exists only with L2 sharing: 16 vCPUs across
+        // 2 CCX have 8 L2 groups (4 per CCX) available, so the
+        // one-vCPU-per-L2 spread is physically impossible there.
+        assert!(ips
+            .iter()
+            .filter(|p| p.spec.num_nodes() == 2 && p.spec.l3_groups_used == 2)
+            .all(|p| p.spec.shares_l2()));
+    }
+
+    #[test]
+    fn every_important_placement_is_assignable_on_empty_hardware() {
+        // The catalog must never contain a class the machine physically
+        // cannot host: every representative spec maps onto concrete
+        // hardware threads. (Multi-L3-per-node machines are the
+        // regression risk: an L2 spread can satisfy the per-node bound
+        // while exceeding one L3 group's actual L2 count.)
+        for (machine, vcpus) in [
+            (machines::amd_opteron_6272(), 16),
+            (machines::intel_xeon_e7_4830_v3(), 24),
+            (machines::zen_like(), 16),
+            (machines::zen_like(), 8),
+        ] {
+            let cs = ConcernSet::for_machine(&machine);
+            for ip in important_placements(&machine, &cs, vcpus).unwrap() {
+                crate::assign::assign_vcpus(&machine, &ip.spec).unwrap_or_else(|e| {
+                    panic!(
+                        "class {} ({:?}, l3={}, l2={}) on {} is not assignable: {e}",
+                        ip.id,
+                        ip.spec.nodes,
+                        ip.spec.l3_groups_used,
+                        ip.spec.l2_groups_used,
+                        machine.name()
+                    )
+                });
+            }
+        }
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod model;
 pub mod packing;
 pub mod placement;
 
-pub use availability::{available_placements, AvailablePlacement};
+pub use availability::{
+    available_placements, AvailabilityIndex, AvailablePlacement, ClassOrbit,
+};
 pub use concern::{Concern, ConcernKind, ConcernSet};
 pub use important::{important_placements, ImportantPlacement};
 pub use model::{PerfOracle, SharedOracle};

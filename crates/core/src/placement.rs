@@ -217,9 +217,13 @@ impl PlacementSpec {
                 });
             }
         }
-        // L2 groups nest inside L3 groups.
+        // L2 groups nest inside L3 groups — evenly, and no more of them
+        // than one L3 group physically contains (on multi-CCX nodes the
+        // per-node bound above is weaker than the per-L3 one).
+        let l2_per_l3 = machine.num_l2_groups() / machine.num_l3_groups();
         if !self.l2_groups_used.is_multiple_of(self.l3_groups_used)
             || self.l2_groups_used < self.l3_groups_used
+            || self.l2_groups_used / self.l3_groups_used > l2_per_l3
         {
             return Err(PlacementError::BadNesting {
                 what: "L2 groups per L3 group",

@@ -1,4 +1,5 @@
-//! Keyed, thread-safe, compute-once caches with hit/compute statistics.
+//! Keyed, thread-safe, compute-once caches with LRU bounding and
+//! hit/compute/eviction statistics.
 //!
 //! The engine's expensive intermediates (placement catalogs, training
 //! sets, trained models) are memoized behind [`KeyedCache`]s. Each key
@@ -6,6 +7,13 @@
 //! missing key concurrently, exactly one runs the compute closure and
 //! the rest block on the cell — repeated work is structurally
 //! impossible, not just unlikely.
+//!
+//! A cache built with [`KeyedCache::bounded`] additionally evicts the
+//! least-recently-used *completed* entry once the resident key count
+//! exceeds the bound, so long-lived engines serving many
+//! `(vcpus, family)` combinations stay bounded in memory. In-flight
+//! cells (a compute still running) are never evicted; an evicted key is
+//! simply recomputed on its next request.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -19,6 +27,8 @@ pub struct CacheCounters {
     pub lookups: u64,
     /// Times the compute closure actually ran (cold misses).
     pub computes: u64,
+    /// Entries dropped by the LRU bound (0 on unbounded caches).
+    pub evictions: u64,
 }
 
 impl CacheCounters {
@@ -28,23 +38,51 @@ impl CacheCounters {
     }
 }
 
-/// A compute-once cache from `K` to `V`.
+/// One resident cache slot: the compute-once cell plus its recency
+/// stamp.
+struct Slot<V> {
+    cell: Arc<OnceLock<V>>,
+    last_used: u64,
+}
+
+/// A compute-once cache from `K` to `V`, optionally LRU-bounded.
 ///
 /// `V` is cloned out on every lookup, so values should be cheap to clone
 /// (the engine stores `Result<Arc<T>, E>`).
 pub struct KeyedCache<K, V> {
-    map: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    map: Mutex<HashMap<K, Slot<V>>>,
+    /// Maximum resident keys; 0 means unbounded.
+    capacity: usize,
+    /// Logical clock for recency stamps.
+    tick: AtomicU64,
     lookups: AtomicU64,
     computes: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K, V> Default for KeyedCache<K, V> {
     fn default() -> Self {
+        Self::bounded(0)
+    }
+}
+
+impl<K, V> KeyedCache<K, V> {
+    /// A cache evicting least-recently-used entries beyond `capacity`
+    /// resident keys (`0` = unbounded).
+    pub fn bounded(capacity: usize) -> Self {
         KeyedCache {
             map: Mutex::new(HashMap::new()),
+            capacity,
+            tick: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             computes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The configured bound (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -52,18 +90,58 @@ impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
     /// Returns the cached value for `key`, computing it with `f` on the
     /// first request. Concurrent requests for the same missing key run
     /// `f` exactly once; the map lock is *not* held while `f` runs, so
-    /// unrelated keys never contend.
+    /// unrelated keys never contend. On bounded caches the insert may
+    /// evict the least-recently-used completed entry.
     pub fn get_or_compute<F: FnOnce() -> V>(&self, key: K, f: F) -> V {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        let cell = {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let (cell, oversized) = {
             let mut map = self.map.lock().expect("cache lock poisoned");
-            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+            let slot = map.entry(key.clone()).or_insert_with(|| Slot {
+                cell: Arc::new(OnceLock::new()),
+                last_used: 0,
+            });
+            slot.last_used = stamp;
+            let cell = Arc::clone(&slot.cell);
+            let oversized = self.capacity > 0 && map.len() > self.capacity;
+            (cell, oversized)
         };
-        cell.get_or_init(|| {
-            self.computes.fetch_add(1, Ordering::Relaxed);
-            f()
-        })
-        .clone()
+        let value = cell
+            .get_or_init(|| {
+                self.computes.fetch_add(1, Ordering::Relaxed);
+                f()
+            })
+            .clone();
+        // The map only grows on insert, so the common hit path never
+        // retakes the lock; an oversized map (a fresh insert, or an
+        // earlier eviction blocked by in-flight computes) is drained
+        // after the value is ready.
+        if oversized {
+            self.evict_beyond_capacity(&key);
+        }
+        value
+    }
+
+    /// Evicts least-recently-used *completed* entries until the cache
+    /// fits its bound. `just_used` (the key serving the current caller)
+    /// and in-flight cells are never evicted; if only those remain, the
+    /// cache is temporarily allowed to exceed the bound.
+    fn evict_beyond_capacity(&self, just_used: &K) {
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        while map.len() > self.capacity {
+            let victim: Option<K> = map
+                .iter()
+                .filter(|(k, slot)| *k != just_used && slot.cell.get().is_some())
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
     }
 
     /// Current counters.
@@ -71,6 +149,7 @@ impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
         CacheCounters {
             lookups: self.lookups.load(Ordering::Relaxed),
             computes: self.computes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -106,6 +185,7 @@ mod tests {
         assert_eq!(c.lookups, 5);
         assert_eq!(c.computes, 1);
         assert_eq!(c.hits(), 4);
+        assert_eq!(c.evictions, 0);
     }
 
     #[test]
@@ -138,5 +218,54 @@ mod tests {
         });
         assert_eq!(runs.load(Ordering::Relaxed), 16);
         assert_eq!(cache.counters().computes, 16);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::bounded(2);
+        cache.get_or_compute(1, || 10);
+        cache.get_or_compute(2, || 20);
+        // Touch 1 so 2 becomes the LRU, then insert 3.
+        cache.get_or_compute(1, || unreachable!("cached"));
+        cache.get_or_compute(3, || 30);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evictions, 1);
+        // Key 1 survived; key 2 was evicted and recomputes.
+        let runs = AtomicUsize::new(0);
+        cache.get_or_compute(1, || unreachable!("still cached"));
+        cache.get_or_compute(2, || {
+            runs.fetch_add(1, Ordering::Relaxed);
+            20
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::bounded(0);
+        for k in 0..100 {
+            cache.get_or_compute(k, || k);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.counters().evictions, 0);
+    }
+
+    #[test]
+    fn eviction_under_concurrency_keeps_the_bound_and_the_values() {
+        let cache: KeyedCache<u32, u64> = KeyedCache::bounded(4);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..64u32 {
+                        let key = (t * 7 + i) % 32;
+                        let v = cache.get_or_compute(key, || key as u64 + 1000);
+                        assert_eq!(v, key as u64 + 1000);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 4, "bound violated: {}", cache.len());
+        assert!(cache.counters().evictions > 0);
     }
 }

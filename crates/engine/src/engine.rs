@@ -1,8 +1,10 @@
 //! The [`PlacementEngine`]: a long-lived, thread-safe placement service.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use vc_core::availability::{available_placements, AvailablePlacement};
+use vc_core::availability::{AvailabilityIndex, AvailablePlacement};
 use vc_core::concern::ConcernSet;
 use vc_core::important::{
     important_placements_from_packings, surviving_packings, ImportantPlacement,
@@ -14,13 +16,36 @@ use vc_core::packing::Packing;
 use vc_core::placement::{PlacementError, PlacementSpec};
 use vc_ml::forest::ForestConfig;
 use vc_sim::SimOracle;
-use vc_topology::{Machine, NodeId, OccupancyMap, ThreadId};
+use vc_topology::{CapacitySummary, Machine, NodeId, OccupancyMap, ThreadId};
 
 use crate::cache::{CacheCounters, KeyedCache};
 
 /// Engine-wide configuration: the training corpus and forest settings
 /// shared by every machine in the fleet. These parameters are part of
 /// every cache identity, so changing them requires a new engine.
+///
+/// # Examples
+///
+/// Bounding the artifact caches: with `cache_capacity` set, the engine
+/// keeps at most that many entries per cache (catalogs, training sets,
+/// models) and evicts the least-recently-used entry beyond the bound —
+/// evictions are visible in [`EngineStats`].
+///
+/// ```
+/// use vc_engine::{EngineConfig, MachineId, PlacementEngine};
+/// use vc_topology::machines;
+///
+/// let engine = PlacementEngine::single(
+///     machines::amd_opteron_6272(),
+///     EngineConfig { cache_capacity: 2, ..EngineConfig::default() },
+/// );
+/// for vcpus in [4, 8, 16, 32] {
+///     engine.catalog(MachineId(0), vcpus).unwrap();
+/// }
+/// let stats = engine.stats();
+/// assert_eq!(stats.catalogs.computes, 4);
+/// assert_eq!(stats.catalogs.evictions, 2); // only 2 of 4 stay resident
+/// ```
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Measurement repetitions per (workload, placement) when building
@@ -34,6 +59,12 @@ pub struct EngineConfig {
     pub forest: ForestConfig,
     /// Seed for probe selection and forest training.
     pub train_seed: u64,
+    /// Upper bound on resident entries per artifact cache (catalogs,
+    /// training sets, models). Beyond the bound the least-recently-used
+    /// entry is evicted; `0` means unbounded. Machine-class keying means
+    /// one entry serves every same-fingerprint host, so a small bound
+    /// suffices even for large fleets.
+    pub cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +78,7 @@ impl Default for EngineConfig {
                 ..ForestConfig::default()
             },
             train_seed: 7,
+            cache_capacity: 64,
         }
     }
 }
@@ -55,8 +87,106 @@ impl Default for EngineConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MachineId(pub usize);
 
+/// One *machine class* of a fleet: the hosts sharing a topology
+/// fingerprint (and reporting baseline), which therefore share one
+/// catalog, one training sweep and one trained model.
+#[derive(Debug, Clone)]
+pub struct FleetClass {
+    fingerprint: u64,
+    baseline: usize,
+    members: Vec<MachineId>,
+}
+
+impl FleetClass {
+    /// The shared [`Machine::fingerprint`] of the member hosts.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The reporting-baseline placement index shared by the members.
+    pub fn baseline(&self) -> usize {
+        self.baseline
+    }
+
+    /// Member hosts, fleet order.
+    pub fn members(&self) -> &[MachineId] {
+        &self.members
+    }
+}
+
+/// The fleet grouped into machine classes, keyed by
+/// `(fingerprint, baseline)`.
+///
+/// Fleets ≫ 10² hosts are typically built from a handful of hardware
+/// models. The index lets `place_batch` score each request once per
+/// *class* instead of once per *host*: phase 1 work is
+/// `O(requests × classes)`, and per-host work is reduced to a lock-free
+/// capacity-summary read plus (for hosts that pass it) one
+/// occupancy-locked commit attempt.
+///
+/// # Examples
+///
+/// ```
+/// use vc_engine::{EngineConfig, PlacementEngine};
+/// use vc_topology::machines;
+///
+/// let mut engine = PlacementEngine::new(EngineConfig {
+///     extra_synthetic: 0,
+///     ..EngineConfig::default()
+/// });
+/// for _ in 0..3 {
+///     engine.add_machine(machines::amd_opteron_6272());
+/// }
+/// engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+///
+/// let index = engine.fleet_index();
+/// assert_eq!(index.num_classes(), 2); // 4 hosts, 2 hardware models
+/// assert_eq!(index.classes()[0].members().len(), 3);
+/// assert_eq!(index.classes()[1].baseline(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FleetIndex {
+    classes: Vec<FleetClass>,
+}
+
+impl FleetIndex {
+    /// Number of machine classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The classes, first-seen order.
+    pub fn classes(&self) -> &[FleetClass] {
+        &self.classes
+    }
+
+    /// Registers a host, returning its class index (creating the class
+    /// on first sight of the `(fingerprint, baseline)` pair).
+    fn insert(&mut self, fingerprint: u64, baseline: usize, id: MachineId) -> usize {
+        match self
+            .classes
+            .iter()
+            .position(|c| c.fingerprint == fingerprint && c.baseline == baseline)
+        {
+            Some(i) => {
+                self.classes[i].members.push(id);
+                i
+            }
+            None => {
+                self.classes.push(FleetClass {
+                    fingerprint,
+                    baseline,
+                    members: vec![id],
+                });
+                self.classes.len() - 1
+            }
+        }
+    }
+}
+
 /// Everything Algorithms 1–3 derive for one `(machine, vcpus)` pair:
-/// the concern set, the important placements and the surviving packings.
+/// the concern set, the important placements, the surviving packings and
+/// the precomputed availability equivalence classes.
 #[derive(Debug, Clone)]
 pub struct PlacementCatalog {
     /// The machine's scheduling concerns.
@@ -65,6 +195,9 @@ pub struct PlacementCatalog {
     pub placements: Vec<ImportantPlacement>,
     /// Packings surviving duplicate removal and the Pareto filter.
     pub packings: Vec<Packing>,
+    /// Per-class equivalently-scored node sets, precomputed once so
+    /// admission never scores node sets under a host lock.
+    pub availability: AvailabilityIndex,
 }
 
 /// A trained perf-pair model plus the probe pair it selected.
@@ -139,10 +272,11 @@ impl PlacementRequest {
 
 /// How [`PlacementEngine::place_batch`] chooses among feasible machines.
 ///
-/// Both strategies only consider machines predicted to meet the
-/// request's goal; they differ in which of those machines is tried
-/// first. A machine whose occupancy can no longer host any goal-clearing
-/// placement class is skipped and the request re-planned on the rest.
+/// Both strategies only consider machines whose class is predicted to
+/// meet the request's goal; they differ in which of those machines is
+/// tried first. A machine whose occupancy can no longer host any
+/// goal-clearing placement class is skipped and the request re-planned
+/// on the rest.
 ///
 /// # Examples
 ///
@@ -225,15 +359,39 @@ impl PlacementDecision {
     }
 }
 
-/// Counter snapshot across all engine caches.
+/// Counters for the lock-free capacity-summary prefilter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SummaryCounters {
+    /// Hosts skipped by the prefilter — no host lock was taken for
+    /// these.
+    pub skips: u64,
+    /// Hosts the prefilter admitted (each admission leads to at most
+    /// one lock-validated offer or commit attempt).
+    pub admits: u64,
+    /// Admitted hosts whose lock-validated commit/offer then found no
+    /// room; the request was re-offered to the remaining hosts. Under
+    /// concurrency this is usually a stale-optimistic summary, but it
+    /// also counts constraints the node-granular summary cannot
+    /// express (score-equivalent node sets all busy, intra-node L2
+    /// fragmentation), so it can be nonzero single-threaded.
+    pub stale: u64,
+}
+
+/// Counter snapshot across all engine caches and the fleet serving path.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineStats {
-    /// Catalog cache (important placements + packings).
+    /// Catalog cache (important placements + packings + availability).
     pub catalogs: CacheCounters,
     /// Training-set cache (oracle measurement sweeps).
     pub training_sets: CacheCounters,
     /// Model cache (probe selection + forest training).
     pub models: CacheCounters,
+    /// Phase-1 candidate evaluations (probing + prediction). Counted
+    /// per `(request, machine class)`, *not* per host: a fleet of 1000
+    /// same-model hosts costs one evaluation per request.
+    pub evaluations: u64,
+    /// Capacity-summary prefilter activity.
+    pub summary: SummaryCounters,
 }
 
 impl EngineStats {
@@ -241,24 +399,37 @@ impl EngineStats {
     pub fn total_computes(&self) -> u64 {
         self.catalogs.computes + self.training_sets.computes + self.models.computes
     }
+
+    /// Total LRU evictions across caches.
+    pub fn total_evictions(&self) -> u64 {
+        self.catalogs.evictions + self.training_sets.evictions + self.models.evictions
+    }
 }
 
 struct Host {
     machine: Machine,
     fingerprint: u64,
     baseline: usize,
+    /// Index into the fleet index's classes.
+    class: usize,
     oracle: Arc<SimOracle>,
     /// Node-granular reservation state. Commits and releases lock this
     /// map; candidate evaluation never does, so the model path stays
     /// contention-free.
     occupancy: Mutex<OccupancyMap>,
+    /// Lock-free free-capacity summary, published by every commit and
+    /// release before the occupancy lock is dropped. Admission reads it
+    /// to skip hopeless hosts without locking them.
+    summary: CapacitySummary,
 }
 
-/// One request evaluated against one machine: per-class performance
-/// predictions, no capacity touched. Committing picks the best class
-/// that the machine's occupancy can still host.
+/// One request evaluated against one machine *class*: per-placement
+/// performance predictions, no capacity touched. Committing picks a
+/// member host and the best placement class its occupancy can still
+/// host.
 struct Candidate {
-    machine: MachineId,
+    /// Index into the fleet index's classes.
+    class: usize,
     catalog: Arc<PlacementCatalog>,
     /// Predicted absolute performance per catalog class, indexed by
     /// `id - 1`.
@@ -266,10 +437,13 @@ struct Candidate {
     goal_perf: f64,
     /// Best prediction over all classes.
     best_perf: f64,
+    /// `(num_nodes, per_node)` shapes of the goal-clearing catalog
+    /// classes, deduped — what the capacity-summary prefilter checks.
+    goal_shapes: Vec<(usize, usize)>,
 }
 
 impl Candidate {
-    /// Whether any class is predicted to clear the goal.
+    /// Whether any placement class is predicted to clear the goal.
     fn goal_met(&self) -> bool {
         self.best_perf >= self.goal_perf
     }
@@ -284,25 +458,31 @@ type TrainKey = (u64, usize, usize, Option<String>);
 
 /// A long-lived, thread-safe placement service over a fleet of machines.
 ///
-/// The engine memoizes the three expensive stages of the paper's
-/// pipeline behind compute-once caches:
+/// The engine groups the fleet into machine classes (see [`FleetIndex`])
+/// and memoizes the three expensive stages of the paper's pipeline
+/// behind LRU-bounded compute-once caches:
 ///
-/// 1. **catalogs** — Algorithms 1–3 per `(machine fingerprint, vcpus)`;
+/// 1. **catalogs** — Algorithms 1–3 plus the availability equivalence
+///    classes, per `(machine fingerprint, vcpus)`;
 /// 2. **training sets** — the oracle measurement sweep per
 ///    `(fingerprint, vcpus, baseline, excluded family)`;
 /// 3. **models** — probe-pair selection plus forest training, same key.
 ///
 /// A warm query therefore performs *no* enumeration and *no* training —
 /// only the two probe measurements that the paper's §7 policy needs at
-/// decision time. All methods take `&self`; the engine can be shared
-/// behind an [`Arc`] and queried from many threads.
+/// decision time, *once per machine class* rather than once per host.
+/// All methods take `&self`; the engine can be shared behind an [`Arc`]
+/// and queried from many threads.
 ///
 /// Capacity is accounted **per NUMA node and L2 domain**, not per
 /// machine: every commit reserves the concrete hardware threads of its
 /// placement (see [`Placed::threads`]), so co-located containers never
 /// overlap, and [`Self::release`] returns exactly those threads when a
-/// container departs. Rejections for lack of capacity name the
-/// exhausted node.
+/// container departs. Each host additionally publishes a lock-free
+/// [`CapacitySummary`]; hosts whose summary rules out every
+/// goal-clearing placement class are skipped without ever taking their
+/// occupancy lock. Rejections for lack of capacity name the exhausted
+/// node.
 ///
 /// # Examples
 ///
@@ -334,20 +514,35 @@ type TrainKey = (u64, usize, usize, Option<String>);
 pub struct PlacementEngine {
     cfg: EngineConfig,
     hosts: Vec<Host>,
+    fleet: FleetIndex,
+    /// Oracles shared across same-fingerprint hosts: the synthetic
+    /// corpus is a pure function of (topology, engine config).
+    shared_oracles: HashMap<u64, Arc<SimOracle>>,
     catalogs: KeyedCache<(u64, usize), Result<Arc<PlacementCatalog>, PlacementError>>,
     training_sets: KeyedCache<TrainKey, Result<Arc<TrainingSet>, PlacementError>>,
     models: KeyedCache<TrainKey, Result<Arc<ModelArtifact>, PlacementError>>,
+    evaluations: AtomicU64,
+    summary_skips: AtomicU64,
+    summary_admits: AtomicU64,
+    summary_stale: AtomicU64,
 }
 
 impl PlacementEngine {
     /// An engine with an empty fleet.
     pub fn new(cfg: EngineConfig) -> Self {
+        let cap = cfg.cache_capacity;
         PlacementEngine {
             cfg,
             hosts: Vec::new(),
-            catalogs: KeyedCache::default(),
-            training_sets: KeyedCache::default(),
-            models: KeyedCache::default(),
+            fleet: FleetIndex::default(),
+            shared_oracles: HashMap::new(),
+            catalogs: KeyedCache::bounded(cap),
+            training_sets: KeyedCache::bounded(cap),
+            models: KeyedCache::bounded(cap),
+            evaluations: AtomicU64::new(0),
+            summary_skips: AtomicU64::new(0),
+            summary_admits: AtomicU64::new(0),
+            summary_stale: AtomicU64::new(0),
         }
     }
 
@@ -366,22 +561,34 @@ impl PlacementEngine {
     /// Adds a machine whose reporting baseline is the important placement
     /// at `baseline` (the paper uses #1 on AMD, #2 on Intel). Fleet
     /// mutation requires `&mut self`, i.e. happens before serving starts.
+    ///
+    /// Hosts sharing a topology fingerprint and baseline join one
+    /// machine class (see [`FleetIndex`]) and share a simulator oracle —
+    /// adding the thousandth copy of a machine model costs an occupancy
+    /// map, not a synthetic-corpus generation.
     pub fn add_machine_with_baseline(&mut self, machine: Machine, baseline: usize) -> MachineId {
         let fingerprint = machine.fingerprint();
-        let oracle = Arc::new(SimOracle::with_synthetic(
-            machine.clone(),
-            self.cfg.extra_synthetic,
-            self.cfg.corpus_seed,
-        ));
+        let oracle = Arc::clone(self.shared_oracles.entry(fingerprint).or_insert_with(|| {
+            Arc::new(SimOracle::with_synthetic(
+                machine.clone(),
+                self.cfg.extra_synthetic,
+                self.cfg.corpus_seed,
+            ))
+        }));
         let occupancy = Mutex::new(OccupancyMap::new(&machine));
+        let summary = CapacitySummary::new(&machine);
+        let id = MachineId(self.hosts.len());
+        let class = self.fleet.insert(fingerprint, baseline, id);
         self.hosts.push(Host {
             machine,
             fingerprint,
             baseline,
+            class,
             oracle,
             occupancy,
+            summary,
         });
-        MachineId(self.hosts.len() - 1)
+        id
     }
 
     /// The engine configuration.
@@ -397,6 +604,16 @@ impl PlacementEngine {
     /// All machine ids, in fleet order.
     pub fn machine_ids(&self) -> Vec<MachineId> {
         (0..self.hosts.len()).map(MachineId).collect()
+    }
+
+    /// The fleet grouped into machine classes.
+    pub fn fleet_index(&self) -> &FleetIndex {
+        &self.fleet
+    }
+
+    /// Index (into [`FleetIndex::classes`]) of the machine's class.
+    pub fn machine_class(&self, id: MachineId) -> usize {
+        self.hosts[id.0].class
     }
 
     /// The machine behind `id`.
@@ -445,6 +662,13 @@ impl PlacementEngine {
             .clone()
     }
 
+    /// The machine's lock-free capacity summary. Reads are wait-free;
+    /// the values lag the occupancy map by at most one in-flight
+    /// commit/release critical section.
+    pub fn capacity_summary(&self, id: MachineId) -> &CapacitySummary {
+        &self.hosts[id.0].summary
+    }
+
     /// Releases the hardware threads a placement reserved.
     ///
     /// Releasing threads that are not currently reserved (e.g. releasing
@@ -454,21 +678,30 @@ impl PlacementEngine {
     pub fn release(&self, placed: &Placed) {
         let host = &self.hosts[placed.machine.0];
         let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
-        if let Err(e) = occ.release(&placed.threads) {
-            debug_assert!(
-                false,
-                "release of a placement not currently reserved on {:?}: {e}",
-                placed.machine
-            );
+        match occ.release(&placed.threads) {
+            Ok(()) => host.summary.publish(&occ),
+            Err(e) => {
+                debug_assert!(
+                    false,
+                    "release of a placement not currently reserved on {:?}: {e}",
+                    placed.machine
+                );
+            }
         }
     }
 
-    /// Counter snapshot across all caches.
+    /// Counter snapshot across all caches and the serving path.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             catalogs: self.catalogs.counters(),
             training_sets: self.training_sets.counters(),
             models: self.models.counters(),
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            summary: SummaryCounters {
+                skips: self.summary_skips.load(Ordering::Relaxed),
+                admits: self.summary_admits.load(Ordering::Relaxed),
+                stale: self.summary_stale.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -493,10 +726,16 @@ impl PlacementEngine {
                     vcpus,
                     &packings,
                 )?;
+                // Precompute the availability equivalence classes here,
+                // off the serving path: admission then never scores a
+                // node set under a host lock.
+                let availability =
+                    AvailabilityIndex::build(&host.machine, &concerns, &placements);
                 Ok(Arc::new(PlacementCatalog {
                     concerns,
                     placements,
                     packings,
+                    availability,
                 }))
             })
     }
@@ -579,16 +818,19 @@ impl PlacementEngine {
         })
     }
 
-    /// Evaluates one request against one machine without committing
-    /// capacity: probes the two model placements and predicts the full
-    /// per-class performance vector. Pure model work — which class (and
-    /// which concrete node set) actually hosts the container is decided
-    /// at commit time against live occupancy.
-    fn evaluate(&self, id: MachineId, req: &PlacementRequest) -> Result<Candidate, String> {
+    /// Evaluates one request against one machine *class* without
+    /// committing capacity: probes the two model placements and predicts
+    /// the full per-class performance vector. Pure model work — which
+    /// member host, which placement class and which concrete node set
+    /// actually host the container are decided at commit time against
+    /// live occupancy.
+    fn evaluate(&self, class: usize, req: &PlacementRequest) -> Result<Candidate, String> {
         if req.vcpus == 0 {
             return Err("request has zero vCPUs".to_string());
         }
-        let host = &self.hosts[id.0];
+        let fc = &self.fleet.classes[class];
+        let rep = fc.members[0];
+        let host = &self.hosts[rep.0];
         if !host.oracle.workloads().iter().any(|w| w.name == req.workload) {
             return Err(format!(
                 "workload {} unknown on machine {}",
@@ -596,11 +838,14 @@ impl PlacementEngine {
                 host.machine.name()
             ));
         }
+        // Count only evaluations that reach the model path; malformed
+        // requests do no probing or prediction.
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
         let catalog = self
-            .catalog(id, req.vcpus)
+            .catalog(rep, req.vcpus)
             .map_err(|e| format!("{}: {e}", host.machine.name()))?;
         let artifact = self
-            .model(id, req.vcpus, host.baseline.min(catalog.placements.len() - 1), None)
+            .model(rep, req.vcpus, host.baseline.min(catalog.placements.len() - 1), None)
             .map_err(|e| format!("{}: {e}", host.machine.name()))?;
 
         let anchor_spec = &catalog.placements[artifact.baseline].spec;
@@ -617,17 +862,50 @@ impl PlacementEngine {
             .iter()
             .map(|ip| predicted[ip.id - 1])
             .fold(f64::NEG_INFINITY, f64::max);
+        // The placement-class shapes that could satisfy this request:
+        // what the lock-free summary prefilter checks per host.
+        let mut goal_shapes: Vec<(usize, usize)> = Vec::new();
+        for (shape, ip) in catalog
+            .availability
+            .requirements()
+            .into_iter()
+            .zip(&catalog.placements)
+        {
+            if predicted[ip.id - 1] >= goal_perf && !goal_shapes.contains(&shape) {
+                goal_shapes.push(shape);
+            }
+        }
         Ok(Candidate {
-            machine: id,
+            class,
             catalog,
             predicted,
             goal_perf,
             best_perf,
+            goal_shapes,
         })
     }
 
+    /// Lock-free prefilter: whether `host`'s capacity summary leaves any
+    /// goal-clearing placement class possible for `cand`. `false` means
+    /// the host is skipped without taking its occupancy lock; `true` is
+    /// advisory and re-validated under the lock.
+    fn summary_admits(&self, host: &Host, cand: &Candidate) -> bool {
+        let admitted = cand
+            .goal_shapes
+            .iter()
+            .any(|&(n, per)| host.summary.can_host(n, per));
+        if admitted {
+            self.summary_admits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.summary_skips.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
     /// The placement `try_commit` would choose for `cand` on the given
-    /// occupancy: the best goal-clearing class currently hostable.
+    /// host and occupancy: the best goal-clearing class currently
+    /// hostable, via the catalog's precomputed availability index (no
+    /// node-set scoring happens here, i.e. none under the lock).
     ///
     /// Class preference among goal-clearing, currently-hostable
     /// classes: fewest nodes (cheapest for the operator), then fewest
@@ -636,16 +914,11 @@ impl PlacementEngine {
     /// human-readable reason naming the exhausted node.
     fn best_available(
         &self,
+        host: &Host,
         cand: &Candidate,
         occ: &OccupancyMap,
     ) -> Result<(AvailablePlacement, f64), String> {
-        let host = &self.hosts[cand.machine.0];
-        let available = available_placements(
-            &host.machine,
-            &cand.catalog.concerns,
-            &cand.catalog.placements,
-            occ,
-        );
+        let available = cand.catalog.availability.available(&host.machine, occ);
         let mut best: Option<(&AvailablePlacement, f64)> = None;
         for ap in &available {
             let p = cand.predicted[ap.id - 1];
@@ -681,26 +954,28 @@ impl PlacementEngine {
     }
 
     /// The predicted performance `try_commit` would deliver for `cand`
-    /// right now, without reserving anything (a dry run under the host's
-    /// occupancy lock).
-    fn offer(&self, cand: &Candidate) -> Result<f64, String> {
-        let host = &self.hosts[cand.machine.0];
+    /// on host `id` right now, without reserving anything (a dry run
+    /// under the host's occupancy lock).
+    fn offer(&self, id: MachineId, cand: &Candidate) -> Result<f64, String> {
+        let host = &self.hosts[id.0];
         let occ = host.occupancy.lock().expect("occupancy lock poisoned");
-        self.best_available(cand, &occ).map(|(_, p)| p)
+        self.best_available(host, cand, &occ).map(|(_, p)| p)
     }
 
-    /// Attempts to commit a candidate on its machine: retargets the
-    /// best goal-clearing placement class onto node sets with free
-    /// hardware threads (see [`Self::best_available`]) and reserves
-    /// those threads, atomically under the host's occupancy lock.
-    fn try_commit(&self, cand: &Candidate) -> Result<Placed, String> {
-        let host = &self.hosts[cand.machine.0];
+    /// Attempts to commit a candidate on host `id`: retargets the best
+    /// goal-clearing placement class onto node sets with free hardware
+    /// threads (see [`Self::best_available`]) and reserves those
+    /// threads, atomically under the host's occupancy lock. The host's
+    /// capacity summary is re-published before the lock is dropped.
+    fn try_commit(&self, id: MachineId, cand: &Candidate) -> Result<Placed, String> {
+        let host = &self.hosts[id.0];
         let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
-        let (ap, predicted_perf) = self.best_available(cand, &occ)?;
+        let (ap, predicted_perf) = self.best_available(host, cand, &occ)?;
         occ.reserve(&ap.threads)
             .expect("availability was computed under this lock");
+        host.summary.publish(&occ);
         Ok(Placed {
-            machine: cand.machine,
+            machine: id,
             placement_id: ap.id,
             spec: ap.spec,
             threads: ap.threads,
@@ -720,90 +995,166 @@ impl PlacementEngine {
     /// Places a stream of requests across the fleet.
     ///
     /// Candidate evaluation (probing + prediction, cache-warming on cold
-    /// paths) fans out over scoped worker threads; commitment is then
-    /// sequential in request order, so results are deterministic and
-    /// occupancy accounting is exact. Each commit reserves the concrete
+    /// paths) runs once per `(request, machine class)` — not per host —
+    /// sharded over scoped worker threads; commitment is then sequential
+    /// in request order, so results are deterministic and occupancy
+    /// accounting is exact. Hosts whose lock-free capacity summary rules
+    /// out every goal-clearing placement class are skipped without
+    /// taking their occupancy lock. Each commit reserves the concrete
     /// hardware threads of a placement class retargeted onto currently
-    /// free node sets, atomically under the host's occupancy lock —
-    /// committed containers never share hardware threads, even across
-    /// concurrent batches. Requests that fit nowhere — or whose goal no
-    /// machine is predicted to meet — are rejected with a reason naming
-    /// the exhausted node.
+    /// free node sets (precomputed equivalence classes, no scoring under
+    /// the lock), atomically under the host's occupancy lock — committed
+    /// containers never share hardware threads, even across concurrent
+    /// batches. A host admitted by a stale summary that the occupancy
+    /// map then rejects is excluded and the request re-offered to the
+    /// rest. Requests that fit nowhere — or whose goal no machine class
+    /// is predicted to meet — are rejected with a reason naming the
+    /// exhausted node.
     pub fn place_batch(
         &self,
         reqs: &[PlacementRequest],
         strategy: BatchStrategy,
     ) -> Vec<PlacementDecision> {
-        // Phase 1: evaluate every (request, machine) candidate in
+        // Phase 1: evaluate every (request, machine class) candidate in
         // parallel. Pure reads plus cache fills; no capacity is touched.
         let candidates = self.evaluate_candidates(reqs);
 
         // Phase 2: commit sequentially in request order. A commit that
-        // finds the machine exhausted (either by earlier requests in
-        // this batch or by a concurrent batch) removes the machine from
-        // this request's consideration and re-plans on the rest.
+        // finds a host exhausted (either by earlier requests in this
+        // batch or by a concurrent batch) removes the host from this
+        // request's consideration and re-plans on the rest.
         let mut decisions = Vec::with_capacity(reqs.len());
         for options in candidates {
-            let mut commit_errors: Vec<String> = Vec::new();
-            let mut tried = vec![false; self.hosts.len()];
-            let decision = loop {
-                let viable: Vec<&Candidate> = options
-                    .iter()
-                    .filter_map(|c| c.as_ref().ok())
-                    .filter(|c| c.goal_met() && !tried[c.machine.0])
-                    .collect();
-                let chosen = match strategy {
-                    BatchStrategy::FirstFit => viable.iter().copied().min_by_key(|c| c.machine),
-                    BatchStrategy::BestScore => {
-                        // Rank machines by the performance of the class
-                        // that would actually be committed under their
-                        // current occupancy (a dry run per machine), not
-                        // by the catalog-wide ceiling — a busy machine's
-                        // best class may be unavailable.
-                        let mut best: Option<(&Candidate, f64)> = None;
-                        for c in viable {
-                            match self.offer(c) {
-                                Ok(p) => {
-                                    let better = match best {
-                                        None => true,
-                                        Some((cur, cur_p)) => {
-                                            p > cur_p
-                                                || (p == cur_p && c.machine < cur.machine)
-                                        }
-                                    };
-                                    if better {
-                                        best = Some((c, p));
-                                    }
-                                }
-                                Err(e) => {
-                                    tried[c.machine.0] = true;
-                                    commit_errors.push(e);
-                                }
-                            }
-                        }
-                        best.map(|(c, _)| c)
-                    }
-                };
-                let Some(c) = chosen else {
-                    break PlacementDecision::Rejected {
-                        reason: Self::rejection_reason(&options, &commit_errors),
-                    };
-                };
-                tried[c.machine.0] = true;
-                match self.try_commit(c) {
-                    Ok(p) => break PlacementDecision::Placed(p),
-                    Err(e) => commit_errors.push(e),
-                }
-            };
-            decisions.push(decision);
+            decisions.push(self.commit_one(&options, strategy));
         }
         decisions
     }
 
+    /// Phase 2 for one request: pick hosts by `strategy` among the
+    /// members of goal-clearing classes, prefiltered by capacity
+    /// summaries, until a lock-validated commit succeeds.
+    fn commit_one(
+        &self,
+        options: &[Result<Candidate, String>],
+        strategy: BatchStrategy,
+    ) -> PlacementDecision {
+        let mut commit_errors: Vec<String> = Vec::new();
+        let mut tried = vec![false; self.hosts.len()];
+        // Hosts the summary prefilter ruled out, as of the last pass
+        // (used to explain rejections without ever locking them).
+        let mut skipped: Vec<usize>;
+        loop {
+            // Viable class candidates, indexed by class for host lookup.
+            let viable: Vec<Option<&Candidate>> = {
+                let mut v: Vec<Option<&Candidate>> = vec![None; self.fleet.num_classes()];
+                for c in options.iter().filter_map(|c| c.as_ref().ok()) {
+                    if c.goal_met() {
+                        v[c.class] = Some(c);
+                    }
+                }
+                v
+            };
+            skipped = Vec::new();
+            let chosen: Option<(MachineId, &Candidate)> = match strategy {
+                BatchStrategy::FirstFit => {
+                    // The first member (fleet order) of a goal-clearing
+                    // class whose summary leaves room wins.
+                    let mut found = None;
+                    self.walk_admitted(&viable, &tried, &mut skipped, |id, cand| {
+                        found = Some((id, cand));
+                        true
+                    });
+                    found
+                }
+                BatchStrategy::BestScore => {
+                    // Rank hosts by the performance of the class that
+                    // would actually be committed under their current
+                    // occupancy (a dry run per admitted host), not by
+                    // the catalog-wide ceiling — a busy host's best
+                    // class may be unavailable.
+                    let mut best: Option<(MachineId, &Candidate, f64)> = None;
+                    let mut failed: Vec<(MachineId, String)> = Vec::new();
+                    self.walk_admitted(&viable, &tried, &mut skipped, |id, cand| {
+                        match self.offer(id, cand) {
+                            Ok(p) => {
+                                let better = match best {
+                                    None => true,
+                                    Some((bid, _, bp)) => p > bp || (p == bp && id < bid),
+                                };
+                                if better {
+                                    best = Some((id, cand, p));
+                                }
+                            }
+                            Err(e) => failed.push((id, e)),
+                        }
+                        false
+                    });
+                    for (id, e) in failed {
+                        self.summary_stale.fetch_add(1, Ordering::Relaxed);
+                        tried[id.0] = true;
+                        commit_errors.push(e);
+                    }
+                    best.map(|(id, cand, _)| (id, cand))
+                }
+            };
+            let Some((id, cand)) = chosen else {
+                return PlacementDecision::Rejected {
+                    reason: self.rejection_reason(options, &commit_errors, &skipped),
+                };
+            };
+            tried[id.0] = true;
+            match self.try_commit(id, cand) {
+                Ok(p) => return PlacementDecision::Placed(p),
+                Err(e) => {
+                    // The summary admitted the host but the occupancy
+                    // map (the authority) had no room: the summary was
+                    // stale. Re-offer on the remaining hosts.
+                    self.summary_stale.fetch_add(1, Ordering::Relaxed);
+                    commit_errors.push(e);
+                }
+            }
+        }
+    }
+
+    /// Walks untried member hosts of goal-clearing classes in fleet
+    /// order, passing each summary-admitted host to `visit` until it
+    /// returns `true`; hosts the prefilter rules out are recorded in
+    /// `skipped` (and never locked).
+    fn walk_admitted<'a>(
+        &'a self,
+        viable: &[Option<&'a Candidate>],
+        tried: &[bool],
+        skipped: &mut Vec<usize>,
+        mut visit: impl FnMut(MachineId, &'a Candidate) -> bool,
+    ) {
+        for (i, host) in self.hosts.iter().enumerate() {
+            if tried[i] {
+                continue;
+            }
+            let Some(cand) = viable[host.class] else {
+                continue;
+            };
+            if !self.summary_admits(host, cand) {
+                skipped.push(i);
+                continue;
+            }
+            if visit(MachineId(i), cand) {
+                return;
+            }
+        }
+    }
+
     /// Why a request could not be placed: an actionable summary rather
     /// than an arbitrary per-machine error. Capacity rejections carry
-    /// the per-machine commit failures, which name the exhausted node.
-    fn rejection_reason(options: &[Result<Candidate, String>], commit_errors: &[String]) -> String {
+    /// the per-host commit failures (which name the exhausted node) and
+    /// the number of hosts the capacity summaries ruled out without
+    /// locking.
+    fn rejection_reason(
+        &self,
+        options: &[Result<Candidate, String>],
+        commit_errors: &[String],
+        skipped: &[usize],
+    ) -> String {
         let ok: Vec<&Candidate> = options.iter().filter_map(|c| c.as_ref().ok()).collect();
         if ok.is_empty() {
             return options
@@ -815,21 +1166,55 @@ impl PlacementEngine {
         }
         let goal_ok = ok.iter().filter(|c| c.goal_met()).count();
         if goal_ok == 0 {
-            format!(
-                "no machine is predicted to meet the goal ({} evaluated)",
+            return format!(
+                "no machine class is predicted to meet the goal ({} evaluated)",
                 ok.len()
-            )
-        } else {
-            format!(
-                "no free capacity on the {goal_ok} of {} machines that meet the goal: {}",
-                ok.len(),
-                commit_errors.join("; ")
-            )
+            );
         }
+        let hosts: usize = ok
+            .iter()
+            .filter(|c| c.goal_met())
+            .map(|c| self.fleet.classes[c.class].members.len())
+            .sum();
+        let mut details: Vec<String> = commit_errors.to_vec();
+        // Hosts ruled out by the lock-free prefilter were never locked,
+        // so explain them from their summaries (naming the exhausted
+        // node, like lock-validated failures do). Cap the detail at a
+        // few hosts — a full fleet would otherwise produce a novel.
+        const DETAILED: usize = 3;
+        for &i in skipped.iter().take(DETAILED) {
+            let host = &self.hosts[i];
+            let s = &host.summary;
+            let node = (0..s.num_nodes())
+                .map(NodeId)
+                .min_by_key(|&n| (s.free_on_node(n), n.index()))
+                .expect("machines have at least one node");
+            details.push(format!(
+                "{}: no goal-clearing placement class fits the free capacity \
+                 (node {} exhausted: {}/{} threads free, per its summary)",
+                host.machine.name(),
+                node,
+                s.free_on_node(node),
+                s.node_capacity(),
+            ));
+        }
+        if skipped.len() > DETAILED {
+            details.push(format!(
+                "and {} more hosts ruled out by capacity summaries",
+                skipped.len() - DETAILED
+            ));
+        }
+        format!(
+            "no free capacity on the {hosts} hosts across {goal_ok} machine classes \
+             that meet the goal: {}",
+            details.join("; ")
+        )
     }
 
     /// Phase 1 of [`Self::place_batch`]: per request, the candidate
-    /// outcome on every machine, computed on scoped worker threads.
+    /// outcome on every machine class, computed on scoped worker
+    /// threads. The `(request × class)` grid is sharded row-wise:
+    /// each worker evaluates a chunk of requests against all classes.
     fn evaluate_candidates(&self, reqs: &[PlacementRequest]) -> Vec<Vec<Result<Candidate, String>>> {
         let n_workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -852,8 +1237,8 @@ impl PlacementEngine {
     }
 
     fn candidates_for(&self, req: &PlacementRequest) -> Vec<Result<Candidate, String>> {
-        (0..self.hosts.len())
-            .map(|i| self.evaluate(MachineId(i), req))
+        (0..self.fleet.num_classes())
+            .map(|class| self.evaluate(class, req))
             .collect()
     }
 }

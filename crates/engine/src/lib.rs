@@ -5,15 +5,15 @@
 //! training). Every consumer used to re-wire that pipeline by hand and
 //! recompute everything per call. This crate turns the pipeline into a
 //! **long-lived, thread-safe service**: a [`PlacementEngine`] owns a
-//! fleet of machines and answers placement queries out of compute-once
-//! caches, so repeated queries cost two probe measurements instead of a
-//! full enumeration-plus-training run.
+//! fleet of machines and answers placement queries out of LRU-bounded
+//! compute-once caches, so repeated queries cost two probe measurements
+//! instead of a full enumeration-plus-training run.
 //!
 //! What is memoized, and under which key:
 //!
 //! | cache | key | contents |
 //! |---|---|---|
-//! | catalogs | `(machine fingerprint, vcpus)` | concern set, important placements, surviving packings |
+//! | catalogs | `(machine fingerprint, vcpus)` | concern set, important placements, surviving packings, availability equivalence classes |
 //! | training sets | `(fingerprint, vcpus, baseline, excluded family)` | the oracle measurement sweep |
 //! | models | `(fingerprint, vcpus, baseline, excluded family)` | selected probe pair + fitted forest |
 //!
@@ -21,6 +21,20 @@
 //! models across a fleet share one catalog and one trained model — the
 //! ML stage is amortised across the fleet rather than retrained per
 //! machine, in the spirit of warehouse-scale systems like MAO.
+//!
+//! # Fleet scale
+//!
+//! The fleet is grouped into *machine classes* ([`FleetIndex`]): hosts
+//! with identical topology fingerprint and baseline. Phase 1 of
+//! [`PlacementEngine::place_batch`] scores each request **once per
+//! class** — a 1000-host fleet built from 4 hardware models costs 4
+//! evaluations per request, not 1000 (observable via
+//! [`EngineStats::evaluations`]). Per-host work is reduced to a
+//! lock-free [`vc_topology::CapacitySummary`] read; only hosts whose
+//! summary leaves a goal-clearing placement class possible ever have
+//! their occupancy mutex taken, and the commit re-validates under that
+//! lock (a stale-optimistic summary costs one wasted lock, never a bad
+//! placement).
 //!
 //! # Occupancy
 //!
@@ -79,8 +93,9 @@ mod engine;
 
 pub use cache::{CacheCounters, KeyedCache};
 pub use engine::{
-    BatchStrategy, EngineConfig, EngineStats, MachineId, ModelArtifact, Placed, PlacementCatalog,
-    PlacementDecision, PlacementEngine, PlacementRequest,
+    BatchStrategy, EngineConfig, EngineStats, FleetClass, FleetIndex, MachineId, ModelArtifact,
+    Placed, PlacementCatalog, PlacementDecision, PlacementEngine, PlacementRequest,
+    SummaryCounters,
 };
 
 #[cfg(test)]

@@ -1,0 +1,388 @@
+//! Fleet-index guarantees: class-level evaluation is score-equivalent
+//! to the pre-refactor per-machine sweep, capacity summaries never let
+//! a placement through that the occupancy map would reject, and the
+//! per-class work accounting holds at fleet scale.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use vc_engine::{
+    BatchStrategy, EngineConfig, MachineId, Placed, PlacementEngine, PlacementRequest,
+};
+use vc_ml::forest::ForestConfig;
+use vc_topology::{machines, NodeId};
+
+fn fast_config() -> EngineConfig {
+    EngineConfig {
+        n_seeds: 2,
+        extra_synthetic: 0,
+        forest: ForestConfig {
+            n_trees: 20,
+            ..ForestConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// The reference semantics `place_batch` must preserve: one independent
+/// single-machine engine per host, swept in fleet order per request —
+/// exactly the pre-fleet-index per-machine evaluation, with *nothing*
+/// shared between hosts (each reference engine trains its own model).
+struct PerMachineSweep {
+    engines: Vec<PlacementEngine>,
+}
+
+impl PerMachineSweep {
+    fn new(fleet: &[(vc_topology::Machine, usize)]) -> Self {
+        PerMachineSweep {
+            engines: fleet
+                .iter()
+                .map(|(m, baseline)| {
+                    let mut e = PlacementEngine::new(fast_config());
+                    e.add_machine_with_baseline(m.clone(), *baseline);
+                    e
+                })
+                .collect(),
+        }
+    }
+
+    /// First-fit: the first machine (fleet order) that accepts wins.
+    fn place(&self, req: &PlacementRequest) -> Option<(usize, Placed)> {
+        for (i, e) in self.engines.iter().enumerate() {
+            if let Some(p) = e.place(req).placed() {
+                return Some((i, p.clone()));
+            }
+        }
+        None
+    }
+}
+
+/// Asserts every machine's lock-free summary agrees with its
+/// authoritative occupancy map (valid whenever no commit is in flight).
+fn assert_summaries_published(engine: &PlacementEngine) {
+    for id in engine.machine_ids() {
+        let occ = engine.occupancy(id);
+        let summary = engine.capacity_summary(id);
+        assert_eq!(
+            summary.free_threads(),
+            occ.free_threads(),
+            "machine {id:?} summary total drift"
+        );
+        for n in 0..occ.num_nodes() {
+            assert_eq!(
+                summary.free_on_node(NodeId(n)),
+                occ.free_on_node(NodeId(n)),
+                "machine {id:?} node {n} summary drift"
+            );
+        }
+    }
+}
+
+/// The fleet-indexed, summary-prefiltered `place_batch` must commit the
+/// same machines, placement classes, node sets, threads and predicted
+/// performance as a sweep over per-machine engines that share nothing.
+#[test]
+fn sharded_batch_matches_per_machine_sweep() {
+    let fleet = vec![
+        (machines::amd_opteron_6272(), 0),
+        (machines::amd_opteron_6272(), 0),
+        (machines::intel_xeon_e7_4830_v3(), 1),
+    ];
+    let mut engine = PlacementEngine::new(fast_config());
+    for (m, b) in &fleet {
+        engine.add_machine_with_baseline(m.clone(), *b);
+    }
+    let reference = PerMachineSweep::new(&fleet);
+
+    // Enough 16-vCPU containers to overflow the 64+64+96-thread fleet,
+    // so rejections are compared too; a mix of goals exercises the
+    // goal-clearing filter.
+    let reqs: Vec<PlacementRequest> = (0..16)
+        .map(|i| {
+            let wl = ["WTbtree", "swaptions"][i % 2];
+            let goal = [0.0, 0.9][(i / 2) % 2];
+            PlacementRequest::new(wl, 16).with_goal(goal).with_probe_seed(i as u64)
+        })
+        .collect();
+    let decisions = engine.place_batch(&reqs, BatchStrategy::FirstFit);
+
+    let mut placed_count = 0;
+    for (req, d) in reqs.iter().zip(&decisions) {
+        let expected = reference.place(req);
+        match (d.placed(), expected) {
+            (Some(got), Some((machine_idx, want))) => {
+                placed_count += 1;
+                assert_eq!(got.machine.0, machine_idx, "machine choice diverged");
+                assert_eq!(got.placement_id, want.placement_id, "class diverged");
+                assert_eq!(got.spec.nodes, want.spec.nodes, "node set diverged");
+                assert_eq!(got.threads, want.threads, "threads diverged");
+                assert_eq!(
+                    got.predicted_perf, want.predicted_perf,
+                    "prediction diverged: class-shared model is not score-equivalent"
+                );
+                assert_eq!(got.goal_perf, want.goal_perf);
+            }
+            (None, None) => {}
+            (got, want) => panic!(
+                "fleet engine and per-machine sweep disagree on feasibility \
+                 (fleet placed: {}, sweep placed: {})",
+                got.is_some(),
+                want.is_some()
+            ),
+        }
+    }
+    assert!(placed_count >= 8, "fleet should fill before rejecting");
+    assert!(placed_count < reqs.len(), "some requests must be rejected");
+    assert_summaries_published(&engine);
+
+    // The fleet engine did its model work per class (2 classes), not
+    // per host (3 hosts) — while the reference sweep trained 3 times.
+    let stats = engine.stats();
+    assert_eq!(stats.models.computes, 2, "one model per machine class");
+    assert_eq!(stats.catalogs.computes, 2, "one catalog per machine class");
+}
+
+/// One engine per property test (cargo may run the test fns
+/// concurrently, so they must not share occupancy); within a test the
+/// cases share the engine and release everything they place.
+fn batch_vs_sequential_engine() -> &'static PlacementEngine {
+    static ENGINE: OnceLock<PlacementEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let mut engine = PlacementEngine::new(fast_config());
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+        engine
+    })
+}
+
+fn churn_engine() -> &'static PlacementEngine {
+    static ENGINE: OnceLock<PlacementEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let mut engine = PlacementEngine::new(fast_config());
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+        engine
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched and one-at-a-time placement of the same request stream
+    /// commit identical decisions, and the lock-free summaries match
+    /// the occupancy maps after every quiescent point.
+    #[test]
+    fn batch_equals_sequential_on_random_streams(
+        picks in proptest::collection::vec((0usize..3, 0usize..3, 0u64..1000), 1..8),
+    ) {
+        let engine = batch_vs_sequential_engine();
+        let reqs: Vec<PlacementRequest> = picks
+            .iter()
+            .map(|&(w, g, seed)| {
+                PlacementRequest::new(["WTbtree", "swaptions", "blast"][w], 16)
+                    .with_goal([0.0, 0.9, 1.05][g])
+                    .with_probe_seed(seed)
+            })
+            .collect();
+
+        let batched = engine.place_batch(&reqs, BatchStrategy::FirstFit);
+        let batch_placed: Vec<Placed> =
+            batched.iter().filter_map(|d| d.placed().cloned()).collect();
+        for p in &batch_placed {
+            engine.release(p);
+        }
+
+        let sequential: Vec<Option<Placed>> =
+            reqs.iter().map(|r| engine.place(r).placed().cloned()).collect();
+        for p in sequential.iter().flatten() {
+            engine.release(p);
+        }
+        assert_summaries_published(engine);
+
+        for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            match (b.placed(), s) {
+                (Some(x), Some(y)) => {
+                    prop_assert_eq!(x.machine, y.machine, "request {}", i);
+                    prop_assert_eq!(x.placement_id, y.placement_id, "request {}", i);
+                    prop_assert_eq!(&x.threads, &y.threads, "request {}", i);
+                    prop_assert_eq!(x.predicted_perf, y.predicted_perf, "request {}", i);
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "batch and sequential disagree on request {}", i),
+            }
+        }
+    }
+
+    /// After any interleaving of placements and releases, every
+    /// summary equals its occupancy map: commits and releases always
+    /// publish before dropping the host lock.
+    #[test]
+    fn summaries_track_occupancy_through_churn(
+        ops in proptest::collection::vec((0u8..4, 0u64..1000), 4..20),
+    ) {
+        let engine = churn_engine();
+        let mut live: Vec<Placed> = Vec::new();
+        for (op, seed) in ops {
+            if op == 0 && !live.is_empty() {
+                let victim = live.remove(seed as usize % live.len());
+                engine.release(&victim);
+            } else {
+                let vcpus = [8, 16, 24][(seed % 3) as usize];
+                let req = PlacementRequest::new("WTbtree", vcpus).with_probe_seed(seed);
+                if let Some(p) = engine.place(&req).placed() {
+                    live.push(p.clone());
+                }
+            }
+            assert_summaries_published(engine);
+        }
+        for p in live.drain(..) {
+            engine.release(&p);
+        }
+        assert_summaries_published(engine);
+    }
+}
+
+/// Phase-1 work is per machine class: a fleet of many same-model hosts
+/// costs |classes| evaluations per request, and one catalog / training
+/// sweep / model per class — the acceptance criterion of the
+/// fingerprint-sharded fleet index.
+#[test]
+fn evaluation_and_training_are_counted_per_class_not_per_host() {
+    let mut engine = PlacementEngine::new(fast_config());
+    for _ in 0..100 {
+        engine.add_machine(machines::amd_opteron_6272());
+    }
+    engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+    assert_eq!(engine.num_machines(), 101);
+    assert_eq!(engine.fleet_index().num_classes(), 2);
+
+    let reqs: Vec<PlacementRequest> = (0..3)
+        .map(|i| PlacementRequest::new("WTbtree", 16).with_probe_seed(i))
+        .collect();
+    let decisions = engine.place_batch(&reqs, BatchStrategy::FirstFit);
+    assert!(decisions.iter().all(|d| d.placed().is_some()));
+
+    let stats = engine.stats();
+    assert_eq!(
+        stats.evaluations, 6,
+        "3 requests × 2 classes, independent of the 101 hosts"
+    );
+    assert_eq!(stats.catalogs.computes, 2, "one catalog per class");
+    assert_eq!(stats.training_sets.computes, 2, "one sweep per class");
+    assert_eq!(stats.models.computes, 2, "one model per class");
+}
+
+/// Once the fleet is saturated, further requests are rejected purely by
+/// the lock-free summaries (counted as skips) and the reason still
+/// names an exhausted node; a departure immediately restores
+/// admissibility because releases publish the summary too.
+#[test]
+fn full_hosts_are_skipped_by_summaries_without_locking() {
+    let mut engine = PlacementEngine::new(fast_config());
+    engine.add_machine(machines::amd_opteron_6272());
+    engine.add_machine(machines::amd_opteron_6272());
+
+    let req = |s: u64| PlacementRequest::new("swaptions", 16).with_probe_seed(s);
+    let mut placed = Vec::new();
+    for s in 0..8 {
+        placed.push(engine.place(&req(s)).placed().expect("fleet has room").clone());
+    }
+    let skips_before = engine.stats().summary.skips;
+    let overflow = engine.place(&req(100));
+    let stats = engine.stats();
+    assert!(overflow.placed().is_none(), "130th vCPU cannot exist");
+    assert_eq!(
+        stats.summary.skips - skips_before,
+        2,
+        "both full hosts must be ruled out by their summaries, lock-free"
+    );
+    match overflow {
+        vc_engine::PlacementDecision::Rejected { reason } => {
+            assert!(reason.contains("node N"), "reason must name a node: {reason}");
+            assert!(reason.contains("summary"), "reason should credit the summary: {reason}");
+        }
+        _ => unreachable!(),
+    }
+
+    engine.release(&placed.pop().expect("eight placed"));
+    assert!(
+        engine.place(&req(101)).placed().is_some(),
+        "release published the summary; the host is admissible again"
+    );
+}
+
+/// Racing batches against a small fleet: stale summaries may admit a
+/// host whose occupancy then rejects the commit (counted as `stale`,
+/// re-offered elsewhere), but capacity is never over-committed and the
+/// summaries converge to the occupancy maps at quiescence.
+#[test]
+fn racing_batches_stay_consistent_under_stale_summaries() {
+    let mut engine = PlacementEngine::new(fast_config());
+    engine.add_machine(machines::amd_opteron_6272());
+    engine.add_machine(machines::amd_opteron_6272());
+    let engine = Arc::new(engine);
+    // Warm the caches so the race is over commitment, not training.
+    let warm = engine.place(&PlacementRequest::new("WTbtree", 16));
+    engine.release(warm.placed().expect("fits"));
+
+    let placed_total: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    let reqs: Vec<PlacementRequest> = (0..2)
+                        .map(|i| {
+                            PlacementRequest::new("WTbtree", 16).with_probe_seed(t * 10 + i)
+                        })
+                        .collect();
+                    engine
+                        .place_batch(&reqs, BatchStrategy::FirstFit)
+                        .iter()
+                        .filter(|d| d.placed().is_some())
+                        .count()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    // 16 racing 16-vCPU requests against 128 threads: exactly 8 fit.
+    assert_eq!(placed_total, 8, "over- or under-commitment under races");
+    for id in engine.machine_ids() {
+        let (used, total) = engine.utilisation(id);
+        assert_eq!(used, total, "both hosts must end exactly full");
+    }
+    assert_summaries_published(&engine);
+}
+
+/// LRU-bounded engines stay bounded: distinct vcpus values beyond the
+/// bound evict the oldest catalogs, visibly in the stats, without
+/// changing any answer.
+#[test]
+fn bounded_engine_caches_evict_and_still_answer() {
+    let mut engine = PlacementEngine::new(EngineConfig {
+        cache_capacity: 2,
+        ..fast_config()
+    });
+    engine.add_machine(machines::amd_opteron_6272());
+
+    let first = engine.catalog(MachineId(0), 4).unwrap();
+    let first_len = first.placements.len();
+    for vcpus in [8, 16, 32] {
+        assert!(engine.catalog(MachineId(0), vcpus).is_ok());
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.catalogs.computes, 4);
+    assert_eq!(stats.catalogs.evictions, 2);
+    assert_eq!(stats.total_evictions(), 2);
+
+    // The evicted key recomputes to the identical catalog.
+    let again = engine.catalog(MachineId(0), 4).unwrap();
+    assert_eq!(again.placements.len(), first_len);
+    for (a, b) in again.placements.iter().zip(&first.placements) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.scores, b.scores);
+    }
+    assert_eq!(engine.stats().catalogs.computes, 5);
+}

@@ -38,6 +38,8 @@
 
 use std::collections::HashMap;
 
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use vc_engine::{BatchStrategy, Placed, PlacementEngine, PlacementRequest};
 
 /// One event in a churn schedule.
@@ -84,6 +86,29 @@ pub struct ArrivalOutcome {
     pub rejection: Option<String>,
 }
 
+/// Fleet-wide utilisation observed right after one churn event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilisationSample {
+    /// Event timestamp: simulated time for stochastic schedules, the
+    /// event index for declarative ones.
+    pub time: f64,
+    /// Reserved hardware threads across the fleet at that instant.
+    pub used_threads: usize,
+    /// Total hardware threads across the fleet.
+    pub total_threads: usize,
+}
+
+impl UtilisationSample {
+    /// Utilised fraction of the fleet, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total_threads == 0 {
+            0.0
+        } else {
+            self.used_threads as f64 / self.total_threads as f64
+        }
+    }
+}
+
 /// Aggregate report of one churn run.
 #[derive(Debug, Clone)]
 pub struct ChurnReport {
@@ -98,13 +123,61 @@ pub struct ChurnReport {
     pub departed: usize,
     /// Highest total thread reservation observed across the fleet.
     pub peak_threads_used: usize,
+    /// Fleet utilisation over time, one sample per event — the
+    /// capacity-planning signal (how full does the fleet run at this
+    /// arrival rate and lifetime?).
+    pub utilisation: Vec<UtilisationSample>,
 }
 
-/// A deterministic arrival/departure schedule.
+impl ChurnReport {
+    /// Time-weighted mean utilised fraction across the run: each sample
+    /// holds from its event until the next one, so a long idle tail
+    /// counts for its full duration, not one event's worth. With fewer
+    /// than two samples (no intervals to weight) this is the plain mean
+    /// of the samples; declarative schedules have uniform unit
+    /// intervals, where the two coincide.
+    pub fn mean_utilisation(&self) -> f64 {
+        if self.utilisation.is_empty() {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .utilisation
+            .windows(2)
+            .map(|w| w[0].fraction() * (w[1].time - w[0].time))
+            .sum();
+        let span = self.utilisation.last().expect("non-empty").time
+            - self.utilisation[0].time;
+        if span > 0.0 {
+            weighted / span
+        } else {
+            self.utilisation.iter().map(|s| s.fraction()).sum::<f64>()
+                / self.utilisation.len() as f64
+        }
+    }
+}
+
+/// An arrival/departure schedule: declarative ([`ChurnScenario::new`])
+/// or generated from a stochastic arrival process
+/// ([`ChurnScenario::stochastic`]).
 #[derive(Debug, Clone)]
 pub struct ChurnScenario {
     events: Vec<ChurnEvent>,
+    /// Event timestamps, parallel to `events`; empty for declarative
+    /// schedules (the event index serves as time).
+    times: Vec<f64>,
     strategy: BatchStrategy,
+    /// Generation parameters, kept so builder methods can regenerate
+    /// the schedule.
+    stochastic: Option<StochasticParams>,
+}
+
+#[derive(Debug, Clone)]
+struct StochasticParams {
+    seed: u64,
+    rate: f64,
+    mean_lifetime: f64,
+    horizon: f64,
+    pool: Vec<PlacementRequest>,
 }
 
 impl ChurnScenario {
@@ -112,14 +185,140 @@ impl ChurnScenario {
     pub fn new(events: Vec<ChurnEvent>) -> Self {
         ChurnScenario {
             events,
+            times: Vec::new(),
             strategy: BatchStrategy::FirstFit,
+            stochastic: None,
         }
+    }
+
+    /// A seeded stochastic schedule: container arrivals follow a
+    /// Poisson process with `rate` arrivals per time unit, and each
+    /// placed container lives for an exponentially distributed duration
+    /// with mean `mean_lifetime` before departing. In steady state the
+    /// offered load is `rate × mean_lifetime` concurrent containers
+    /// (Little's law), which makes the scenario a capacity-planning
+    /// probe: [`ChurnReport::utilisation`] shows how full the fleet
+    /// runs at that load.
+    ///
+    /// Identical `(seed, rate, mean_lifetime)` (plus horizon and
+    /// request pool) produce the identical schedule on every platform.
+    /// The default horizon is 32 time units and the default request
+    /// pool a single 16-vCPU WiredTiger container; override with
+    /// [`Self::with_horizon`] and [`Self::with_request_pool`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vc_engine::{EngineConfig, PlacementEngine};
+    /// use vc_policy::churn::ChurnScenario;
+    /// use vc_topology::machines;
+    ///
+    /// let engine = PlacementEngine::single(
+    ///     machines::amd_opteron_6272(),
+    ///     EngineConfig { extra_synthetic: 0, ..EngineConfig::default() },
+    /// );
+    /// // ~0.5 arrivals per time unit, mean lifetime 4: ≈2 concurrent
+    /// // 16-vCPU containers on a 64-thread machine.
+    /// let report = ChurnScenario::stochastic(11, 0.5, 4.0)
+    ///     .with_horizon(16.0)
+    ///     .run(&engine);
+    /// assert_eq!(report.placed + report.rejected, report.arrivals.len());
+    /// // Samples are time-ordered and never exceed the fleet capacity.
+    /// for w in report.utilisation.windows(2) {
+    ///     assert!(w[0].time <= w[1].time);
+    /// }
+    /// assert!(report.peak_threads_used <= 64);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` or `mean_lifetime` is not strictly positive.
+    pub fn stochastic(seed: u64, rate: f64, mean_lifetime: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        assert!(mean_lifetime > 0.0, "mean lifetime must be positive");
+        let mut scenario = ChurnScenario {
+            events: Vec::new(),
+            times: Vec::new(),
+            strategy: BatchStrategy::FirstFit,
+            stochastic: Some(StochasticParams {
+                seed,
+                rate,
+                mean_lifetime,
+                horizon: 32.0,
+                pool: vec![PlacementRequest::new("WTbtree", 16)],
+            }),
+        };
+        scenario.regenerate();
+        scenario
+    }
+
+    /// Overrides the simulated-time horizon of a stochastic schedule
+    /// (no effect on declarative schedules).
+    pub fn with_horizon(mut self, horizon: f64) -> Self {
+        if let Some(p) = self.stochastic.as_mut() {
+            p.horizon = horizon;
+        }
+        self.regenerate();
+        self
+    }
+
+    /// Overrides the request pool a stochastic schedule cycles through;
+    /// each arrival takes the next request round-robin, with a distinct
+    /// probe seed (no effect on declarative schedules).
+    pub fn with_request_pool(mut self, pool: Vec<PlacementRequest>) -> Self {
+        if let Some(p) = self.stochastic.as_mut() {
+            assert!(!pool.is_empty(), "request pool must not be empty");
+            p.pool = pool;
+        }
+        self.regenerate();
+        self
     }
 
     /// Overrides the batch strategy used for arrivals.
     pub fn with_strategy(mut self, strategy: BatchStrategy) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    /// The schedule's events (arrivals and departures, time order).
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Rebuilds `events`/`times` from the stochastic parameters.
+    fn regenerate(&mut self) {
+        let Some(p) = &self.stochastic else { return };
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        // Exponential variate via inversion; 1 - u avoids ln(0).
+        let exp = |rng: &mut StdRng, mean: f64| -> f64 {
+            let u: f64 = rng.random();
+            -(1.0 - u).ln() * mean
+        };
+        // (time, sequence, event): departures sort after arrivals at
+        // identical times via the sequence number.
+        let mut schedule: Vec<(f64, usize, ChurnEvent)> = Vec::new();
+        let mut seq = 0usize;
+        let mut t = 0.0;
+        let mut i = 0usize;
+        loop {
+            t += exp(&mut rng, 1.0 / p.rate);
+            if t >= p.horizon {
+                break;
+            }
+            let name = format!("c{i}");
+            let request = p.pool[i % p.pool.len()].clone().with_probe_seed(i as u64);
+            schedule.push((t, seq, ChurnEvent::arrive(&name, request)));
+            seq += 1;
+            let departs = t + exp(&mut rng, p.mean_lifetime);
+            if departs < p.horizon {
+                schedule.push((departs, seq, ChurnEvent::depart(&name)));
+                seq += 1;
+            }
+            i += 1;
+        }
+        schedule.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.times = schedule.iter().map(|(t, _, _)| *t).collect();
+        self.events = schedule.into_iter().map(|(_, _, e)| e).collect();
     }
 
     /// Runs the schedule against `engine`, mutating its occupancy the
@@ -130,7 +329,13 @@ impl ChurnScenario {
         let mut arrivals = Vec::new();
         let mut departed = 0usize;
         let mut peak = 0usize;
-        for event in &self.events {
+        let total_threads: usize = engine
+            .machine_ids()
+            .into_iter()
+            .map(|id| engine.utilisation(id).1)
+            .sum();
+        let mut utilisation = Vec::with_capacity(self.events.len());
+        for (i, event) in self.events.iter().enumerate() {
             match event {
                 ChurnEvent::Arrive { name, request } => {
                     let decision = engine
@@ -167,6 +372,11 @@ impl ChurnScenario {
                 .map(|id| engine.utilisation(id).0)
                 .sum();
             peak = peak.max(used);
+            utilisation.push(UtilisationSample {
+                time: self.times.get(i).copied().unwrap_or(i as f64),
+                used_threads: used,
+                total_threads,
+            });
         }
         let placed = arrivals.iter().filter(|a| a.placed.is_some()).count();
         let rejected = arrivals.len() - placed;
@@ -176,6 +386,7 @@ impl ChurnScenario {
             rejected,
             departed,
             peak_threads_used: peak,
+            utilisation,
         }
     }
 }
@@ -256,6 +467,117 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stochastic_schedules_are_deterministic() {
+        let a = ChurnScenario::stochastic(9, 0.8, 3.0).with_horizon(12.0);
+        let b = ChurnScenario::stochastic(9, 0.8, 3.0).with_horizon(12.0);
+        assert!(!a.events().is_empty(), "horizon 12 at rate 0.8 should see arrivals");
+        assert_eq!(a.events().len(), b.events().len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            match (x, y) {
+                (
+                    ChurnEvent::Arrive { name: nx, request: rx },
+                    ChurnEvent::Arrive { name: ny, request: ry },
+                ) => {
+                    assert_eq!(nx, ny);
+                    assert_eq!(rx.probe_seed, ry.probe_seed);
+                }
+                (ChurnEvent::Depart { name: nx }, ChurnEvent::Depart { name: ny }) => {
+                    assert_eq!(nx, ny)
+                }
+                _ => panic!("schedules diverge"),
+            }
+        }
+        let seeded_differently = ChurnScenario::stochastic(10, 0.8, 3.0).with_horizon(12.0);
+        assert_ne!(a.events().len(), 0);
+        // Different seeds virtually never produce the same arrival count
+        // *and* identical inter-arrival gaps; compare times.
+        assert!(
+            a.events().len() != seeded_differently.events().len()
+                || a.times != seeded_differently.times,
+            "different seeds produced an identical schedule"
+        );
+    }
+
+    #[test]
+    fn stochastic_departures_only_follow_their_arrival() {
+        let s = ChurnScenario::stochastic(3, 1.0, 2.0).with_horizon(10.0);
+        let mut seen: Vec<&str> = Vec::new();
+        for (i, e) in s.events().iter().enumerate() {
+            match e {
+                ChurnEvent::Arrive { name, .. } => seen.push(name),
+                ChurnEvent::Depart { name } => {
+                    assert!(seen.contains(&name.as_str()), "departure before arrival");
+                }
+            }
+            // Times are sorted.
+            if i > 0 {
+                assert!(s.times[i - 1] <= s.times[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_run_reports_utilisation_over_time() {
+        let engine = engine();
+        let scenario = ChurnScenario::stochastic(7, 0.6, 4.0)
+            .with_horizon(16.0)
+            .with_request_pool(vec![PlacementRequest::new("swaptions", 16)]);
+        let report = scenario.run(&engine);
+        assert_eq!(report.utilisation.len(), scenario.events().len());
+        let max_sample = report
+            .utilisation
+            .iter()
+            .map(|s| s.used_threads)
+            .max()
+            .unwrap_or(0);
+        assert_eq!(max_sample, report.peak_threads_used);
+        for s in &report.utilisation {
+            assert_eq!(s.total_threads, 64);
+            assert!(s.used_threads <= s.total_threads);
+            assert!((0.0..=1.0).contains(&s.fraction()));
+        }
+        for w in report.utilisation.windows(2) {
+            assert!(w[0].time <= w[1].time, "samples out of order");
+        }
+        assert!(report.mean_utilisation() <= 1.0);
+    }
+
+    #[test]
+    fn mean_utilisation_weights_samples_by_their_duration() {
+        // 16/64 threads held for 9 time units, then empty for 1: the
+        // time-weighted mean is 0.25 * 0.9 = 0.225, far from the
+        // per-event mean (0.25 + 0.0) / 2.
+        let report = ChurnReport {
+            arrivals: Vec::new(),
+            placed: 1,
+            rejected: 0,
+            departed: 1,
+            peak_threads_used: 16,
+            utilisation: vec![
+                UtilisationSample { time: 0.0, used_threads: 16, total_threads: 64 },
+                UtilisationSample { time: 9.0, used_threads: 0, total_threads: 64 },
+                UtilisationSample { time: 10.0, used_threads: 0, total_threads: 64 },
+            ],
+        };
+        assert!((report.mean_utilisation() - 0.225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn declarative_schedules_sample_by_event_index() {
+        let engine = engine();
+        let events = vec![
+            ChurnEvent::arrive("a", PlacementRequest::new("swaptions", 16)),
+            ChurnEvent::depart("a"),
+        ];
+        let report = ChurnScenario::new(events).run(&engine);
+        assert_eq!(report.utilisation.len(), 2);
+        assert_eq!(report.utilisation[0].time, 0.0);
+        assert_eq!(report.utilisation[0].used_threads, 16);
+        assert_eq!(report.utilisation[1].time, 1.0);
+        assert_eq!(report.utilisation[1].used_threads, 0);
     }
 
     #[test]

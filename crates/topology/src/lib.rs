@@ -34,6 +34,7 @@ pub mod occupancy;
 pub mod render;
 pub mod spec;
 pub mod stream;
+pub mod summary;
 
 pub use ids::{CoreId, L2GroupId, L3GroupId, NodeId, ThreadId};
 pub use interconnect::{Interconnect, Link};
@@ -42,3 +43,4 @@ pub use machine::{
     TopologyError,
 };
 pub use occupancy::{OccupancyError, OccupancyMap};
+pub use summary::{group_by_fingerprint, CapacitySummary};

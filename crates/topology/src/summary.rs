@@ -1,0 +1,225 @@
+//! Lock-free per-host free-capacity summaries for fleet-scale admission.
+//!
+//! A fleet of hundreds of hosts cannot afford to take every host's
+//! occupancy mutex just to discover that the host is full. A
+//! [`CapacitySummary`] is the lock-free companion of an
+//! [`OccupancyMap`]: per-node free-thread counts in
+//! atomics, published by whoever mutates the occupancy (commit/release)
+//! and read by anyone without synchronisation.
+//!
+//! The summary is **advisory**: readers may observe a slightly stale
+//! snapshot while a commit is in flight. Admission logic therefore uses
+//! it only as a *prefilter* — "this host cannot possibly have room, skip
+//! it without locking" — and every actual reservation is re-validated
+//! against the authoritative `OccupancyMap` under the host lock. A
+//! summary can cause a wasted lock acquisition (stale *optimism*) but a
+//! correctly published summary never hides free capacity forever: after
+//! the in-flight mutation publishes, readers see the truth again.
+//!
+//! # Examples
+//!
+//! ```
+//! use vc_topology::{machines, CapacitySummary, NodeId, OccupancyMap};
+//!
+//! let amd = machines::amd_opteron_6272();
+//! let summary = CapacitySummary::new(&amd);
+//! assert_eq!(summary.free_threads(), 64);
+//! assert!(summary.can_host(4, 8)); // 4 nodes × 8 threads/node
+//!
+//! // Reserve node 0 in the occupancy map, then publish the new state.
+//! let mut occ = OccupancyMap::new(&amd);
+//! occ.reserve(&amd.threads_on_node(NodeId(0))).unwrap();
+//! summary.publish(&occ);
+//! assert_eq!(summary.free_on_node(NodeId(0)), 0);
+//! assert!(!summary.can_host(8, 8)); // all 8 nodes fully free: no longer
+//! assert!(summary.can_host(7, 8));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::ids::NodeId;
+use crate::machine::Machine;
+use crate::occupancy::OccupancyMap;
+
+/// Lock-free snapshot of a host's free capacity, per NUMA node.
+///
+/// See the [module documentation](self) for the staleness contract.
+#[derive(Debug)]
+pub struct CapacitySummary {
+    /// Free threads per node, indexed by [`NodeId`].
+    free_per_node: Vec<AtomicUsize>,
+    /// Total free threads (kept consistent with `free_per_node` by
+    /// publishers; readers may observe the two mid-publish).
+    free_total: AtomicUsize,
+    /// Threads per node (uniform machines).
+    node_capacity: usize,
+}
+
+impl CapacitySummary {
+    /// An all-free summary for `machine`.
+    pub fn new(machine: &Machine) -> Self {
+        let cap = machine.node_capacity();
+        CapacitySummary {
+            free_per_node: (0..machine.num_nodes()).map(|_| AtomicUsize::new(cap)).collect(),
+            free_total: AtomicUsize::new(machine.num_threads()),
+            node_capacity: cap,
+        }
+    }
+
+    /// Number of NUMA nodes tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.free_per_node.len()
+    }
+
+    /// Hardware threads per node.
+    pub fn node_capacity(&self) -> usize {
+        self.node_capacity
+    }
+
+    /// Free threads on `node` as of the last publish.
+    pub fn free_on_node(&self, node: NodeId) -> usize {
+        self.free_per_node[node.index()].load(Ordering::Acquire)
+    }
+
+    /// Total free threads as of the last publish.
+    pub fn free_threads(&self) -> usize {
+        self.free_total.load(Ordering::Acquire)
+    }
+
+    /// Number of nodes with at least `per_node` free threads.
+    pub fn nodes_with_free(&self, per_node: usize) -> usize {
+        self.free_per_node
+            .iter()
+            .filter(|n| n.load(Ordering::Acquire) >= per_node)
+            .count()
+    }
+
+    /// Whether a balanced placement needing `n_nodes` nodes with
+    /// `per_node` threads each could *possibly* fit. `true` is a hint
+    /// (the authoritative check happens under the occupancy lock);
+    /// `false` on a freshly published summary is definitive.
+    pub fn can_host(&self, n_nodes: usize, per_node: usize) -> bool {
+        self.nodes_with_free(per_node) >= n_nodes
+    }
+
+    /// Publishes the occupancy map's current per-node free counts.
+    ///
+    /// Callers mutate the `OccupancyMap` under its lock and publish
+    /// before unlocking, so the summary lags the map by at most one
+    /// in-flight critical section.
+    pub fn publish(&self, occ: &OccupancyMap) {
+        debug_assert_eq!(occ.num_nodes(), self.free_per_node.len());
+        for (i, slot) in self.free_per_node.iter().enumerate() {
+            slot.store(occ.free_on_node(NodeId(i)), Ordering::Release);
+        }
+        self.free_total.store(occ.free_threads(), Ordering::Release);
+    }
+}
+
+/// Groups machines by [`Machine::fingerprint`]: each returned entry is
+/// one *machine class* — `(fingerprint, indices of the machines in the
+/// input with that fingerprint)` — in first-seen order.
+///
+/// Fleet-scale services use the classes to share per-topology artifacts
+/// (catalogs, trained models) across identical hosts and to score a
+/// request once per class instead of once per host. This is the
+/// topology-level building block; a serving layer may refine the key
+/// (`vc-engine`'s `FleetIndex` additionally splits classes by reporting
+/// baseline and groups incrementally as hosts are registered).
+///
+/// # Examples
+///
+/// ```
+/// use vc_topology::{machines, summary::group_by_fingerprint};
+///
+/// let fleet = vec![
+///     machines::amd_opteron_6272(),
+///     machines::intel_xeon_e7_4830_v3(),
+///     machines::amd_opteron_6272(),
+/// ];
+/// let classes = group_by_fingerprint(&fleet);
+/// assert_eq!(classes.len(), 2);
+/// assert_eq!(classes[0].1, vec![0, 2]); // the two AMD boxes
+/// assert_eq!(classes[1].1, vec![1]);
+/// ```
+pub fn group_by_fingerprint(machines: &[Machine]) -> Vec<(u64, Vec<usize>)> {
+    let mut classes: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (i, m) in machines.iter().enumerate() {
+        let fp = m.fingerprint();
+        match classes.iter_mut().find(|(f, _)| *f == fp) {
+            Some((_, members)) => members.push(i),
+            None => classes.push((fp, vec![i])),
+        }
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn fresh_summary_matches_fresh_occupancy() {
+        let m = machines::amd_opteron_6272();
+        let s = CapacitySummary::new(&m);
+        let occ = OccupancyMap::new(&m);
+        assert_eq!(s.free_threads(), occ.free_threads());
+        for n in 0..m.num_nodes() {
+            assert_eq!(s.free_on_node(NodeId(n)), occ.free_on_node(NodeId(n)));
+        }
+        assert_eq!(s.nodes_with_free(8), 8);
+        assert_eq!(s.nodes_with_free(9), 0);
+    }
+
+    #[test]
+    fn publish_reflects_reservations_and_releases() {
+        let m = machines::amd_opteron_6272();
+        let s = CapacitySummary::new(&m);
+        let mut occ = OccupancyMap::new(&m);
+        let node1 = m.threads_on_node(NodeId(1));
+        occ.reserve(&node1).unwrap();
+        s.publish(&occ);
+        assert_eq!(s.free_on_node(NodeId(1)), 0);
+        assert_eq!(s.free_threads(), 56);
+        assert!(!s.can_host(8, 1));
+        assert!(s.can_host(7, 8));
+        occ.release(&node1).unwrap();
+        s.publish(&occ);
+        assert_eq!(s.free_threads(), 64);
+        assert!(s.can_host(8, 8));
+    }
+
+    #[test]
+    fn concurrent_readers_see_published_states() {
+        let m = machines::amd_opteron_6272();
+        let s = CapacitySummary::new(&m);
+        let mut occ = OccupancyMap::new(&m);
+        occ.reserve(&m.threads_on_node(NodeId(0))).unwrap();
+        std::thread::scope(|sc| {
+            sc.spawn(|| s.publish(&occ));
+            sc.spawn(|| {
+                // Either the old (8) or the new (0) value: never garbage.
+                let f = s.free_on_node(NodeId(0));
+                assert!(f == 0 || f == 8, "torn read: {f}");
+            });
+        });
+        assert_eq!(s.free_on_node(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn grouping_is_first_seen_order() {
+        let fleet = vec![
+            machines::intel_xeon_e7_4830_v3(),
+            machines::amd_opteron_6272(),
+            machines::intel_xeon_e7_4830_v3(),
+            machines::zen_like(),
+        ];
+        let classes = group_by_fingerprint(&fleet);
+        assert_eq!(classes.len(), 3);
+        assert_eq!(classes[0].1, vec![0, 2]);
+        assert_eq!(classes[1].1, vec![1]);
+        assert_eq!(classes[2].1, vec![3]);
+        assert_eq!(classes[0].0, fleet[0].fingerprint());
+    }
+}
