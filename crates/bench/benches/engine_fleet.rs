@@ -22,10 +22,11 @@ use vc_topology::machines;
 /// A fleet of `hosts` machines drawn from 3 machine classes (AMD,
 /// Zen-like, Intel — AMD twice as common), trimmed corpus so the cold
 /// path stays benchable.
-fn build_fleet(hosts: usize) -> PlacementEngine {
+fn build_fleet(hosts: usize, interference: bool) -> PlacementEngine {
     let mut engine = PlacementEngine::new(EngineConfig {
         n_seeds: 2,
         extra_synthetic: 0,
+        interference,
         ..EngineConfig::default()
     });
     for i in 0..hosts {
@@ -60,9 +61,9 @@ fn run_batch(engine: &PlacementEngine, reqs: &[PlacementRequest]) -> usize {
 }
 
 /// One-shot cold/warm measurement for a fleet size, printed as JSON.
-fn record(hosts: usize, reqs: &[PlacementRequest]) -> PlacementEngine {
+fn record(hosts: usize, reqs: &[PlacementRequest], interference: bool) -> PlacementEngine {
     let t0 = Instant::now();
-    let engine = build_fleet(hosts);
+    let engine = build_fleet(hosts, interference);
     let placed = run_batch(&engine, reqs);
     let cold = t0.elapsed().as_secs_f64();
 
@@ -76,10 +77,12 @@ fn record(hosts: usize, reqs: &[PlacementRequest]) -> PlacementEngine {
     let stats = engine.stats();
     println!(
         "{{\"bench\":\"engine_fleet\",\"hosts\":{hosts},\"classes\":{},\"requests\":{},\
+         \"interference\":{interference},\
          \"placed\":{placed},\"cold_s\":{cold:.4},\"warm_s\":{warm:.6},\
          \"cold_req_per_s\":{:.1},\"warm_req_per_s\":{:.0},\
          \"evaluations\":{},\"catalog_computes\":{},\"model_computes\":{},\
-         \"summary_skips\":{},\"summary_admits\":{}}}",
+         \"summary_skips\":{},\"summary_admits\":{},\
+         \"interference_lookups\":{},\"interference_hits\":{},\"interference_computes\":{}}}",
         engine.fleet_index().num_classes(),
         reqs.len(),
         reqs.len() as f64 / cold,
@@ -89,20 +92,34 @@ fn record(hosts: usize, reqs: &[PlacementRequest]) -> PlacementEngine {
         stats.models.computes,
         stats.summary.skips,
         stats.summary.admits,
+        stats.interference.lookups,
+        stats.interference.hits,
+        stats.interference.computes,
     );
     assert_eq!(
         stats.models.computes as usize,
         engine.fleet_index().num_classes(),
         "model training must be per class, not per host"
     );
+    if !interference {
+        assert_eq!(
+            stats.interference.lookups, 0,
+            "interference machinery must stay untouched when disabled"
+        );
+    }
     engine
 }
 
 fn bench(c: &mut Criterion) {
     let reqs = request_stream();
 
-    let small = record(10, &reqs);
-    let large = record(1000, &reqs);
+    let small = record(10, &reqs, false);
+    let large = record(1000, &reqs, false);
+    // Interference-aware variants: commits consult the memoized
+    // co-location penalty; after the first batch every lookup is a
+    // cache hit, so the warm path stays off the simulator.
+    let small_intf = record(10, &reqs, true);
+    let large_intf = record(1000, &reqs, true);
 
     let mut group = c.benchmark_group("place_batch_fleet");
     group.sample_size(5);
@@ -111,6 +128,12 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("warm_16req_1000hosts_3classes", |b| {
         b.iter(|| black_box(run_batch(&large, &reqs)))
+    });
+    group.bench_function("warm_16req_10hosts_interference", |b| {
+        b.iter(|| black_box(run_batch(&small_intf, &reqs)))
+    });
+    group.bench_function("warm_16req_1000hosts_interference", |b| {
+        b.iter(|| black_box(run_batch(&large_intf, &reqs)))
     });
     group.finish();
 }

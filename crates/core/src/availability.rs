@@ -86,6 +86,24 @@ pub struct ClassOrbit {
     spec: PlacementSpec,
 }
 
+/// The free capacity one placement class needs, at node and L2-domain
+/// granularity — what a lock-free capacity-summary prefilter checks
+/// (`num_nodes` nodes with ≥ `per_node` free threads, *and* `num_l2` L2
+/// groups with ≥ `per_l2` free threads). Both conditions are necessary,
+/// neither sufficient: `true` from a prefilter is re-validated against
+/// the occupancy map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeRequirement {
+    /// Nodes the class spans.
+    pub num_nodes: usize,
+    /// vCPUs each node must host.
+    pub per_node: usize,
+    /// L2 groups the class uses.
+    pub num_l2: usize,
+    /// vCPUs each used L2 group must host.
+    pub per_l2: usize,
+}
+
 /// Precomputed availability equivalence classes for one catalog.
 ///
 /// Retargeting a class at admission time used to enumerate and *score*
@@ -166,11 +184,19 @@ impl AvailabilityIndex {
         &self.orbits
     }
 
-    /// `(num_nodes, per_node)` requirement of each class, catalog order —
-    /// the shape a lock-free capacity summary checks before any lock is
-    /// taken.
-    pub fn requirements(&self) -> Vec<(usize, usize)> {
-        self.orbits.iter().map(|o| (o.num_nodes, o.per_node)).collect()
+    /// Capacity requirement of each class, catalog order — the shape a
+    /// lock-free capacity summary checks before any lock is taken, at
+    /// both node and L2 granularity.
+    pub fn requirements(&self) -> Vec<ShapeRequirement> {
+        self.orbits
+            .iter()
+            .map(|o| ShapeRequirement {
+                num_nodes: o.num_nodes,
+                per_node: o.per_node,
+                num_l2: o.spec.l2_groups_used,
+                per_l2: o.spec.vcpus / o.spec.l2_groups_used,
+            })
+            .collect()
     }
 
     /// Retargets every class onto free hardware using only the
@@ -472,10 +498,13 @@ mod tests {
         let index = AvailabilityIndex::build(&amd, &cs, &ips);
         let reqs = index.requirements();
         assert_eq!(reqs.len(), ips.len());
-        for ((n, per), ip) in reqs.iter().zip(&ips) {
-            assert_eq!(*n, ip.spec.num_nodes());
-            assert_eq!(*per, ip.spec.vcpus / ip.spec.num_nodes());
-            assert_eq!(n * per, ip.spec.vcpus);
+        for (r, ip) in reqs.iter().zip(&ips) {
+            assert_eq!(r.num_nodes, ip.spec.num_nodes());
+            assert_eq!(r.per_node, ip.spec.vcpus / ip.spec.num_nodes());
+            assert_eq!(r.num_nodes * r.per_node, ip.spec.vcpus);
+            assert_eq!(r.num_l2, ip.spec.l2_groups_used);
+            assert_eq!(r.per_l2, ip.spec.vcpus / ip.spec.l2_groups_used);
+            assert_eq!(r.num_l2 * r.per_l2, ip.spec.vcpus);
         }
     }
 

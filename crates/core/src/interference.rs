@@ -1,0 +1,367 @@
+//! Occupancy-conditional interference scoring for co-located containers.
+//!
+//! The paper's model predicts a container's performance on an *idle*
+//! machine; the scheduler, however, commits containers onto hosts that
+//! already run neighbours. Sharing a node means sharing its L3 slices,
+//! memory controller and interconnect ports — effects the empty-host
+//! prediction never saw (Phoenix, arXiv:2502.10923; Mao,
+//! arXiv:2411.01460 both show placement quality collapses under
+//! co-location when the scorer is neighbour-blind).
+//!
+//! An [`InterferenceModel`] closes that gap: it asks an
+//! [`InterferenceOracle`] (implemented by `vc-sim`'s co-location
+//! simulator; on real hardware, a paired measurement) for the
+//! *penalty* — the candidate's predicted performance with the host's
+//! residents running, relative to the same placement on an idle host —
+//! and multiplies it into the class score. Penalties are memoized per
+//! `(workload, node set, vcpus, occupancy signature)` so a warm serving
+//! path never calls the oracle, let alone under a host lock.
+//!
+//! The [`OccupancySignature`] is deliberately coarse — per-node
+//! used-thread counts — trading exactness (two occupancies with equal
+//! per-node counts but different intra-node patterns share an entry)
+//! for cache hits across the churning occupancies of a live fleet.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vc_topology::{NodeId, OccupancyMap, ThreadId};
+
+/// Source of co-location penalties.
+///
+/// Implemented by `vc-sim`'s `SimOracle` (which simulates the candidate
+/// together with stand-in residents derived from the occupancy map); a
+/// hardware-backed implementation would measure the candidate against
+/// the live neighbours.
+pub trait InterferenceOracle {
+    /// Multiplicative penalty in `(0, 1]`: predicted performance of
+    /// `workload` pinned to `threads` while the occupancy map's resident
+    /// containers run, relative to the same assignment on an idle
+    /// machine. `1.0` means the neighbours cost nothing.
+    ///
+    /// `threads` must be free in `occ` (the candidate has not been
+    /// committed yet); implementations may panic otherwise.
+    fn co_location_penalty(&self, workload: &str, threads: &[ThreadId], occ: &OccupancyMap)
+        -> f64;
+}
+
+/// A thread-safe, reference-counted interference oracle.
+pub type SharedInterferenceOracle = std::sync::Arc<dyn InterferenceOracle + Send + Sync>;
+
+/// Coarse, hashable digest of an occupancy map for penalty caching:
+/// used-thread counts per NUMA node.
+///
+/// Two occupancies with the same signature are treated as equally
+/// interfering (the first one computed fills the cache entry). This is
+/// the deliberate approximation that keeps the cache warm across fleet
+/// churn — see the [module documentation](self).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OccupancySignature(Vec<u32>);
+
+impl OccupancySignature {
+    /// The signature of `occ`.
+    pub fn of(occ: &OccupancyMap) -> Self {
+        OccupancySignature(
+            (0..occ.num_nodes())
+                .map(|n| occ.used_on_node(NodeId(n)) as u32)
+                .collect(),
+        )
+    }
+
+    /// Whether the occupancy held no resident threads at all (penalty
+    /// trivially 1.0, no oracle consultation needed).
+    pub fn is_idle(&self) -> bool {
+        self.0.iter().all(|&u| u == 0)
+    }
+
+    /// Used threads per node, node-id order.
+    pub fn used_per_node(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+/// Counter snapshot of one [`InterferenceModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterferenceCounters {
+    /// Total penalty queries.
+    pub lookups: u64,
+    /// Queries answered without consulting the oracle (cache hits plus
+    /// idle-host short circuits).
+    pub hits: u64,
+    /// Oracle consultations (cold misses — on the simulator backend,
+    /// co-location simulations).
+    pub computes: u64,
+}
+
+impl InterferenceCounters {
+    /// Sums two snapshots (for aggregating across machine classes).
+    pub fn merged(self, other: InterferenceCounters) -> InterferenceCounters {
+        InterferenceCounters {
+            lookups: self.lookups + other.lookups,
+            hits: self.hits + other.hits,
+            computes: self.computes + other.computes,
+        }
+    }
+}
+
+/// Penalty-cache key: the candidate's identity at class granularity
+/// plus the occupancy signature it would land in.
+type Key = (String, Vec<NodeId>, usize, OccupancySignature);
+
+/// Memoizing front-end over an [`InterferenceOracle`].
+///
+/// One model serves one machine topology (share it across
+/// same-fingerprint hosts the way catalogs and trained models are
+/// shared). All methods take `&self` and are thread-safe; the oracle is
+/// only consulted on cold misses, so callers that must not block on a
+/// simulation under a lock should query against an occupancy *snapshot*
+/// outside the lock — the `vc-engine` serving path does exactly that.
+pub struct InterferenceModel {
+    oracle: SharedInterferenceOracle,
+    cache: Mutex<HashMap<Key, f64>>,
+    /// Resident-entry bound; beyond it an arbitrary entry is dropped
+    /// (the key space is naturally bounded by workloads × classes ×
+    /// signatures, but churny fleets can still grow it unboundedly).
+    capacity: usize,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    computes: AtomicU64,
+}
+
+impl InterferenceModel {
+    /// Default bound on resident cache entries.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A model over `oracle` with the default cache bound.
+    pub fn new(oracle: SharedInterferenceOracle) -> Self {
+        Self::with_capacity(oracle, Self::DEFAULT_CAPACITY)
+    }
+
+    /// A model with an explicit cache bound (`0` = unbounded).
+    pub fn with_capacity(oracle: SharedInterferenceOracle, capacity: usize) -> Self {
+        InterferenceModel {
+            oracle,
+            cache: Mutex::new(HashMap::new()),
+            capacity,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached occupancy-conditional penalty for placing `workload`
+    /// on `threads` (spanning `nodes`) into `occ`, in `(0, 1]`.
+    ///
+    /// Idle occupancies short-circuit to `1.0`. Cold misses consult the
+    /// oracle once per `(workload, nodes, |threads|, signature)` key;
+    /// the oracle runs outside the cache lock, so concurrent cold
+    /// misses on *different* keys do not serialise (identical racing
+    /// keys may both compute; last write wins, both count).
+    pub fn penalty(
+        &self,
+        workload: &str,
+        nodes: &[NodeId],
+        threads: &[ThreadId],
+        occ: &OccupancyMap,
+    ) -> f64 {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let sig = OccupancySignature::of(occ);
+        if sig.is_idle() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return 1.0;
+        }
+        let mut nodes_key = nodes.to_vec();
+        nodes_key.sort();
+        let key: Key = (workload.to_string(), nodes_key, threads.len(), sig);
+        if let Some(&p) = self.cache.lock().expect("interference cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return p;
+        }
+        self.computes.fetch_add(1, Ordering::Relaxed);
+        let raw = self.oracle.co_location_penalty(workload, threads, occ);
+        // Guard the contract: a penalty is a degradation factor. Oracles
+        // reporting speed-ups (or NaN from a degenerate measurement) are
+        // clamped so adjusted scores never exceed the idle-host score.
+        let p = if raw.is_finite() { raw.clamp(f64::MIN_POSITIVE, 1.0) } else { 1.0 };
+        let mut cache = self.cache.lock().expect("interference cache poisoned");
+        if self.capacity > 0 && cache.len() >= self.capacity {
+            if let Some(victim) = cache.keys().next().cloned() {
+                cache.remove(&victim);
+            }
+        }
+        cache.insert(key, p);
+        p
+    }
+
+    /// `predicted × penalty`: the interference-adjusted score.
+    pub fn adjust(
+        &self,
+        predicted: f64,
+        workload: &str,
+        nodes: &[NodeId],
+        threads: &[ThreadId],
+        occ: &OccupancyMap,
+    ) -> f64 {
+        predicted * self.penalty(workload, nodes, threads, occ)
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> InterferenceCounters {
+        InterferenceCounters {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            computes: self.computes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for InterferenceModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.counters();
+        f.debug_struct("InterferenceModel")
+            .field("capacity", &self.capacity)
+            .field("counters", &c)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vc_topology::machines;
+
+    /// An oracle whose penalty depends only on how many resident
+    /// threads share the candidate's nodes, and which counts its calls.
+    struct CountingOracle {
+        calls: AtomicU64,
+    }
+
+    impl InterferenceOracle for CountingOracle {
+        fn co_location_penalty(
+            &self,
+            _workload: &str,
+            threads: &[ThreadId],
+            occ: &OccupancyMap,
+        ) -> f64 {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let load = threads.len() * occ.used_threads();
+            1.0 / (1.0 + load as f64 / 100.0)
+        }
+    }
+
+    fn setup() -> (InterferenceModel, Arc<CountingOracle>) {
+        let oracle = Arc::new(CountingOracle {
+            calls: AtomicU64::new(0),
+        });
+        (
+            InterferenceModel::new(Arc::clone(&oracle) as SharedInterferenceOracle),
+            oracle,
+        )
+    }
+
+    #[test]
+    fn idle_hosts_short_circuit_without_the_oracle() {
+        let m = machines::amd_opteron_6272();
+        let (model, oracle) = setup();
+        let occ = OccupancyMap::new(&m);
+        let threads = m.threads_on_node(NodeId(0));
+        let p = model.penalty("w", &[NodeId(0)], &threads, &occ);
+        assert_eq!(p, 1.0);
+        assert_eq!(oracle.calls.load(Ordering::Relaxed), 0);
+        let c = model.counters();
+        assert_eq!((c.lookups, c.hits, c.computes), (1, 1, 0));
+    }
+
+    #[test]
+    fn warm_lookups_hit_the_cache_not_the_oracle() {
+        let m = machines::amd_opteron_6272();
+        let (model, oracle) = setup();
+        let mut occ = OccupancyMap::new(&m);
+        occ.reserve(&m.threads_on_node(NodeId(7))).unwrap();
+        let threads = m.threads_on_node(NodeId(0));
+        let cold = model.penalty("w", &[NodeId(0)], &threads, &occ);
+        assert!(cold < 1.0);
+        for _ in 0..5 {
+            assert_eq!(model.penalty("w", &[NodeId(0)], &threads, &occ), cold);
+        }
+        assert_eq!(oracle.calls.load(Ordering::Relaxed), 1, "one cold miss only");
+        let c = model.counters();
+        assert_eq!((c.lookups, c.hits, c.computes), (6, 5, 1));
+    }
+
+    #[test]
+    fn distinct_signatures_and_workloads_are_distinct_entries() {
+        let m = machines::amd_opteron_6272();
+        let (model, oracle) = setup();
+        let threads = m.threads_on_node(NodeId(0));
+        let mut occ = OccupancyMap::new(&m);
+        occ.reserve(&m.threads_on_node(NodeId(7))).unwrap();
+        model.penalty("w", &[NodeId(0)], &threads, &occ);
+        model.penalty("v", &[NodeId(0)], &threads, &occ); // new workload
+        occ.reserve(&m.threads_on_node(NodeId(6))).unwrap();
+        model.penalty("w", &[NodeId(0)], &threads, &occ); // new signature
+        assert_eq!(oracle.calls.load(Ordering::Relaxed), 3);
+        // Node-set order does not split entries.
+        model.penalty("w", &[NodeId(0)], &threads, &occ);
+        assert_eq!(oracle.calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn adjust_multiplies_the_penalty_in() {
+        let m = machines::amd_opteron_6272();
+        let (model, _) = setup();
+        let mut occ = OccupancyMap::new(&m);
+        occ.reserve(&m.threads_on_node(NodeId(1))).unwrap();
+        let threads = m.threads_on_node(NodeId(0));
+        let p = model.penalty("w", &[NodeId(0)], &threads, &occ);
+        let adjusted = model.adjust(200.0, "w", &[NodeId(0)], &threads, &occ);
+        assert!((adjusted - 200.0 * p).abs() < 1e-12);
+        assert!(adjusted < 200.0);
+    }
+
+    #[test]
+    fn out_of_contract_oracles_are_clamped() {
+        struct Wild;
+        impl InterferenceOracle for Wild {
+            fn co_location_penalty(&self, w: &str, _: &[ThreadId], _: &OccupancyMap) -> f64 {
+                match w {
+                    "speedup" => 1.7,
+                    "nan" => f64::NAN,
+                    _ => -2.0,
+                }
+            }
+        }
+        let m = machines::amd_opteron_6272();
+        let model = InterferenceModel::new(Arc::new(Wild));
+        let mut occ = OccupancyMap::new(&m);
+        occ.reserve(&m.threads_on_node(NodeId(1))).unwrap();
+        let threads = m.threads_on_node(NodeId(0));
+        assert_eq!(model.penalty("speedup", &[NodeId(0)], &threads, &occ), 1.0);
+        assert_eq!(model.penalty("nan", &[NodeId(0)], &threads, &occ), 1.0);
+        let p = model.penalty("neg", &[NodeId(0)], &threads, &occ);
+        assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn bounded_cache_stays_bounded() {
+        let m = machines::amd_opteron_6272();
+        let oracle = Arc::new(CountingOracle {
+            calls: AtomicU64::new(0),
+        });
+        let model =
+            InterferenceModel::with_capacity(Arc::clone(&oracle) as SharedInterferenceOracle, 2);
+        let mut occ = OccupancyMap::new(&m);
+        occ.reserve(&m.threads_on_node(NodeId(7))).unwrap();
+        let threads = m.threads_on_node(NodeId(0));
+        for w in ["a", "b", "c", "d"] {
+            model.penalty(w, &[NodeId(0)], &threads, &occ);
+        }
+        assert_eq!(
+            model.cache.lock().unwrap().len(),
+            2,
+            "cache exceeded its bound"
+        );
+    }
+}

@@ -38,14 +38,19 @@ pub mod availability;
 pub mod concern;
 pub mod enumerate;
 pub mod important;
+pub mod interference;
 pub mod model;
 pub mod packing;
 pub mod placement;
 
 pub use availability::{
-    available_placements, AvailabilityIndex, AvailablePlacement, ClassOrbit,
+    available_placements, AvailabilityIndex, AvailablePlacement, ClassOrbit, ShapeRequirement,
 };
 pub use concern::{Concern, ConcernKind, ConcernSet};
 pub use important::{important_placements, ImportantPlacement};
+pub use interference::{
+    InterferenceCounters, InterferenceModel, InterferenceOracle, OccupancySignature,
+    SharedInterferenceOracle,
+};
 pub use model::{PerfOracle, SharedOracle};
 pub use placement::{PlacementError, PlacementSpec};

@@ -4,11 +4,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use vc_core::availability::{AvailabilityIndex, AvailablePlacement};
+use vc_core::availability::{AvailabilityIndex, AvailablePlacement, ShapeRequirement};
 use vc_core::concern::ConcernSet;
 use vc_core::important::{
     important_placements_from_packings, surviving_packings, ImportantPlacement,
 };
+use vc_core::interference::{InterferenceCounters, InterferenceModel, SharedInterferenceOracle};
 use vc_core::model::{
     select_probe_pair, PerfOracle, PerfPairModel, SharedOracle, TrainingSet, TrainingWorkload,
 };
@@ -65,6 +66,19 @@ pub struct EngineConfig {
     /// one entry serves every same-fingerprint host, so a small bound
     /// suffices even for large fleets.
     pub cache_capacity: usize,
+    /// Score placements against the host's *current residents* instead
+    /// of an idle host: commit and BestScore ranking multiply each
+    /// class's predicted performance by the occupancy-conditional
+    /// co-location penalty (measured by the simulator, memoized per
+    /// `(workload, class, occupancy signature)` — see
+    /// [`vc_core::interference::InterferenceModel`]).
+    ///
+    /// `false` (the default) reproduces the neighbour-blind scoring
+    /// exactly — decisions are bit-for-bit identical to engines built
+    /// before this knob existed (equivalence-tested) and the
+    /// interference machinery is never consulted
+    /// ([`EngineStats::interference`] stays zero).
+    pub interference: bool,
 }
 
 impl Default for EngineConfig {
@@ -79,6 +93,7 @@ impl Default for EngineConfig {
             },
             train_seed: 7,
             cache_capacity: 64,
+            interference: false,
         }
     }
 }
@@ -93,12 +108,21 @@ pub struct MachineId(pub usize);
 #[derive(Debug, Clone)]
 pub struct FleetClass {
     fingerprint: u64,
+    /// Engine-local topology id: hosts share it only when their
+    /// machines are structurally equal ([`Machine::same_topology`]),
+    /// not merely fingerprint-equal — a 64-bit hash can collide, and a
+    /// collision must not alias two topologies into one class.
+    topo: usize,
     baseline: usize,
     members: Vec<MachineId>,
 }
 
 impl FleetClass {
     /// The shared [`Machine::fingerprint`] of the member hosts.
+    ///
+    /// Classes are keyed by *structural* topology equality, so in the
+    /// (astronomically unlikely, but handled) event of a fingerprint
+    /// collision two distinct classes may report the same value.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
@@ -161,12 +185,15 @@ impl FleetIndex {
     }
 
     /// Registers a host, returning its class index (creating the class
-    /// on first sight of the `(fingerprint, baseline)` pair).
-    fn insert(&mut self, fingerprint: u64, baseline: usize, id: MachineId) -> usize {
+    /// on first sight of the `(topology, baseline)` pair). `topo` is an
+    /// engine-assigned id under which structural equality has already
+    /// been verified, so joining an existing class can never alias two
+    /// different topologies — even when their fingerprints collide.
+    fn insert(&mut self, fingerprint: u64, topo: usize, baseline: usize, id: MachineId) -> usize {
         match self
             .classes
             .iter()
-            .position(|c| c.fingerprint == fingerprint && c.baseline == baseline)
+            .position(|c| c.topo == topo && c.baseline == baseline)
         {
             Some(i) => {
                 self.classes[i].members.push(id);
@@ -175,6 +202,7 @@ impl FleetIndex {
             None => {
                 self.classes.push(FleetClass {
                     fingerprint,
+                    topo,
                     baseline,
                     members: vec![id],
                 });
@@ -329,8 +357,16 @@ pub struct Placed {
     /// The hardware threads this placement reserved. Disjoint from
     /// every other committed placement on the machine.
     pub threads: Vec<ThreadId>,
-    /// Predicted performance in that placement.
+    /// Predicted performance in that placement. With interference
+    /// scoring enabled ([`EngineConfig::interference`]) this is the
+    /// occupancy-conditional prediction — the idle-host model output
+    /// multiplied by [`Placed::interference_penalty`].
     pub predicted_perf: f64,
+    /// The co-location penalty applied to the prediction, in `(0, 1]`:
+    /// `1.0` on an idle host or with interference scoring off.
+    /// `1.0 - interference_penalty` is the predicted degradation the
+    /// resident neighbours cost this container.
+    pub interference_penalty: f64,
     /// Absolute performance the goal translated to (0 if best-effort).
     pub goal_perf: f64,
     /// Whether the prediction clears the goal.
@@ -392,6 +428,17 @@ pub struct EngineStats {
     pub evaluations: u64,
     /// Capacity-summary prefilter activity.
     pub summary: SummaryCounters,
+    /// Interference-penalty activity, aggregated over machine classes:
+    /// `computes` counts co-location simulations (cold misses), `hits`
+    /// the queries served from cache or idle-host short circuits. All
+    /// zero when [`EngineConfig::interference`] is off.
+    pub interference: InterferenceCounters,
+    /// Commit/offer attempts abandoned because the host had free
+    /// capacity for goal-clearing classes, but co-location interference
+    /// pushed every adjusted prediction below the goal. Counted
+    /// separately from [`SummaryCounters::stale`] — these hosts are
+    /// neither stale nor re-validatable.
+    pub interference_blocked: u64,
 }
 
 impl EngineStats {
@@ -408,11 +455,17 @@ impl EngineStats {
 
 struct Host {
     machine: Machine,
-    fingerprint: u64,
+    /// Engine-local topology id (index into `PlacementEngine::topologies`):
+    /// the artifact-cache key component. Unlike the raw fingerprint it
+    /// is collision-free — hosts share it only after a structural
+    /// equality check.
+    topo: usize,
     baseline: usize,
     /// Index into the fleet index's classes.
     class: usize,
     oracle: Arc<SimOracle>,
+    /// Shared (per topology) memoizing interference model over `oracle`.
+    interference: Arc<InterferenceModel>,
     /// Node-granular reservation state. Commits and releases lock this
     /// map; candidate evaluation never does, so the model path stays
     /// contention-free.
@@ -430,16 +483,19 @@ struct Host {
 struct Candidate {
     /// Index into the fleet index's classes.
     class: usize,
+    /// The request's workload (keys the interference-penalty cache).
+    workload: String,
     catalog: Arc<PlacementCatalog>,
     /// Predicted absolute performance per catalog class, indexed by
-    /// `id - 1`.
+    /// `id - 1`. Idle-host predictions: interference, which depends on
+    /// the committing host's live occupancy, is applied at commit time.
     predicted: Vec<f64>,
     goal_perf: f64,
     /// Best prediction over all classes.
     best_perf: f64,
-    /// `(num_nodes, per_node)` shapes of the goal-clearing catalog
+    /// Node- and L2-granular shapes of the goal-clearing catalog
     /// classes, deduped — what the capacity-summary prefilter checks.
-    goal_shapes: Vec<(usize, usize)>,
+    goal_shapes: Vec<ShapeRequirement>,
 }
 
 impl Candidate {
@@ -449,12 +505,34 @@ impl Candidate {
     }
 }
 
+/// Why a commit attempt on one host produced no placement.
+enum ChooseError {
+    /// No goal-clearing placement class fits the host's free capacity
+    /// (after a summary admitted it, this means the summary was stale
+    /// or expressed a constraint it cannot see).
+    Capacity(String),
+    /// Free capacity exists, but co-location interference pushes every
+    /// hostable class's adjusted prediction below the goal.
+    Interference(String),
+}
+
+impl ChooseError {
+    fn into_message(self) -> String {
+        match self {
+            ChooseError::Capacity(m) | ChooseError::Interference(m) => m,
+        }
+    }
+}
+
 /// Cache key for training sets and models. `forest`/`seed`/corpus knobs
-/// are engine-wide (see [`EngineConfig`]), so the key is the fingerprint
-/// plus the request-visible parameters. Machines with identical
-/// fingerprints share entries: the fleet amortises training the way MAO
-/// amortises models across a warehouse.
-type TrainKey = (u64, usize, usize, Option<String>);
+/// are engine-wide (see [`EngineConfig`]), so the key is the engine's
+/// topology id plus the request-visible parameters. Machines with
+/// identical topologies share entries: the fleet amortises training the
+/// way MAO amortises models across a warehouse. The id — not the raw
+/// fingerprint — is the key so a fingerprint collision cannot serve one
+/// topology's artifacts to another (structural equality is verified
+/// when ids are assigned).
+type TrainKey = (usize, usize, usize, Option<String>);
 
 /// A long-lived, thread-safe placement service over a fleet of machines.
 ///
@@ -515,16 +593,25 @@ pub struct PlacementEngine {
     cfg: EngineConfig,
     hosts: Vec<Host>,
     fleet: FleetIndex,
-    /// Oracles shared across same-fingerprint hosts: the synthetic
+    /// Registered distinct machine structures: `(fingerprint, machine)`,
+    /// index = topology id. Fingerprint narrows the scan; the machine is
+    /// the structural-equality representative that makes ids
+    /// collision-free.
+    topologies: Vec<(u64, Machine)>,
+    /// Oracles shared across structurally-identical hosts: the synthetic
     /// corpus is a pure function of (topology, engine config).
-    shared_oracles: HashMap<u64, Arc<SimOracle>>,
-    catalogs: KeyedCache<(u64, usize), Result<Arc<PlacementCatalog>, PlacementError>>,
+    shared_oracles: HashMap<usize, Arc<SimOracle>>,
+    /// Memoizing interference models, one per topology, over the shared
+    /// oracles.
+    interference_models: HashMap<usize, Arc<InterferenceModel>>,
+    catalogs: KeyedCache<(usize, usize), Result<Arc<PlacementCatalog>, PlacementError>>,
     training_sets: KeyedCache<TrainKey, Result<Arc<TrainingSet>, PlacementError>>,
     models: KeyedCache<TrainKey, Result<Arc<ModelArtifact>, PlacementError>>,
     evaluations: AtomicU64,
     summary_skips: AtomicU64,
     summary_admits: AtomicU64,
     summary_stale: AtomicU64,
+    interference_blocked: AtomicU64,
 }
 
 impl PlacementEngine {
@@ -535,7 +622,9 @@ impl PlacementEngine {
             cfg,
             hosts: Vec::new(),
             fleet: FleetIndex::default(),
+            topologies: Vec::new(),
             shared_oracles: HashMap::new(),
+            interference_models: HashMap::new(),
             catalogs: KeyedCache::bounded(cap),
             training_sets: KeyedCache::bounded(cap),
             models: KeyedCache::bounded(cap),
@@ -543,6 +632,7 @@ impl PlacementEngine {
             summary_skips: AtomicU64::new(0),
             summary_admits: AtomicU64::new(0),
             summary_stale: AtomicU64::new(0),
+            interference_blocked: AtomicU64::new(0),
         }
     }
 
@@ -562,33 +652,73 @@ impl PlacementEngine {
     /// at `baseline` (the paper uses #1 on AMD, #2 on Intel). Fleet
     /// mutation requires `&mut self`, i.e. happens before serving starts.
     ///
-    /// Hosts sharing a topology fingerprint and baseline join one
-    /// machine class (see [`FleetIndex`]) and share a simulator oracle —
-    /// adding the thousandth copy of a machine model costs an occupancy
-    /// map, not a synthetic-corpus generation.
+    /// Hosts sharing a topology (structural equality, fingerprint-
+    /// narrowed) and baseline join one machine class (see
+    /// [`FleetIndex`]) and share a simulator oracle — adding the
+    /// thousandth copy of a machine model costs an occupancy map, not a
+    /// synthetic-corpus generation.
     pub fn add_machine_with_baseline(&mut self, machine: Machine, baseline: usize) -> MachineId {
         let fingerprint = machine.fingerprint();
-        let oracle = Arc::clone(self.shared_oracles.entry(fingerprint).or_insert_with(|| {
+        self.add_machine_keyed(machine, baseline, fingerprint)
+    }
+
+    /// [`Self::add_machine_with_baseline`] with the fingerprint supplied
+    /// by the caller — the real path always passes
+    /// [`Machine::fingerprint`]; tests pass a doctored value to force
+    /// collisions and prove the structural split.
+    fn add_machine_keyed(
+        &mut self,
+        machine: Machine,
+        baseline: usize,
+        fingerprint: u64,
+    ) -> MachineId {
+        let topo = self.register_topology(fingerprint, &machine);
+        let oracle = Arc::clone(self.shared_oracles.entry(topo).or_insert_with(|| {
             Arc::new(SimOracle::with_synthetic(
                 machine.clone(),
                 self.cfg.extra_synthetic,
                 self.cfg.corpus_seed,
             ))
         }));
+        let interference = Arc::clone(self.interference_models.entry(topo).or_insert_with(|| {
+            Arc::new(InterferenceModel::new(
+                Arc::clone(&oracle) as SharedInterferenceOracle
+            ))
+        }));
         let occupancy = Mutex::new(OccupancyMap::new(&machine));
         let summary = CapacitySummary::new(&machine);
         let id = MachineId(self.hosts.len());
-        let class = self.fleet.insert(fingerprint, baseline, id);
+        let class = self.fleet.insert(fingerprint, topo, baseline, id);
         self.hosts.push(Host {
             machine,
-            fingerprint,
+            topo,
             baseline,
             class,
             oracle,
+            interference,
             occupancy,
             summary,
         });
         id
+    }
+
+    /// The engine-local topology id for `machine`: joins an existing
+    /// entry only when the fingerprint *and* the structure match
+    /// ([`Machine::same_topology`]), so a hash collision splits into two
+    /// ids instead of silently aliasing two topologies onto one set of
+    /// catalogs, oracles and models.
+    fn register_topology(&mut self, fingerprint: u64, machine: &Machine) -> usize {
+        match self
+            .topologies
+            .iter()
+            .position(|(fp, rep)| *fp == fingerprint && rep.same_topology(machine))
+        {
+            Some(i) => i,
+            None => {
+                self.topologies.push((fingerprint, machine.clone()));
+                self.topologies.len() - 1
+            }
+        }
     }
 
     /// The engine configuration.
@@ -702,6 +832,13 @@ impl PlacementEngine {
                 admits: self.summary_admits.load(Ordering::Relaxed),
                 stale: self.summary_stale.load(Ordering::Relaxed),
             },
+            interference: self
+                .interference_models
+                .values()
+                .fold(InterferenceCounters::default(), |acc, m| {
+                    acc.merged(m.counters())
+                }),
+            interference_blocked: self.interference_blocked.load(Ordering::Relaxed),
         }
     }
 
@@ -714,7 +851,7 @@ impl PlacementEngine {
     ) -> Result<Arc<PlacementCatalog>, PlacementError> {
         let host = &self.hosts[id.0];
         self.catalogs
-            .get_or_compute((host.fingerprint, vcpus), || {
+            .get_or_compute((host.topo, vcpus), || {
                 let concerns = ConcernSet::for_machine(&host.machine);
                 // Generate (and Pareto-filter) the packings once, then
                 // expand them into important placements — a cold miss
@@ -752,7 +889,7 @@ impl PlacementEngine {
     ) -> Result<Arc<TrainingSet>, PlacementError> {
         let host = &self.hosts[id.0];
         let key = (
-            host.fingerprint,
+            host.topo,
             vcpus,
             baseline,
             exclude_family.map(str::to_string),
@@ -792,7 +929,7 @@ impl PlacementEngine {
     ) -> Result<Arc<ModelArtifact>, PlacementError> {
         let host = &self.hosts[id.0];
         let key = (
-            host.fingerprint,
+            host.topo,
             vcpus,
             baseline,
             exclude_family.map(str::to_string),
@@ -863,8 +1000,11 @@ impl PlacementEngine {
             .map(|ip| predicted[ip.id - 1])
             .fold(f64::NEG_INFINITY, f64::max);
         // The placement-class shapes that could satisfy this request:
-        // what the lock-free summary prefilter checks per host.
-        let mut goal_shapes: Vec<(usize, usize)> = Vec::new();
+        // what the lock-free summary prefilter checks per host. The
+        // goal filter uses idle-host predictions — interference can
+        // only lower a score, so this prefilter stays optimistic and
+        // the adjusted check happens at commit time.
+        let mut goal_shapes: Vec<ShapeRequirement> = Vec::new();
         for (shape, ip) in catalog
             .availability
             .requirements()
@@ -877,6 +1017,7 @@ impl PlacementEngine {
         }
         Ok(Candidate {
             class,
+            workload: req.workload.clone(),
             catalog,
             predicted,
             goal_perf,
@@ -886,14 +1027,15 @@ impl PlacementEngine {
     }
 
     /// Lock-free prefilter: whether `host`'s capacity summary leaves any
-    /// goal-clearing placement class possible for `cand`. `false` means
-    /// the host is skipped without taking its occupancy lock; `true` is
-    /// advisory and re-validated under the lock.
+    /// goal-clearing placement class possible for `cand`, at node *and*
+    /// L2 granularity. `false` means the host is skipped without taking
+    /// its occupancy lock; `true` is advisory and re-validated under the
+    /// lock.
     fn summary_admits(&self, host: &Host, cand: &Candidate) -> bool {
-        let admitted = cand
-            .goal_shapes
-            .iter()
-            .any(|&(n, per)| host.summary.can_host(n, per));
+        let admitted = cand.goal_shapes.iter().any(|r| {
+            host.summary.can_host(r.num_nodes, r.per_node)
+                && host.summary.can_host_l2(r.num_l2, r.per_l2)
+        });
         if admitted {
             self.summary_admits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -905,84 +1047,176 @@ impl PlacementEngine {
     /// The placement `try_commit` would choose for `cand` on the given
     /// host and occupancy: the best goal-clearing class currently
     /// hostable, via the catalog's precomputed availability index (no
-    /// node-set scoring happens here, i.e. none under the lock).
+    /// node-set scoring happens here).
+    ///
+    /// With interference scoring on, each hostable class's idle-host
+    /// prediction is multiplied by the occupancy-conditional co-location
+    /// penalty before the goal filter and the ranking — callers pass an
+    /// occupancy *snapshot* taken outside the host lock, so a penalty
+    /// cold miss simulates without any lock held. With it off, the
+    /// penalty is identically `1.0` and the interference model is never
+    /// consulted, reproducing neighbour-blind scoring bit for bit.
     ///
     /// Class preference among goal-clearing, currently-hostable
     /// classes: fewest nodes (cheapest for the operator), then fewest
     /// pristine nodes broken open (least fragmentation of contiguous
-    /// room), then highest predicted performance. `Err` carries a
-    /// human-readable reason naming the exhausted node.
+    /// room), then highest (adjusted) predicted performance. `Err`
+    /// carries a human-readable reason naming the exhausted node — or
+    /// the interference, when capacity existed but every hostable
+    /// class's adjusted prediction fell below the goal.
     fn best_available(
         &self,
         host: &Host,
         cand: &Candidate,
         occ: &OccupancyMap,
-    ) -> Result<(AvailablePlacement, f64), String> {
+    ) -> Result<(AvailablePlacement, f64, f64), ChooseError> {
         let available = cand.catalog.availability.available(&host.machine, occ);
-        let mut best: Option<(&AvailablePlacement, f64)> = None;
+        let mut best: Option<(&AvailablePlacement, f64, f64)> = None;
+        let mut interference_blocked = 0usize;
         for ap in &available {
-            let p = cand.predicted[ap.id - 1];
+            let idle_p = cand.predicted[ap.id - 1];
+            // The penalty is ≤ 1, so a class whose idle-host prediction
+            // already misses the goal cannot clear it adjusted — skip
+            // before the (potentially simulating) penalty lookup.
+            if idle_p < cand.goal_perf {
+                continue;
+            }
+            let penalty = if self.cfg.interference {
+                host.interference
+                    .penalty(&cand.workload, &ap.spec.nodes, &ap.threads, occ)
+            } else {
+                1.0
+            };
+            let p = idle_p * penalty;
             if p < cand.goal_perf {
+                interference_blocked += 1;
                 continue;
             }
             let rank = (ap.spec.num_nodes(), ap.pristine_consumed);
             let better = match best {
                 None => true,
-                Some((cur, cur_p)) => {
+                Some((cur, cur_p, _)) => {
                     let cur_rank = (cur.spec.num_nodes(), cur.pristine_consumed);
                     rank < cur_rank || (rank == cur_rank && p > cur_p)
                 }
             };
             if better {
-                best = Some((ap, p));
+                best = Some((ap, p, penalty));
             }
         }
         match best {
-            Some((ap, p)) => Ok((ap.clone(), p)),
+            Some((ap, p, penalty)) => Ok((ap.clone(), p, penalty)),
+            None if interference_blocked > 0 => Err(ChooseError::Interference(format!(
+                "{}: {interference_blocked} placement class(es) fit the free capacity \
+                 but co-location interference pushes every prediction below the goal",
+                host.machine.name(),
+            ))),
             None => {
                 let node = occ.most_exhausted_node();
-                Err(format!(
+                Err(ChooseError::Capacity(format!(
                     "{}: no goal-clearing placement class fits the free capacity \
                      (node {} exhausted: {}/{} threads free)",
                     host.machine.name(),
                     node,
                     occ.free_on_node(node),
-                    occ.node_capacity(),
-                ))
+                    occ.capacity_of_node(node),
+                )))
             }
         }
     }
 
+    /// A point-in-time clone of the host's occupancy map: the snapshot
+    /// that interference-adjusted scoring runs against, taken so no
+    /// simulator call ever happens while the host lock is held.
+    fn occupancy_snapshot(&self, host: &Host) -> OccupancyMap {
+        host.occupancy
+            .lock()
+            .expect("occupancy lock poisoned")
+            .clone()
+    }
+
     /// The predicted performance `try_commit` would deliver for `cand`
-    /// on host `id` right now, without reserving anything (a dry run
-    /// under the host's occupancy lock).
-    fn offer(&self, id: MachineId, cand: &Candidate) -> Result<f64, String> {
+    /// on host `id` right now, without reserving anything. With
+    /// interference off, the dry run scores under the host lock (no
+    /// clone, no simulator — the neighbour-blind engine's exact path);
+    /// with it on, it scores against a snapshot so penalty cold misses
+    /// never simulate while the lock is held.
+    fn offer(&self, id: MachineId, cand: &Candidate) -> Result<f64, ChooseError> {
         let host = &self.hosts[id.0];
-        let occ = host.occupancy.lock().expect("occupancy lock poisoned");
-        self.best_available(host, cand, &occ).map(|(_, p)| p)
+        if self.cfg.interference {
+            let occ = self.occupancy_snapshot(host);
+            self.best_available(host, cand, &occ).map(|(_, p, _)| p)
+        } else {
+            let occ = host.occupancy.lock().expect("occupancy lock poisoned");
+            self.best_available(host, cand, &occ).map(|(_, p, _)| p)
+        }
     }
 
     /// Attempts to commit a candidate on host `id`: retargets the best
     /// goal-clearing placement class onto node sets with free hardware
-    /// threads (see [`Self::best_available`]) and reserves those
-    /// threads, atomically under the host's occupancy lock. The host's
-    /// capacity summary is re-published before the lock is dropped.
-    fn try_commit(&self, id: MachineId, cand: &Candidate) -> Result<Placed, String> {
+    /// threads (see [`Self::best_available`]) and reserves those threads
+    /// atomically under the host's occupancy lock, re-publishing the
+    /// capacity summary before the lock is dropped.
+    ///
+    /// With interference off, selection runs under the lock and the
+    /// reservation cannot fail — the neighbour-blind engine's exact
+    /// path. With it on, selection runs against a snapshot (penalty
+    /// cold misses simulate with no lock held); a concurrent commit
+    /// that claims any chosen thread between snapshot and reservation
+    /// fails the all-or-nothing `reserve`, and the host is re-scored
+    /// against fresh occupancy — the request is never bounced off a
+    /// host that still has room just because of a racing neighbour.
+    fn try_commit(&self, id: MachineId, cand: &Candidate) -> Result<Placed, ChooseError> {
         let host = &self.hosts[id.0];
-        let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
-        let (ap, predicted_perf) = self.best_available(host, cand, &occ)?;
-        occ.reserve(&ap.threads)
-            .expect("availability was computed under this lock");
-        host.summary.publish(&occ);
-        Ok(Placed {
+        if !self.cfg.interference {
+            let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
+            let (ap, predicted_perf, interference_penalty) =
+                self.best_available(host, cand, &occ)?;
+            occ.reserve(&ap.threads)
+                .expect("availability was computed under this lock");
+            host.summary.publish(&occ);
+            return Ok(Self::placed(id, ap, predicted_perf, interference_penalty, cand));
+        }
+        // Interference on: snapshot → score (may simulate, no lock) →
+        // re-lock → reserve. Each retry means a concurrent commit won
+        // the race in between; re-score and try again. The bound is a
+        // livelock backstop under pathological external churn — hitting
+        // it degrades to a stale-offer error, never a bad placement.
+        const RACE_RETRIES: usize = 16;
+        for _ in 0..RACE_RETRIES {
+            let snapshot = self.occupancy_snapshot(host);
+            let (ap, predicted_perf, interference_penalty) =
+                self.best_available(host, cand, &snapshot)?;
+            let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
+            if occ.reserve(&ap.threads).is_ok() {
+                host.summary.publish(&occ);
+                return Ok(Self::placed(id, ap, predicted_perf, interference_penalty, cand));
+            }
+        }
+        Err(ChooseError::Capacity(format!(
+            "{}: occupancy kept changing between snapshot and commit \
+             ({RACE_RETRIES} races lost)",
+            host.machine.name()
+        )))
+    }
+
+    fn placed(
+        id: MachineId,
+        ap: AvailablePlacement,
+        predicted_perf: f64,
+        interference_penalty: f64,
+        cand: &Candidate,
+    ) -> Placed {
+        Placed {
             machine: id,
             placement_id: ap.id,
             spec: ap.spec,
             threads: ap.threads,
             predicted_perf,
+            interference_penalty,
             goal_perf: cand.goal_perf,
             goal_met: predicted_perf >= cand.goal_perf,
-        })
+        }
     }
 
     /// Places a single request (see [`Self::place_batch`]).
@@ -1071,9 +1305,12 @@ impl PlacementEngine {
                     // would actually be committed under their current
                     // occupancy (a dry run per admitted host), not by
                     // the catalog-wide ceiling — a busy host's best
-                    // class may be unavailable.
+                    // class may be unavailable. With interference on,
+                    // the offer is the interference-ADJUSTED score, so
+                    // busy hosts rank below idle ones offering the same
+                    // class.
                     let mut best: Option<(MachineId, &Candidate, f64)> = None;
-                    let mut failed: Vec<(MachineId, String)> = Vec::new();
+                    let mut failed: Vec<(MachineId, ChooseError)> = Vec::new();
                     self.walk_admitted(&viable, &tried, &mut skipped, |id, cand| {
                         match self.offer(id, cand) {
                             Ok(p) => {
@@ -1090,9 +1327,9 @@ impl PlacementEngine {
                         false
                     });
                     for (id, e) in failed {
-                        self.summary_stale.fetch_add(1, Ordering::Relaxed);
+                        self.count_choose_error(&e);
                         tried[id.0] = true;
-                        commit_errors.push(e);
+                        commit_errors.push(e.into_message());
                     }
                     best.map(|(id, cand, _)| (id, cand))
                 }
@@ -1106,12 +1343,25 @@ impl PlacementEngine {
             match self.try_commit(id, cand) {
                 Ok(p) => return PlacementDecision::Placed(p),
                 Err(e) => {
-                    // The summary admitted the host but the occupancy
-                    // map (the authority) had no room: the summary was
-                    // stale. Re-offer on the remaining hosts.
-                    self.summary_stale.fetch_add(1, Ordering::Relaxed);
-                    commit_errors.push(e);
+                    // The summary admitted the host but selection found
+                    // no placement: either the summary was stale
+                    // (occupancy is the authority) or interference
+                    // blocked every goal-clearing class. Count which,
+                    // then re-offer on the remaining hosts.
+                    self.count_choose_error(&e);
+                    commit_errors.push(e.into_message());
                 }
+            }
+        }
+    }
+
+    fn count_choose_error(&self, e: &ChooseError) {
+        match e {
+            ChooseError::Capacity(_) => {
+                self.summary_stale.fetch_add(1, Ordering::Relaxed);
+            }
+            ChooseError::Interference(_) => {
+                self.interference_blocked.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -1195,7 +1445,7 @@ impl PlacementEngine {
                 host.machine.name(),
                 node,
                 s.free_on_node(node),
-                s.node_capacity(),
+                s.capacity_of_node(node),
             ));
         }
         if skipped.len() > DETAILED {
@@ -1240,5 +1490,89 @@ impl PlacementEngine {
         (0..self.fleet.num_classes())
             .map(|class| self.evaluate(class, req))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod collision_tests {
+    use super::*;
+    use vc_topology::machines;
+
+    fn fast() -> EngineConfig {
+        EngineConfig {
+            extra_synthetic: 0,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Forced fingerprint collision (both machines registered under the
+    /// doctored value 42): the structural check must split them into
+    /// two topologies, two fleet classes, two oracles — and therefore
+    /// two catalogs, instead of serving the AMD catalog to the Intel
+    /// host (or vice versa).
+    #[test]
+    fn colliding_fingerprints_split_into_distinct_classes() {
+        let mut engine = PlacementEngine::new(fast());
+        let amd_id = engine.add_machine_keyed(machines::amd_opteron_6272(), 0, 42);
+        let intel_id = engine.add_machine_keyed(machines::intel_xeon_e7_4830_v3(), 0, 42);
+        // A third AMD box under the same doctored value joins the AMD
+        // class (structure matches).
+        let amd2_id = engine.add_machine_keyed(machines::amd_opteron_6272(), 0, 42);
+
+        let index = engine.fleet_index();
+        assert_eq!(index.num_classes(), 2, "collision aliased two topologies");
+        assert_eq!(index.classes()[0].members(), &[amd_id, amd2_id]);
+        assert_eq!(index.classes()[1].members(), &[intel_id]);
+        assert_eq!(index.classes()[0].fingerprint(), 42);
+        assert_eq!(index.classes()[1].fingerprint(), 42);
+
+        // Catalogs are keyed per topology id, not per raw fingerprint:
+        // each machine sees its own machine's catalog.
+        let amd_catalog = engine.catalog(amd_id, 16).unwrap();
+        let intel_catalog = engine.catalog(intel_id, 16).unwrap();
+        assert_eq!(amd_catalog.placements.len(), 13); // the paper's AMD count
+        assert_ne!(
+            amd_catalog.placements.len(),
+            intel_catalog.placements.len(),
+            "collision served one topology's catalog to the other"
+        );
+        assert_eq!(engine.stats().catalogs.computes, 2);
+        // The same-structure AMD host shares the entry.
+        engine.catalog(amd2_id, 16).unwrap();
+        assert_eq!(engine.stats().catalogs.computes, 2);
+
+        // Oracles are split too: each simulates its own machine.
+        assert_eq!(engine.sim_oracle(amd_id).machine().num_threads(), 64);
+        assert_eq!(engine.sim_oracle(intel_id).machine().num_threads(), 96);
+
+        // End to end: a 16-vCPU placement on each host lands on its own
+        // hardware with a valid thread set.
+        for id in [amd_id, intel_id] {
+            let req = PlacementRequest::new("WTbtree", 16);
+            let cand = self::machine_candidate(&engine, id, &req);
+            assert!(cand.is_ok(), "{:?}", cand.err());
+        }
+    }
+
+    /// Evaluates a request against the class of one machine (helper so
+    /// the collision test exercises the full evaluate path per class).
+    fn machine_candidate(
+        engine: &PlacementEngine,
+        id: MachineId,
+        req: &PlacementRequest,
+    ) -> Result<(), String> {
+        engine.evaluate(engine.machine_class(id), req).map(|_| ())
+    }
+
+    /// The undoctored path keeps grouping by real fingerprints: one
+    /// topology id per machine model.
+    #[test]
+    fn real_fingerprints_share_topology_ids() {
+        let mut engine = PlacementEngine::new(fast());
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+        assert_eq!(engine.topologies.len(), 2);
+        assert_eq!(engine.fleet_index().num_classes(), 2);
     }
 }

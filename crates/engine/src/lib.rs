@@ -47,6 +47,19 @@
 //! departing container held. When a machine cannot host a request the
 //! rejection names the exhausted node.
 //!
+//! # Interference
+//!
+//! Co-located containers still share caches, memory controllers and
+//! links the idle-host model never saw. With
+//! [`EngineConfig::interference`] enabled, commit-time scoring and
+//! BestScore ranking multiply each class's prediction by the
+//! occupancy-conditional co-location penalty (simulated candidate +
+//! residents, memoized per `(workload, class, occupancy signature)` by
+//! [`vc_core::interference::InterferenceModel`]); the applied penalty
+//! is reported in [`Placed::interference_penalty`] and the cache
+//! counters in [`EngineStats`]. Off (the default), decisions are
+//! bit-for-bit the neighbour-blind engine's.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -97,6 +110,7 @@ pub use engine::{
     Placed, PlacementCatalog, PlacementDecision, PlacementEngine, PlacementRequest,
     SummaryCounters,
 };
+pub use vc_core::interference::InterferenceCounters;
 
 #[cfg(test)]
 mod tests {

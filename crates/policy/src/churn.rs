@@ -84,6 +84,11 @@ pub struct ArrivalOutcome {
     /// The engine's rejection reason (names the exhausted node when the
     /// fleet was out of capacity).
     pub rejection: Option<String>,
+    /// Predicted degradation from co-located neighbours at commit time
+    /// (`1 − interference penalty`, in `[0, 1)`): `Some(0.0)` for a
+    /// placement on an idle host or with interference scoring off,
+    /// `None` when the arrival was rejected.
+    pub predicted_degradation: Option<f64>,
 }
 
 /// Fleet-wide utilisation observed right after one churn event.
@@ -127,32 +132,73 @@ pub struct ChurnReport {
     /// capacity-planning signal (how full does the fleet run at this
     /// arrival rate and lifetime?).
     pub utilisation: Vec<UtilisationSample>,
+    /// Fleet utilisation at `time == 0.0`, before the first event — the
+    /// engine may already hold containers when the schedule starts.
+    pub initial_utilisation: UtilisationSample,
+    /// End of the observation window: the stochastic horizon for
+    /// generated schedules, the event count for declarative ones (each
+    /// event occupies one unit interval). The final utilisation sample
+    /// holds from its event time to this instant.
+    pub horizon: f64,
 }
 
 impl ChurnReport {
-    /// Time-weighted mean utilised fraction across the run: each sample
-    /// holds from its event until the next one, so a long idle tail
-    /// counts for its full duration, not one event's worth. With fewer
-    /// than two samples (no intervals to weight) this is the plain mean
-    /// of the samples; declarative schedules have uniform unit
-    /// intervals, where the two coincide.
+    /// Time-weighted mean utilised fraction over the whole observation
+    /// window `[0, horizon]`: [`Self::initial_utilisation`] holds from
+    /// `t = 0` to the first event, each sample holds until the next,
+    /// and the *last* sample holds until [`Self::horizon`] — so a quiet
+    /// head, a long idle tail and the state the schedule drains into
+    /// all count for their full duration. (An earlier revision dropped
+    /// the final interval entirely — and the head — biasing the mean
+    /// for schedules that fill late or drain at the end.) Declarative
+    /// schedules have uniform unit intervals, where this is the plain
+    /// mean over the samples.
     pub fn mean_utilisation(&self) -> f64 {
-        if self.utilisation.is_empty() {
-            return 0.0;
+        let span = self.horizon - self.initial_utilisation.time;
+        if span <= 0.0 {
+            return if self.utilisation.is_empty() {
+                self.initial_utilisation.fraction()
+            } else {
+                self.utilisation.iter().map(|s| s.fraction()).sum::<f64>()
+                    / self.utilisation.len() as f64
+            };
         }
-        let weighted: f64 = self
-            .utilisation
-            .windows(2)
-            .map(|w| w[0].fraction() * (w[1].time - w[0].time))
-            .sum();
-        let span = self.utilisation.last().expect("non-empty").time
-            - self.utilisation[0].time;
-        if span > 0.0 {
-            weighted / span
+        let mut weighted = 0.0;
+        let mut prev = &self.initial_utilisation;
+        for s in &self.utilisation {
+            weighted += prev.fraction() * (s.time - prev.time).max(0.0);
+            prev = s;
+        }
+        weighted += prev.fraction() * (self.horizon - prev.time).max(0.0);
+        weighted / span
+    }
+
+    /// Mean predicted co-location degradation over the *placed*
+    /// arrivals, in `[0, 1)` (`0.0` when nothing was placed, when every
+    /// placement landed on idle hosts, or with interference scoring
+    /// off). Read together with [`Self::mean_utilisation`]: pushing a
+    /// fleet fuller buys utilisation at the price of exactly this
+    /// number.
+    pub fn mean_predicted_degradation(&self) -> f64 {
+        let placed: Vec<f64> = self
+            .arrivals
+            .iter()
+            .filter_map(|a| a.predicted_degradation)
+            .collect();
+        if placed.is_empty() {
+            0.0
         } else {
-            self.utilisation.iter().map(|s| s.fraction()).sum::<f64>()
-                / self.utilisation.len() as f64
+            placed.iter().sum::<f64>() / placed.len() as f64
         }
+    }
+
+    /// The largest predicted co-location degradation any placed arrival
+    /// took (`0.0` when nothing was placed).
+    pub fn worst_predicted_degradation(&self) -> f64 {
+        self.arrivals
+            .iter()
+            .filter_map(|a| a.predicted_degradation)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -329,11 +375,18 @@ impl ChurnScenario {
         let mut arrivals = Vec::new();
         let mut departed = 0usize;
         let mut peak = 0usize;
-        let total_threads: usize = engine
-            .machine_ids()
-            .into_iter()
-            .map(|id| engine.utilisation(id).1)
-            .sum();
+        let mut total_threads = 0usize;
+        let mut used_at_start = 0usize;
+        for id in engine.machine_ids() {
+            let (used, total) = engine.utilisation(id);
+            used_at_start += used;
+            total_threads += total;
+        }
+        let initial_utilisation = UtilisationSample {
+            time: 0.0,
+            used_threads: used_at_start,
+            total_threads,
+        };
         let mut utilisation = Vec::with_capacity(self.events.len());
         for (i, event) in self.events.iter().enumerate() {
             match event {
@@ -347,6 +400,7 @@ impl ChurnScenario {
                             live.insert(name.clone(), p.clone());
                             ArrivalOutcome {
                                 name: name.clone(),
+                                predicted_degradation: Some(1.0 - p.interference_penalty),
                                 placed: Some(p),
                                 rejection: None,
                             }
@@ -355,6 +409,7 @@ impl ChurnScenario {
                             name: name.clone(),
                             placed: None,
                             rejection: Some(reason),
+                            predicted_degradation: None,
                         },
                     };
                     arrivals.push(outcome);
@@ -380,6 +435,11 @@ impl ChurnScenario {
         }
         let placed = arrivals.iter().filter(|a| a.placed.is_some()).count();
         let rejected = arrivals.len() - placed;
+        let horizon = match &self.stochastic {
+            Some(p) => p.horizon,
+            // Declarative schedules: event i occupies [i, i + 1).
+            None => self.events.len() as f64,
+        };
         ChurnReport {
             arrivals,
             placed,
@@ -387,6 +447,8 @@ impl ChurnScenario {
             departed,
             peak_threads_used: peak,
             utilisation,
+            initial_utilisation,
+            horizon,
         }
     }
 }
@@ -561,8 +623,151 @@ mod tests {
                 UtilisationSample { time: 9.0, used_threads: 0, total_threads: 64 },
                 UtilisationSample { time: 10.0, used_threads: 0, total_threads: 64 },
             ],
+            initial_utilisation: UtilisationSample {
+                time: 0.0,
+                used_threads: 0,
+                total_threads: 64,
+            },
+            horizon: 10.0,
         };
         assert!((report.mean_utilisation() - 0.225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_utilisation_counts_the_quiet_head_before_the_first_event() {
+        // A run whose only arrival lands at t = 9 of a 10-unit window:
+        // the fleet was empty for 90% of the time, so the mean is
+        // 0.5 * 1/10 = 0.05 — not the 0.5 a window clipped to the
+        // first event would report.
+        let report = ChurnReport {
+            arrivals: Vec::new(),
+            placed: 1,
+            rejected: 0,
+            departed: 0,
+            peak_threads_used: 32,
+            utilisation: vec![UtilisationSample {
+                time: 9.0,
+                used_threads: 32,
+                total_threads: 64,
+            }],
+            initial_utilisation: UtilisationSample {
+                time: 0.0,
+                used_threads: 0,
+                total_threads: 64,
+            },
+            horizon: 10.0,
+        };
+        assert!((report.mean_utilisation() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_utilisation_weights_the_final_sample_out_to_the_horizon() {
+        // Regression: `windows(2)` alone gives the final sample zero
+        // weight, so a schedule whose last event *fills* the fleet used
+        // to under-report (and one that drains used to over-report).
+        // Here the fleet sits empty for 2 units, then holds 32/64 until
+        // the horizon at t = 10: the honest mean is 0.5 * 8/10 = 0.4.
+        let report = ChurnReport {
+            arrivals: Vec::new(),
+            placed: 1,
+            rejected: 0,
+            departed: 0,
+            peak_threads_used: 32,
+            utilisation: vec![
+                UtilisationSample { time: 0.0, used_threads: 0, total_threads: 64 },
+                UtilisationSample { time: 2.0, used_threads: 32, total_threads: 64 },
+            ],
+            initial_utilisation: UtilisationSample {
+                time: 0.0,
+                used_threads: 0,
+                total_threads: 64,
+            },
+            horizon: 10.0,
+        };
+        assert!(
+            (report.mean_utilisation() - 0.4).abs() < 1e-12,
+            "tail interval dropped: {}",
+            report.mean_utilisation()
+        );
+    }
+
+    #[test]
+    fn stochastic_report_carries_the_schedule_horizon() {
+        let engine = engine();
+        let scenario = ChurnScenario::stochastic(5, 0.5, 2.0).with_horizon(20.0);
+        let report = scenario.run(&engine);
+        assert_eq!(report.horizon, 20.0);
+        if let Some(last) = report.utilisation.last() {
+            assert!(last.time <= report.horizon);
+        }
+        assert!(report.mean_utilisation() <= 1.0);
+    }
+
+    #[test]
+    fn declarative_schedules_keep_index_time_semantics() {
+        // Two events ⇒ horizon 2.0, unit intervals: the mean equals the
+        // plain average of the two samples (16/64 then 0/64).
+        let engine = engine();
+        let events = vec![
+            ChurnEvent::arrive("a", PlacementRequest::new("swaptions", 16)),
+            ChurnEvent::depart("a"),
+        ];
+        let report = ChurnScenario::new(events).run(&engine);
+        assert_eq!(report.horizon, 2.0);
+        assert!((report.mean_utilisation() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_tracking_is_zero_with_interference_off() {
+        let engine = engine();
+        let events = vec![
+            ChurnEvent::arrive("a", PlacementRequest::new("swaptions", 16)),
+            ChurnEvent::arrive("b", PlacementRequest::new("swaptions", 16)),
+        ];
+        let report = ChurnScenario::new(events).run(&engine);
+        assert_eq!(report.placed, 2);
+        for a in &report.arrivals {
+            assert_eq!(a.predicted_degradation, Some(0.0));
+        }
+        assert_eq!(report.mean_predicted_degradation(), 0.0);
+        assert_eq!(report.worst_predicted_degradation(), 0.0);
+    }
+
+    #[test]
+    fn stochastic_churn_reports_the_utilisation_interference_trade_off() {
+        // Interference-aware engine under stochastic churn: every
+        // placement carries its predicted degradation, co-located
+        // placements a positive one.
+        let engine = PlacementEngine::single(
+            machines::amd_opteron_6272(),
+            EngineConfig {
+                extra_synthetic: 0,
+                interference: true,
+                ..EngineConfig::default()
+            },
+        );
+        // Half-node containers (4 vCPUs on an 8-thread node) at an
+        // offered load of ≈ 6 concurrent: the pristine-averse
+        // retargeter stacks pairs onto shared nodes, so placements
+        // commit next to residents.
+        let report = ChurnScenario::stochastic(3, 1.0, 6.0)
+            .with_horizon(16.0)
+            .with_request_pool(vec![PlacementRequest::new("streamcluster", 4)])
+            .run(&engine);
+        assert!(report.placed > 0);
+        for a in &report.arrivals {
+            match (&a.placed, a.predicted_degradation) {
+                (Some(_), Some(d)) => assert!((0.0..1.0).contains(&d)),
+                (None, None) => {}
+                _ => panic!("degradation tracking out of sync for {}", a.name),
+            }
+        }
+        assert!(
+            report.worst_predicted_degradation() > 0.0,
+            "offered load ≈ fleet capacity must co-locate at least once"
+        );
+        assert!(report.mean_predicted_degradation() < 1.0);
+        assert!(report.mean_utilisation() > 0.0);
     }
 
     #[test]

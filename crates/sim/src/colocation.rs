@@ -1,0 +1,344 @@
+//! Co-location scenarios: a candidate container simulated *together
+//! with* a host's resident containers.
+//!
+//! The single-container entry points of this crate answer "how fast is
+//! this placement on an idle machine?" — the question the paper's model
+//! is trained on. A serving fleet needs a second question answered:
+//! "how fast is it *next to the containers already running here*?" This
+//! module simulates the candidate and the residents in one
+//! [`simulate`] call (the CPI stack already resolves cross-container
+//! contention on caches, memory controllers and links) and reports
+//! per-container degradation deltas against each container's solo run.
+//!
+//! Residents can be supplied explicitly (when the caller knows the real
+//! workloads) or derived from an [`OccupancyMap`] via
+//! [`residents_from_occupancy`]: one stand-in container per occupied
+//! node, running [`resident_stand_in`] — a deliberately middle-of-road
+//! memory profile, since a thread-reservation map records *where*
+//! neighbours run but not *what* they run.
+
+use vc_topology::{Machine, NodeId, OccupancyMap, ThreadId};
+use vc_workloads::{Metric, Workload};
+
+use crate::engine::{simulate, ContainerPerf, ContainerRun, SimConfig};
+
+/// Joint simulation of one candidate and its co-resident containers,
+/// with the solo baselines needed to express degradation.
+#[derive(Debug, Clone)]
+pub struct CoLocationReport {
+    /// The candidate's performance with all residents running.
+    pub candidate: ContainerPerf,
+    /// The candidate alone on the machine (same assignment, same seed).
+    pub candidate_solo: ContainerPerf,
+    /// Each resident's performance with the candidate (and the other
+    /// residents) running, input order.
+    pub residents: Vec<ContainerPerf>,
+    /// Each resident alone on the machine, input order.
+    pub residents_solo: Vec<ContainerPerf>,
+}
+
+impl CoLocationReport {
+    /// The candidate's multiplicative co-location penalty in `(0, 1]`:
+    /// co-located throughput over solo throughput (clamped — the model
+    /// never rewards contention).
+    pub fn candidate_penalty(&self) -> f64 {
+        penalty(&self.candidate, &self.candidate_solo)
+    }
+
+    /// `1 − penalty` for the candidate: the fraction of idle-host
+    /// performance the neighbours cost, in `[0, 1)`.
+    pub fn candidate_degradation(&self) -> f64 {
+        1.0 - self.candidate_penalty()
+    }
+
+    /// Per-resident penalties in `(0, 1]`, input order — what admitting
+    /// the candidate costs the containers already on the host.
+    pub fn resident_penalties(&self) -> Vec<f64> {
+        self.residents
+            .iter()
+            .zip(&self.residents_solo)
+            .map(|(co, solo)| penalty(co, solo))
+            .collect()
+    }
+
+    /// Per-resident degradations (`1 − penalty`), input order.
+    pub fn resident_degradations(&self) -> Vec<f64> {
+        self.resident_penalties().iter().map(|p| 1.0 - p).collect()
+    }
+}
+
+fn penalty(co: &ContainerPerf, solo: &ContainerPerf) -> f64 {
+    if solo.inst_per_sec <= 0.0 {
+        return 1.0;
+    }
+    (co.inst_per_sec / solo.inst_per_sec).clamp(f64::MIN_POSITIVE, 1.0)
+}
+
+/// Simulates `candidate` together with `residents` on `machine` and
+/// returns the joint performance plus each container's solo baseline.
+///
+/// All assignments must be pairwise thread-disjoint (the underlying
+/// [`simulate`] panics otherwise — hardware threads host one vCPU).
+/// The same `seed` is used for the joint run and every solo run, so
+/// with `cfg.perf_noise == 0` the deltas are pure contention, no noise.
+pub fn simulate_co_location(
+    machine: &Machine,
+    candidate: &ContainerRun,
+    residents: &[ContainerRun],
+    cfg: &SimConfig,
+    seed: u64,
+) -> CoLocationReport {
+    let mut runs = Vec::with_capacity(1 + residents.len());
+    runs.push(candidate.clone());
+    runs.extend(residents.iter().cloned());
+    let mut joint = simulate(machine, &runs, cfg, seed).per_container;
+    let candidate_co = joint.remove(0);
+
+    let solo = |run: &ContainerRun| -> ContainerPerf {
+        simulate(machine, std::slice::from_ref(run), cfg, seed)
+            .per_container
+            .into_iter()
+            .next()
+            .expect("one container in, one out")
+    };
+    CoLocationReport {
+        candidate: candidate_co,
+        candidate_solo: solo(candidate),
+        residents: joint,
+        residents_solo: residents.iter().map(solo).collect(),
+    }
+}
+
+/// The stand-in profile for residents whose real workload is unknown: a
+/// moderately memory- and cache-hungry container (mid-suite rates), so
+/// sharing a node with it costs something without dominating the score
+/// the way a pathological streaming neighbour would.
+pub fn resident_stand_in() -> Workload {
+    Workload {
+        name: "resident".to_string(),
+        family: "resident".to_string(),
+        ipc_base: 1.2,
+        mem_per_kinst: 18.0,
+        ws_l2_mib: 0.4,
+        ws_private_mib: 4.0,
+        ws_shared_mib: 24.0,
+        comm_per_kinst: 0.3,
+        smt_pair_speedup: 1.6,
+        cmt_pair_speedup: 1.65,
+        mlp: 0.5,
+        coop_prefetch: 0.1,
+        anon_gb: 4.0,
+        page_cache_gb: 1.0,
+        processes: 1,
+        metric: Metric::Ipc,
+        inst_per_op: 10_000.0,
+    }
+}
+
+/// Derives resident containers from an occupancy map: the used threads,
+/// grouped into one container per occupied node, each running
+/// `workload`.
+///
+/// Per-node grouping keeps the stand-ins honest: a reservation map does
+/// not say which threads belong to one container, and merging all used
+/// threads into a single machine-spanning container would invent
+/// cross-node communication the residents may not have.
+pub fn residents_from_occupancy(
+    machine: &Machine,
+    occ: &OccupancyMap,
+    workload: &Workload,
+) -> Vec<ContainerRun> {
+    (0..machine.num_nodes())
+        .map(NodeId)
+        .filter_map(|node| {
+            let used: Vec<ThreadId> = machine
+                .threads_on_node(node)
+                .into_iter()
+                .filter(|&t| !occ.is_free(t))
+                .collect();
+            if used.is_empty() {
+                None
+            } else {
+                Some(ContainerRun {
+                    workload: workload.clone(),
+                    assignment: used,
+                })
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vc_core::assign::assign_vcpus;
+    use vc_core::placement::PlacementSpec;
+    use vc_topology::machines;
+    use vc_workloads::suite::workload_by_name;
+
+    fn noise_free() -> SimConfig {
+        SimConfig::interference_probe()
+    }
+
+    #[test]
+    fn stand_in_is_a_valid_workload() {
+        resident_stand_in().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_occupancy_derives_no_residents() {
+        let amd = machines::amd_opteron_6272();
+        let occ = OccupancyMap::new(&amd);
+        assert!(residents_from_occupancy(&amd, &occ, &resident_stand_in()).is_empty());
+    }
+
+    #[test]
+    fn residents_are_grouped_per_occupied_node() {
+        let amd = machines::amd_opteron_6272();
+        let mut occ = OccupancyMap::new(&amd);
+        occ.reserve(&amd.threads_on_node(NodeId(2))).unwrap();
+        occ.reserve(&amd.threads_on_node(NodeId(5))[..4]).unwrap();
+        let residents = residents_from_occupancy(&amd, &occ, &resident_stand_in());
+        assert_eq!(residents.len(), 2);
+        assert_eq!(residents[0].assignment.len(), 8);
+        assert_eq!(residents[1].assignment.len(), 4);
+        for r in &residents {
+            let node = amd.thread(r.assignment[0]).node;
+            assert!(r.assignment.iter().all(|&t| amd.thread(t).node == node));
+            assert!(r.assignment.iter().all(|&t| !occ.is_free(t)));
+        }
+    }
+
+    /// A 4-vCPU candidate pinned to the back half of node 0 (modules 2
+    /// and 3) — the residents get the front half.
+    fn half_node_candidate(workload: &str) -> (ContainerRun, Vec<ThreadId>) {
+        let amd = machines::amd_opteron_6272();
+        let node0 = amd.threads_on_node(NodeId(0));
+        (
+            ContainerRun {
+                workload: workload_by_name(workload).unwrap(),
+                assignment: node0[4..].to_vec(),
+            },
+            node0[..4].to_vec(),
+        )
+    }
+
+    #[test]
+    fn node_sharing_residents_degrade_the_candidate() {
+        let amd = machines::amd_opteron_6272();
+        let (candidate, other_half) = half_node_candidate("streamcluster");
+        let mut occ = OccupancyMap::new(&amd);
+        occ.reserve(&other_half).unwrap();
+        let residents = residents_from_occupancy(&amd, &occ, &resident_stand_in());
+        assert_eq!(residents.len(), 1);
+        let report = simulate_co_location(&amd, &candidate, &residents, &noise_free(), 0);
+        assert!(
+            report.candidate_penalty() < 0.99,
+            "bandwidth-bound candidate must feel node-sharing residents: {}",
+            report.candidate_penalty()
+        );
+        assert_eq!(report.resident_degradations().len(), 1);
+        for d in report.resident_degradations() {
+            assert!((0.0..1.0).contains(&d));
+            assert!(d > 0.0, "the candidate must also cost the residents something");
+        }
+    }
+
+    #[test]
+    fn disjoint_nodes_interfere_less_than_shared_nodes() {
+        let amd = machines::amd_opteron_6272();
+        let (candidate, other_half) = half_node_candidate("streamcluster");
+        let resident = resident_stand_in();
+        // Residents far away (node 2) vs on the candidate's own node.
+        let mut far = OccupancyMap::new(&amd);
+        far.reserve(&amd.threads_on_node(NodeId(2))[..4]).unwrap();
+        let mut near = OccupancyMap::new(&amd);
+        near.reserve(&other_half).unwrap();
+        let cfg = noise_free();
+        let far_report = simulate_co_location(
+            &amd,
+            &candidate,
+            &residents_from_occupancy(&amd, &far, &resident),
+            &cfg,
+            0,
+        );
+        let near_report = simulate_co_location(
+            &amd,
+            &candidate,
+            &residents_from_occupancy(&amd, &near, &resident),
+            &cfg,
+            0,
+        );
+        assert!(
+            near_report.candidate_penalty() < far_report.candidate_penalty(),
+            "near {} vs far {}",
+            near_report.candidate_penalty(),
+            far_report.candidate_penalty()
+        );
+        assert!(
+            far_report.candidate_penalty() > 0.999,
+            "node-disjoint, link-free residents should cost almost nothing: {}",
+            far_report.candidate_penalty()
+        );
+    }
+
+    #[test]
+    fn report_is_deterministic_with_noise_off() {
+        let amd = machines::amd_opteron_6272();
+        let spec = PlacementSpec::on_nodes(8, vec![NodeId(3)], 4);
+        let candidate = ContainerRun {
+            workload: workload_by_name("canneal").unwrap(),
+            assignment: assign_vcpus(&amd, &spec).unwrap(),
+        };
+        let mut occ = OccupancyMap::new(&amd);
+        occ.reserve(&amd.threads_on_node(NodeId(2))).unwrap();
+        let residents = residents_from_occupancy(&amd, &occ, &resident_stand_in());
+        let a = simulate_co_location(&amd, &candidate, &residents, &noise_free(), 0);
+        let b = simulate_co_location(&amd, &candidate, &residents, &noise_free(), 0);
+        assert_eq!(a.candidate_penalty(), b.candidate_penalty());
+        assert_eq!(a.resident_penalties(), b.resident_penalties());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Interference-adjusted scores are monotone in co-resident
+        /// load: reserving *more* neighbour threads on the candidate's
+        /// nodes never increases the candidate's penalty.
+        #[test]
+        fn penalty_is_monotone_in_co_resident_load(
+            extra in 1usize..8,
+            base in 0usize..7,
+        ) {
+            let amd = machines::amd_opteron_6272();
+            let (candidate, other_half) = half_node_candidate("streamcluster");
+            // Resident load grows over the candidate's own node first,
+            // then spills onto node 1.
+            let free: Vec<ThreadId> = other_half
+                .into_iter()
+                .chain(amd.threads_on_node(NodeId(1)))
+                .collect();
+            let lighter = base.min(free.len());
+            let heavier = (base + extra).min(free.len());
+            prop_assume!(heavier > lighter);
+
+            let cfg = noise_free();
+            let penalty_for = |n: usize| {
+                let mut occ = OccupancyMap::new(&amd);
+                occ.reserve(&free[..n]).unwrap();
+                let residents =
+                    residents_from_occupancy(&amd, &occ, &resident_stand_in());
+                simulate_co_location(&amd, &candidate, &residents, &cfg, 0)
+                    .candidate_penalty()
+            };
+            let light = penalty_for(lighter);
+            let heavy = penalty_for(heavier);
+            prop_assert!(
+                heavy <= light + 1e-9,
+                "more co-resident load increased the score: {} threads -> {}, {} threads -> {}",
+                lighter, light, heavier, heavy
+            );
+        }
+    }
+}

@@ -26,6 +26,18 @@ pub struct SimConfig {
     pub perf_noise: f64,
     /// Relative measurement noise on reported HPEs.
     pub hpe_noise: f64,
+    /// Report rates averaged over the last `tail_average` iterations
+    /// instead of the final iteration alone (`0` = final iteration,
+    /// the historical behaviour).
+    ///
+    /// The queueing feedback (rate → utilisation → latency → rate) can
+    /// ring for heavily contended runs, in which case the final
+    /// iteration is a mid-oscillation sample; a Cesàro tail average is
+    /// stable. Comparative probes — the co-location penalty
+    /// measurement in [`crate::colocation`] — need this; the absolute
+    /// oracle measurements keep `0` so the trained-corpus numbers stay
+    /// reproducible.
+    pub tail_average: usize,
 }
 
 impl Default for SimConfig {
@@ -35,6 +47,22 @@ impl Default for SimConfig {
             damping: 0.5,
             perf_noise: 0.01,
             hpe_noise: 0.12,
+            tail_average: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The configuration for *comparative* contention probes: noise
+    /// off, a longer, more strongly damped fixed point, and rates
+    /// tail-averaged so oscillation cannot masquerade as speed-up.
+    pub fn interference_probe() -> Self {
+        SimConfig {
+            iterations: 120,
+            damping: 0.3,
+            perf_noise: 0.0,
+            hpe_noise: 0.0,
+            tail_average: 60,
         }
     }
 }
@@ -238,8 +266,12 @@ pub fn simulate(machine: &Machine, runs: &[ContainerRun], cfg: &SimConfig, seed:
     let mut cpi_parts = vec![(0.0f64, 0.0f64, 0.0f64); threads.len()];
     let mut dram_util = vec![0.0f64; machine.num_nodes()];
     let mut link_util = vec![0.0f64; machine.interconnect().links().len()];
+    // Cesàro tail: mean rate over the last `tail_average` iterations
+    // (see [`SimConfig::tail_average`]); empty when disabled.
+    let tail = cfg.tail_average.min(cfg.iterations);
+    let mut rate_tail = vec![0.0f64; if tail > 0 { threads.len() } else { 0 }];
 
-    for _ in 0..cfg.iterations {
+    for it in 0..cfg.iterations {
         // Demands.
         let mut dram_load = vec![0.0f64; machine.num_nodes()];
         let mut link_load = vec![0.0f64; machine.interconnect().links().len()];
@@ -346,6 +378,16 @@ pub fn simulate(machine: &Machine, runs: &[ContainerRun], cfg: &SimConfig, seed:
             let new_rate = clock_hz / cpi;
             rate[i] = (1.0 - cfg.damping) * rate[i] + cfg.damping * new_rate;
             cpi_parts[i] = (cpi_core, cpi_mem, cpi_comm);
+        }
+        if tail > 0 && cfg.iterations - it <= tail {
+            for (acc, &r) in rate_tail.iter_mut().zip(&rate) {
+                *acc += r;
+            }
+        }
+    }
+    if tail > 0 {
+        for (r, acc) in rate.iter_mut().zip(&rate_tail) {
+            *r = acc / tail as f64;
         }
     }
 

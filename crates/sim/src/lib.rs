@@ -27,11 +27,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod colocation;
 pub mod engine;
 pub mod hpe;
 pub mod noise;
 pub mod oracle;
 pub mod os_sched;
 
+pub use colocation::{
+    resident_stand_in, residents_from_occupancy, simulate_co_location, CoLocationReport,
+};
 pub use engine::{simulate, ContainerPerf, ContainerRun, SimConfig, SimResult};
 pub use oracle::SimOracle;

@@ -1,11 +1,13 @@
 //! [`vc_core::model::PerfOracle`] implementation backed by the simulator.
 
 use vc_core::assign::assign_vcpus;
+use vc_core::interference::InterferenceOracle;
 use vc_core::model::PerfOracle;
 use vc_core::placement::PlacementSpec;
-use vc_topology::Machine;
+use vc_topology::{Machine, OccupancyMap, ThreadId};
 use vc_workloads::{generator, suite, Workload};
 
+use crate::colocation::{resident_stand_in, residents_from_occupancy, simulate_co_location};
 use crate::engine::{simulate, ContainerRun, SimConfig};
 use crate::hpe;
 use crate::noise::measurement_rng;
@@ -87,6 +89,38 @@ impl SimOracle {
     }
 }
 
+impl InterferenceOracle for SimOracle {
+    /// Simulates `workload` pinned to `threads` together with stand-in
+    /// residents derived from `occ` (one
+    /// [`resident_stand_in`] container
+    /// per occupied node) and returns co-located over solo throughput.
+    ///
+    /// The probe runs under [`SimConfig::interference_probe`]:
+    /// noise-free, fixed-seed, with a tail-averaged fixed point — the
+    /// penalty is a pure contention measurement, deterministic per
+    /// `(workload, threads, occupancy)`, which keeps memoized penalties
+    /// coherent across repeated queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` overlaps the occupancy's used threads
+    /// (callers score candidates *before* committing them) or names an
+    /// unknown workload.
+    fn co_location_penalty(&self, workload: &str, threads: &[ThreadId], occ: &OccupancyMap) -> f64 {
+        if occ.used_threads() == 0 {
+            return 1.0;
+        }
+        let candidate = ContainerRun {
+            workload: self.workload(workload).clone(),
+            assignment: threads.to_vec(),
+        };
+        let residents = residents_from_occupancy(&self.machine, occ, &resident_stand_in());
+        let probe_config = SimConfig::interference_probe();
+        simulate_co_location(&self.machine, &candidate, &residents, &probe_config, 0)
+            .candidate_penalty()
+    }
+}
+
 impl PerfOracle for SimOracle {
     fn perf(&self, workload: &str, spec: &PlacementSpec, seed: u64) -> f64 {
         self.run(workload, spec, seed).metric_value
@@ -141,6 +175,25 @@ mod tests {
         let spec = PlacementSpec::on_nodes(16, vec![NodeId(0), NodeId(1)], 8);
         assert!(o.perf("synth-0", &spec, 0) > 0.0);
         assert_eq!(o.workloads().len(), 18 + 4);
+    }
+
+    #[test]
+    fn co_location_penalty_is_idle_neutral_and_cached_deterministic() {
+        let amd = machines::amd_opteron_6272();
+        let o = SimOracle::new(amd.clone());
+        let threads = amd.threads_on_node(NodeId(0));
+        let occ = OccupancyMap::new(&amd);
+        assert_eq!(o.co_location_penalty("streamcluster", &threads, &occ), 1.0);
+
+        let mut busy = OccupancyMap::new(&amd);
+        busy.reserve(&amd.threads_on_node(NodeId(1))).unwrap();
+        let p = o.co_location_penalty("streamcluster", &threads, &busy);
+        assert!(p > 0.0 && p <= 1.0, "penalty out of range: {p}");
+        assert_eq!(
+            p,
+            o.co_location_penalty("streamcluster", &threads, &busy),
+            "noise-free probe must be deterministic"
+        );
     }
 
     #[test]

@@ -123,6 +123,8 @@ pub enum TopologyError {
     ZeroComponent(&'static str),
     /// The interconnect references a node that does not exist.
     DanglingLink(usize),
+    /// A per-node override references a node that does not exist.
+    UnknownNode(usize),
 }
 
 impl fmt::Display for TopologyError {
@@ -134,6 +136,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::DanglingLink(i) => {
                 write!(f, "interconnect link {i} references a missing node")
+            }
+            TopologyError::UnknownNode(n) => {
+                write!(f, "per-node override references missing node {n}")
             }
         }
     }
@@ -247,9 +252,19 @@ impl Machine {
         self.num_threads() / self.num_l3_groups()
     }
 
-    /// Hardware threads per NUMA node.
+    /// Hardware threads per NUMA node on *uniform* machines (the
+    /// placement-enumeration pipeline's balance assumption). On machines
+    /// with uneven nodes (see [`MachineBuilder::l2_groups_per_l3_on_node`])
+    /// this is the mean by integer division; occupancy accounting and
+    /// capacity summaries use [`Self::capacity_of_node`] instead.
     pub fn node_capacity(&self) -> usize {
         self.num_threads() / self.num_nodes()
+    }
+
+    /// Hardware threads on one specific node — exact even on machines
+    /// with uneven per-node thread counts.
+    pub fn capacity_of_node(&self, node: NodeId) -> usize {
+        self.threads.iter().filter(|t| t.node == node).count()
     }
 
     /// SMT ways: hardware threads per core.
@@ -302,43 +317,65 @@ impl Machine {
     /// ```
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |v: u64| {
+        for v in self.canonical_stream() {
             // FNV-1a over the 8 bytes of v.
             for i in 0..8 {
                 h ^= (v >> (i * 8)) & 0xff;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
-        };
-        mix(self.clock_ghz.to_bits());
-        mix(self.nodes.len() as u64);
-        mix(self.l3_groups.len() as u64);
-        mix(self.l2_groups.len() as u64);
-        mix(self.cores.len() as u64);
-        mix(self.threads.len() as u64);
+        }
+        h
+    }
+
+    /// Whether two machines share the exact hardware description the
+    /// fingerprint hashes (structure, clock, caches, latencies, DRAM
+    /// bandwidths, interconnect) — display names are ignored.
+    ///
+    /// `a.same_topology(&b)` implies `a.fingerprint() == b.fingerprint()`,
+    /// but not vice versa: the fingerprint is a 64-bit hash and can
+    /// collide. Code that groups machines by fingerprint (fleet classes,
+    /// per-topology caches) must confirm with this predicate before
+    /// treating two machines as interchangeable, otherwise a collision
+    /// silently serves one topology's artifacts to the other.
+    pub fn same_topology(&self, other: &Machine) -> bool {
+        self.canonical_stream() == other.canonical_stream()
+    }
+
+    /// The canonical field stream both [`Self::fingerprint`] and
+    /// [`Self::same_topology`] are defined over.
+    fn canonical_stream(&self) -> Vec<u64> {
+        let mut s: Vec<u64> = vec![
+            self.clock_ghz.to_bits(),
+            self.nodes.len() as u64,
+            self.l3_groups.len() as u64,
+            self.l2_groups.len() as u64,
+            self.cores.len() as u64,
+            self.threads.len() as u64,
+        ];
         for n in &self.nodes {
-            mix(n.package as u64);
-            mix(n.l3_groups.len() as u64);
-            mix(n.dram_bw_gbs.to_bits());
+            s.push(n.package as u64);
+            s.push(n.l3_groups.len() as u64);
+            s.push(n.dram_bw_gbs.to_bits());
         }
         for g in &self.l3_groups {
-            mix(g.node.index() as u64);
-            mix(g.l2_groups.len() as u64);
+            s.push(g.node.index() as u64);
+            s.push(g.l2_groups.len() as u64);
         }
         for g in &self.l2_groups {
-            mix(g.l3_group.index() as u64);
-            mix(g.cores.len() as u64);
+            s.push(g.l3_group.index() as u64);
+            s.push(g.cores.len() as u64);
         }
         for c in &self.cores {
-            mix(c.l2_group.index() as u64);
-            mix(c.threads.len() as u64);
+            s.push(c.l2_group.index() as u64);
+            s.push(c.threads.len() as u64);
         }
         for l in self.interconnect.links() {
-            mix(l.a.index() as u64);
-            mix(l.b.index() as u64);
-            mix(l.bandwidth_gbs.to_bits());
+            s.push(l.a.index() as u64);
+            s.push(l.b.index() as u64);
+            s.push(l.bandwidth_gbs.to_bits());
         }
-        mix(self.caches.l2_size_mib.to_bits());
-        mix(self.caches.l3_size_mib.to_bits());
+        s.push(self.caches.l2_size_mib.to_bits());
+        s.push(self.caches.l3_size_mib.to_bits());
         for lat in [
             self.latencies.l1_cycles,
             self.latencies.l2_cycles,
@@ -348,9 +385,9 @@ impl Machine {
             self.latencies.c2c_l3_cycles,
             self.latencies.c2c_remote_cycles,
         ] {
-            mix(lat.to_bits());
+            s.push(lat.to_bits());
         }
-        h
+        s
     }
 
     /// Validates internal consistency; machine constructors call this.
@@ -411,6 +448,9 @@ pub struct MachineBuilder {
     links: Vec<(usize, usize, f64)>,
     caches: CacheConfig,
     latencies: LatencyConfig,
+    /// Per-node overrides of `l2_per_l3` (node index → count), for
+    /// machines with fused-off or offline cache domains.
+    l2_per_l3_overrides: Vec<(usize, usize)>,
 }
 
 impl MachineBuilder {
@@ -428,6 +468,7 @@ impl MachineBuilder {
             threads_per_core: 1,
             dram_bw_gbs: 12.8,
             links: Vec::new(),
+            l2_per_l3_overrides: Vec::new(),
             caches: CacheConfig {
                 l2_size_mib: 0.5,
                 l3_size_mib: 16.0,
@@ -472,6 +513,18 @@ impl MachineBuilder {
     /// Sets the number of L2 groups per L3 group.
     pub fn l2_groups_per_l3(mut self, n: usize) -> Self {
         self.l2_per_l3 = n;
+        self
+    }
+
+    /// Overrides the number of L2 groups per L3 group on one node,
+    /// modelling hardware with fused-off or firmware-offlined cache
+    /// domains (real fleets contain such machines). The resulting
+    /// machine has *uneven per-node thread counts*: the
+    /// placement-enumeration pipeline assumes uniform machines, but the
+    /// occupancy/summary layers ([`crate::OccupancyMap`],
+    /// [`crate::CapacitySummary`]) account such nodes exactly.
+    pub fn l2_groups_per_l3_on_node(mut self, node: usize, n: usize) -> Self {
+        self.l2_per_l3_overrides.push((node, n));
         self
     }
 
@@ -545,6 +598,14 @@ impl MachineBuilder {
                 return Err(TopologyError::ZeroComponent(what));
             }
         }
+        for &(node, n) in &self.l2_per_l3_overrides {
+            if n == 0 {
+                return Err(TopologyError::ZeroComponent("L2 groups"));
+            }
+            if node >= num_nodes {
+                return Err(TopologyError::UnknownNode(node));
+            }
+        }
 
         let mut nodes = Vec::new();
         let mut l3_groups = Vec::new();
@@ -554,11 +615,18 @@ impl MachineBuilder {
 
         for ni in 0..num_nodes {
             let node_id = NodeId(ni);
+            let l2_per_l3_here = self
+                .l2_per_l3_overrides
+                .iter()
+                .rev()
+                .find(|&&(node, _)| node == ni)
+                .map(|&(_, n)| n)
+                .unwrap_or(self.l2_per_l3);
             let mut node_l3s = Vec::new();
             for _ in 0..self.l3_per_node {
                 let l3_id = L3GroupId(l3_groups.len());
                 let mut l3_l2s = Vec::new();
-                for _ in 0..self.l2_per_l3 {
+                for _ in 0..l2_per_l3_here {
                     let l2_id = L2GroupId(l2_groups.len());
                     let mut l2_cores = Vec::new();
                     for _ in 0..self.cores_per_l2 {
@@ -759,6 +827,78 @@ mod tests {
     fn fingerprint_is_stable_across_clones() {
         let m = toy();
         assert_eq!(m.fingerprint(), m.clone().fingerprint());
+    }
+
+    #[test]
+    fn same_topology_ignores_names_but_not_structure() {
+        let m = toy();
+        assert!(m.same_topology(&m.clone()));
+        let renamed = toy(); // builder re-run: same structure
+        assert!(m.same_topology(&renamed));
+        let different = MachineBuilder::new("toy")
+            .packages(2)
+            .nodes_per_package(2)
+            .l3_groups_per_node(1)
+            .l2_groups_per_l3(2)
+            .cores_per_l2(2)
+            .threads_per_core(1)
+            .link(0, 1, 4.0)
+            .link(2, 3, 4.0)
+            .link(0, 2, 2.0)
+            .link(1, 3, 9.0)
+            .build()
+            .unwrap();
+        assert!(!m.same_topology(&different));
+    }
+
+    #[test]
+    fn uneven_node_override_shrinks_one_node() {
+        let m = MachineBuilder::new("uneven")
+            .packages(2)
+            .nodes_per_package(1)
+            .l3_groups_per_node(1)
+            .l2_groups_per_l3(4)
+            .cores_per_l2(1)
+            .threads_per_core(2)
+            .l2_groups_per_l3_on_node(1, 2)
+            .link(0, 1, 12.8)
+            .build()
+            .unwrap();
+        assert_eq!(m.capacity_of_node(NodeId(0)), 8);
+        assert_eq!(m.capacity_of_node(NodeId(1)), 4);
+        assert_eq!(m.num_threads(), 12);
+        // The uniform mean under-reports node 0 — why occupancy uses
+        // capacity_of_node.
+        assert_eq!(m.node_capacity(), 6);
+        // Uneven structure changes the fingerprint.
+        let uniform = MachineBuilder::new("uneven")
+            .packages(2)
+            .nodes_per_package(1)
+            .l3_groups_per_node(1)
+            .l2_groups_per_l3(4)
+            .cores_per_l2(1)
+            .threads_per_core(2)
+            .link(0, 1, 12.8)
+            .build()
+            .unwrap();
+        assert_ne!(m.fingerprint(), uniform.fingerprint());
+        assert!(!m.same_topology(&uniform));
+    }
+
+    #[test]
+    fn bad_node_override_is_rejected() {
+        let err = MachineBuilder::new("bad")
+            .packages(2)
+            .l2_groups_per_l3_on_node(7, 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::UnknownNode(7));
+        let err = MachineBuilder::new("bad")
+            .packages(2)
+            .l2_groups_per_l3_on_node(0, 0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::ZeroComponent("L2 groups"));
     }
 
     #[test]

@@ -98,10 +98,11 @@ pub struct OccupancyMap {
     used_per_node: Vec<usize>,
     /// Reserved threads per L2 group.
     used_per_l2: Vec<usize>,
-    /// Threads per node (uniform machines).
-    node_capacity: usize,
-    /// Threads per L2 group.
-    l2_capacity: usize,
+    /// Threads per node, indexed by [`NodeId`] — exact even on machines
+    /// with uneven per-node thread counts.
+    cap_per_node: Vec<usize>,
+    /// Threads per L2 group, indexed by [`L2GroupId`].
+    cap_per_l2: Vec<usize>,
     /// Total reserved threads.
     used_total: usize,
 }
@@ -110,14 +111,23 @@ impl OccupancyMap {
     /// An all-free map for `machine`.
     pub fn new(machine: &Machine) -> Self {
         let threads = machine.threads();
+        // Derive per-node / per-L2 capacities from the actual thread
+        // metadata rather than assuming uniform machines: machines with
+        // offline cache domains have uneven nodes.
+        let mut cap_per_node = vec![0; machine.num_nodes()];
+        let mut cap_per_l2 = vec![0; machine.num_l2_groups()];
+        for t in threads {
+            cap_per_node[t.node.index()] += 1;
+            cap_per_l2[t.l2_group.index()] += 1;
+        }
         OccupancyMap {
             used: vec![false; threads.len()],
             node_of: threads.iter().map(|t| t.node).collect(),
             l2_of: threads.iter().map(|t| t.l2_group).collect(),
             used_per_node: vec![0; machine.num_nodes()],
             used_per_l2: vec![0; machine.num_l2_groups()],
-            node_capacity: machine.node_capacity(),
-            l2_capacity: machine.l2_capacity(),
+            cap_per_node,
+            cap_per_l2,
             used_total: 0,
         }
     }
@@ -147,14 +157,27 @@ impl OccupancyMap {
         self.used_per_l2.len()
     }
 
-    /// Hardware threads per node.
+    /// Hardware threads on the largest node (on uniform machines, every
+    /// node's capacity). Prefer [`Self::capacity_of_node`] — it is exact
+    /// on machines with uneven per-node thread counts.
     pub fn node_capacity(&self) -> usize {
-        self.node_capacity
+        self.cap_per_node.iter().copied().max().unwrap_or(0)
     }
 
-    /// Hardware threads per L2 group.
+    /// Hardware threads in the largest L2 group. Prefer
+    /// [`Self::capacity_of_l2`] on machines with uneven domains.
     pub fn l2_capacity(&self) -> usize {
-        self.l2_capacity
+        self.cap_per_l2.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Hardware threads on `node`.
+    pub fn capacity_of_node(&self, node: NodeId) -> usize {
+        self.cap_per_node[node.index()]
+    }
+
+    /// Hardware threads in L2 group `l2`.
+    pub fn capacity_of_l2(&self, l2: L2GroupId) -> usize {
+        self.cap_per_l2[l2.index()]
     }
 
     /// Whether `thread` is currently free.
@@ -169,7 +192,7 @@ impl OccupancyMap {
 
     /// Free threads on `node`.
     pub fn free_on_node(&self, node: NodeId) -> usize {
-        self.node_capacity - self.used_per_node[node.index()]
+        self.cap_per_node[node.index()] - self.used_per_node[node.index()]
     }
 
     /// Reserved threads in L2 group `l2`.
@@ -179,7 +202,7 @@ impl OccupancyMap {
 
     /// Free threads in L2 group `l2`.
     pub fn free_in_l2(&self, l2: L2GroupId) -> usize {
-        self.l2_capacity - self.used_per_l2[l2.index()]
+        self.cap_per_l2[l2.index()] - self.used_per_l2[l2.index()]
     }
 
     /// Whether `node` is completely untouched (no reservations).
@@ -192,7 +215,7 @@ impl OccupancyMap {
         self.used_per_node
             .iter()
             .enumerate()
-            .map(|(i, &u)| (NodeId(i), u, self.node_capacity))
+            .map(|(i, &u)| (NodeId(i), u, self.cap_per_node[i]))
             .collect()
     }
 
@@ -203,7 +226,7 @@ impl OccupancyMap {
             .used_per_node
             .iter()
             .enumerate()
-            .max_by_key(|&(i, &u)| (u, std::cmp::Reverse(i)))
+            .min_by_key(|&(i, &u)| (self.cap_per_node[i] - u, i))
             .map(|(i, _)| i)
             .unwrap_or(0);
         NodeId(i)
@@ -264,7 +287,7 @@ impl fmt::Display for OccupancyMap {
             .used_per_node
             .iter()
             .enumerate()
-            .map(|(i, u)| format!("N{i}:{u}/{}", self.node_capacity))
+            .map(|(i, u)| format!("N{i}:{u}/{}", self.cap_per_node[i]))
             .collect();
         write!(
             f,
@@ -381,6 +404,34 @@ mod tests {
         occ.reserve(&m.threads_on_node(NodeId(5))).unwrap();
         occ.reserve(&[ThreadId(0)]).unwrap();
         assert_eq!(occ.most_exhausted_node(), NodeId(5));
+    }
+
+    #[test]
+    fn uneven_machines_account_per_node_capacities_exactly() {
+        // Node 1 has half its L2 domains offline: 4 threads vs node 0's 8.
+        let m = crate::machine::MachineBuilder::new("uneven")
+            .packages(2)
+            .nodes_per_package(1)
+            .l3_groups_per_node(1)
+            .l2_groups_per_l3(4)
+            .cores_per_l2(1)
+            .threads_per_core(2)
+            .l2_groups_per_l3_on_node(1, 2)
+            .link(0, 1, 12.8)
+            .build()
+            .unwrap();
+        let mut occ = OccupancyMap::new(&m);
+        assert_eq!(occ.capacity_of_node(NodeId(0)), 8);
+        assert_eq!(occ.capacity_of_node(NodeId(1)), 4);
+        assert_eq!(occ.free_on_node(NodeId(0)), 8);
+        assert_eq!(occ.free_on_node(NodeId(1)), 4);
+        // Fill node 1 entirely; node 0 keeps its full 8 free (the old
+        // uniform-capacity accounting reported 6 for both).
+        occ.reserve(&m.threads_on_node(NodeId(1))).unwrap();
+        assert_eq!(occ.free_on_node(NodeId(1)), 0);
+        assert_eq!(occ.free_on_node(NodeId(0)), 8);
+        assert_eq!(occ.most_exhausted_node(), NodeId(1));
+        assert!(occ.to_string().contains("N1:4/4"), "{occ}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! A fleet of hundreds of hosts cannot afford to take every host's
 //! occupancy mutex just to discover that the host is full. A
 //! [`CapacitySummary`] is the lock-free companion of an
-//! [`OccupancyMap`]: per-node free-thread counts in
+//! [`OccupancyMap`]: per-node and per-L2-domain free-thread counts in
 //! atomics, published by whoever mutates the occupancy (commit/release)
 //! and read by anyone without synchronisation.
 //!
@@ -16,6 +16,12 @@
 //! correctly published summary never hides free capacity forever: after
 //! the in-flight mutation publishes, readers see the truth again.
 //!
+//! Capacities are derived **per node** (and per L2 group) from the
+//! [`Machine`], not assumed uniform: machines with fused-off cache
+//! domains have uneven nodes, and a uniform-capacity summary would
+//! mis-admit requests on the small nodes while hiding free threads on
+//! the large ones.
+//!
 //! # Examples
 //!
 //! ```
@@ -25,6 +31,7 @@
 //! let summary = CapacitySummary::new(&amd);
 //! assert_eq!(summary.free_threads(), 64);
 //! assert!(summary.can_host(4, 8)); // 4 nodes × 8 threads/node
+//! assert!(summary.can_host_l2(16, 2)); // 16 modules × 2 threads each
 //!
 //! // Reserve node 0 in the occupancy map, then publish the new state.
 //! let mut occ = OccupancyMap::new(&amd);
@@ -37,32 +44,45 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::ids::NodeId;
+use crate::ids::{L2GroupId, NodeId};
 use crate::machine::Machine;
 use crate::occupancy::OccupancyMap;
 
-/// Lock-free snapshot of a host's free capacity, per NUMA node.
+/// Lock-free snapshot of a host's free capacity, per NUMA node and per
+/// L2 domain.
 ///
 /// See the [module documentation](self) for the staleness contract.
 #[derive(Debug)]
 pub struct CapacitySummary {
     /// Free threads per node, indexed by [`NodeId`].
     free_per_node: Vec<AtomicUsize>,
+    /// Free threads per L2 group, indexed by [`L2GroupId`].
+    free_per_l2: Vec<AtomicUsize>,
     /// Total free threads (kept consistent with `free_per_node` by
     /// publishers; readers may observe the two mid-publish).
     free_total: AtomicUsize,
-    /// Threads per node (uniform machines).
-    node_capacity: usize,
+    /// Threads per node, indexed by [`NodeId`] (derived from the
+    /// machine, exact on uneven machines).
+    cap_per_node: Vec<usize>,
+    /// Threads per L2 group, indexed by [`L2GroupId`].
+    cap_per_l2: Vec<usize>,
 }
 
 impl CapacitySummary {
     /// An all-free summary for `machine`.
     pub fn new(machine: &Machine) -> Self {
-        let cap = machine.node_capacity();
+        let mut cap_per_node = vec![0usize; machine.num_nodes()];
+        let mut cap_per_l2 = vec![0usize; machine.num_l2_groups()];
+        for t in machine.threads() {
+            cap_per_node[t.node.index()] += 1;
+            cap_per_l2[t.l2_group.index()] += 1;
+        }
         CapacitySummary {
-            free_per_node: (0..machine.num_nodes()).map(|_| AtomicUsize::new(cap)).collect(),
+            free_per_node: cap_per_node.iter().map(|&c| AtomicUsize::new(c)).collect(),
+            free_per_l2: cap_per_l2.iter().map(|&c| AtomicUsize::new(c)).collect(),
             free_total: AtomicUsize::new(machine.num_threads()),
-            node_capacity: cap,
+            cap_per_node,
+            cap_per_l2,
         }
     }
 
@@ -71,14 +91,36 @@ impl CapacitySummary {
         self.free_per_node.len()
     }
 
-    /// Hardware threads per node.
+    /// Number of L2 groups tracked.
+    pub fn num_l2_groups(&self) -> usize {
+        self.free_per_l2.len()
+    }
+
+    /// Hardware threads on the largest node (on uniform machines, every
+    /// node's capacity). Prefer [`Self::capacity_of_node`] — it is
+    /// exact on machines with uneven per-node thread counts.
     pub fn node_capacity(&self) -> usize {
-        self.node_capacity
+        self.cap_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Hardware threads on one specific node.
+    pub fn capacity_of_node(&self, node: NodeId) -> usize {
+        self.cap_per_node[node.index()]
+    }
+
+    /// Hardware threads in one specific L2 group.
+    pub fn capacity_of_l2(&self, l2: L2GroupId) -> usize {
+        self.cap_per_l2[l2.index()]
     }
 
     /// Free threads on `node` as of the last publish.
     pub fn free_on_node(&self, node: NodeId) -> usize {
         self.free_per_node[node.index()].load(Ordering::Acquire)
+    }
+
+    /// Free threads in L2 group `l2` as of the last publish.
+    pub fn free_in_l2(&self, l2: L2GroupId) -> usize {
+        self.free_per_l2[l2.index()].load(Ordering::Acquire)
     }
 
     /// Total free threads as of the last publish.
@@ -94,6 +136,14 @@ impl CapacitySummary {
             .count()
     }
 
+    /// Number of L2 groups with at least `per_l2` free threads.
+    pub fn l2s_with_free(&self, per_l2: usize) -> usize {
+        self.free_per_l2
+            .iter()
+            .filter(|g| g.load(Ordering::Acquire) >= per_l2)
+            .count()
+    }
+
     /// Whether a balanced placement needing `n_nodes` nodes with
     /// `per_node` threads each could *possibly* fit. `true` is a hint
     /// (the authoritative check happens under the occupancy lock);
@@ -102,15 +152,29 @@ impl CapacitySummary {
         self.nodes_with_free(per_node) >= n_nodes
     }
 
-    /// Publishes the occupancy map's current per-node free counts.
+    /// Whether a placement needing `n_l2` L2 groups with `per_l2`
+    /// threads each could *possibly* fit — the L2-granular companion of
+    /// [`Self::can_host`], for shapes constrained by cache domains
+    /// rather than node totals (e.g. one-vCPU-per-module classes on a
+    /// host whose nodes have free threads only in busy modules).
+    pub fn can_host_l2(&self, n_l2: usize, per_l2: usize) -> bool {
+        self.l2s_with_free(per_l2) >= n_l2
+    }
+
+    /// Publishes the occupancy map's current per-node and per-L2 free
+    /// counts.
     ///
     /// Callers mutate the `OccupancyMap` under its lock and publish
     /// before unlocking, so the summary lags the map by at most one
     /// in-flight critical section.
     pub fn publish(&self, occ: &OccupancyMap) {
         debug_assert_eq!(occ.num_nodes(), self.free_per_node.len());
+        debug_assert_eq!(occ.num_l2_groups(), self.free_per_l2.len());
         for (i, slot) in self.free_per_node.iter().enumerate() {
             slot.store(occ.free_on_node(NodeId(i)), Ordering::Release);
+        }
+        for (i, slot) in self.free_per_l2.iter().enumerate() {
+            slot.store(occ.free_in_l2(L2GroupId(i)), Ordering::Release);
         }
         self.free_total.store(occ.free_threads(), Ordering::Release);
     }
@@ -119,6 +183,14 @@ impl CapacitySummary {
 /// Groups machines by [`Machine::fingerprint`]: each returned entry is
 /// one *machine class* — `(fingerprint, indices of the machines in the
 /// input with that fingerprint)` — in first-seen order.
+///
+/// The fingerprint is a 64-bit hash, so two structurally different
+/// machines *can* collide. Joining an existing class therefore verifies
+/// [`Machine::same_topology`] against the class representative; on
+/// mismatch the machine starts a class of its own (two classes may then
+/// report the same fingerprint value). Without the check a collision
+/// would silently alias two topologies into one class and serve one
+/// topology's catalogs and models to the other's hosts.
 ///
 /// Fleet-scale services use the classes to share per-topology artifacts
 /// (catalogs, trained models) across identical hosts and to score a
@@ -143,20 +215,48 @@ impl CapacitySummary {
 /// assert_eq!(classes[1].1, vec![1]);
 /// ```
 pub fn group_by_fingerprint(machines: &[Machine]) -> Vec<(u64, Vec<usize>)> {
-    let mut classes: Vec<(u64, Vec<usize>)> = Vec::new();
+    group_by_key(machines, Machine::fingerprint)
+}
+
+/// [`group_by_fingerprint`] with an injectable key function: machines
+/// join a class only when both the key *and* the structural topology
+/// match. Exposed so collision handling is testable (a doctored key
+/// function can force every machine onto one key) and so alternative —
+/// e.g. shorter — hashes inherit the same safety.
+///
+/// # Examples
+///
+/// ```
+/// use vc_topology::{machines, summary::group_by_key};
+///
+/// // A pathological 1-bucket "hash": structural verification still
+/// // separates the two machine models.
+/// let fleet = vec![machines::amd_opteron_6272(), machines::zen_like()];
+/// let classes = group_by_key(&fleet, |_| 42);
+/// assert_eq!(classes.len(), 2);
+/// assert_eq!(classes[0].0, 42);
+/// assert_eq!(classes[1].0, 42);
+/// ```
+pub fn group_by_key(machines: &[Machine], key: impl Fn(&Machine) -> u64) -> Vec<(u64, Vec<usize>)> {
+    // (key, representative index, members)
+    let mut classes: Vec<(u64, usize, Vec<usize>)> = Vec::new();
     for (i, m) in machines.iter().enumerate() {
-        let fp = m.fingerprint();
-        match classes.iter_mut().find(|(f, _)| *f == fp) {
-            Some((_, members)) => members.push(i),
-            None => classes.push((fp, vec![i])),
+        let k = key(m);
+        match classes
+            .iter_mut()
+            .find(|(ck, rep, _)| *ck == k && machines[*rep].same_topology(m))
+        {
+            Some((_, _, members)) => members.push(i),
+            None => classes.push((k, i, vec![i])),
         }
     }
-    classes
+    classes.into_iter().map(|(k, _, members)| (k, members)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::MachineBuilder;
     use crate::machines;
 
     #[test]
@@ -168,8 +268,13 @@ mod tests {
         for n in 0..m.num_nodes() {
             assert_eq!(s.free_on_node(NodeId(n)), occ.free_on_node(NodeId(n)));
         }
+        for g in 0..m.num_l2_groups() {
+            assert_eq!(s.free_in_l2(L2GroupId(g)), occ.free_in_l2(L2GroupId(g)));
+        }
         assert_eq!(s.nodes_with_free(8), 8);
         assert_eq!(s.nodes_with_free(9), 0);
+        assert_eq!(s.l2s_with_free(2), 32);
+        assert_eq!(s.l2s_with_free(3), 0);
     }
 
     #[test]
@@ -184,10 +289,70 @@ mod tests {
         assert_eq!(s.free_threads(), 56);
         assert!(!s.can_host(8, 1));
         assert!(s.can_host(7, 8));
+        // Node 1's four modules are full; the other 28 still have room.
+        assert_eq!(s.l2s_with_free(1), 28);
+        assert!(!s.can_host_l2(32, 1));
+        assert!(s.can_host_l2(28, 2));
         occ.release(&node1).unwrap();
         s.publish(&occ);
         assert_eq!(s.free_threads(), 64);
         assert!(s.can_host(8, 8));
+        assert!(s.can_host_l2(32, 2));
+    }
+
+    #[test]
+    fn l2_counters_catch_fragmentation_node_counts_miss() {
+        // Reserve one thread in every module of node 0: the node still
+        // has 4 free threads, but no module can host a 2-thread share.
+        let m = machines::amd_opteron_6272();
+        let s = CapacitySummary::new(&m);
+        let mut occ = OccupancyMap::new(&m);
+        let one_per_module: Vec<_> = m
+            .threads_on_node(NodeId(0))
+            .into_iter()
+            .step_by(2)
+            .collect();
+        occ.reserve(&one_per_module).unwrap();
+        s.publish(&occ);
+        assert_eq!(s.free_on_node(NodeId(0)), 4);
+        assert!(s.can_host(1, 4), "node-level count admits the host");
+        // …but an L2-constrained shape (4 modules × 2 threads on one
+        // node) is impossible, which only the L2 counters can see.
+        assert_eq!(s.l2s_with_free(2), 28);
+        assert!(!s.can_host_l2(32, 2));
+    }
+
+    #[test]
+    fn uneven_machines_summarise_per_node_capacities() {
+        let m = MachineBuilder::new("uneven")
+            .packages(2)
+            .nodes_per_package(1)
+            .l3_groups_per_node(1)
+            .l2_groups_per_l3(4)
+            .cores_per_l2(1)
+            .threads_per_core(2)
+            .l2_groups_per_l3_on_node(1, 2)
+            .link(0, 1, 12.8)
+            .build()
+            .unwrap();
+        let s = CapacitySummary::new(&m);
+        // Exact per-node capacities: the uniform mean (6) would both
+        // hide node 0's two extra threads (mis-skip) and invent two
+        // threads on node 1 (mis-admit).
+        assert_eq!(s.capacity_of_node(NodeId(0)), 8);
+        assert_eq!(s.capacity_of_node(NodeId(1)), 4);
+        assert_eq!(s.free_on_node(NodeId(0)), 8);
+        assert_eq!(s.free_on_node(NodeId(1)), 4);
+        assert!(s.can_host(1, 8), "node 0's full 8 threads are visible");
+        assert!(!s.can_host(2, 5), "node 1 cannot pretend to hold 5");
+        assert_eq!(s.node_capacity(), 8);
+        // Publishing a real occupancy keeps the counts exact.
+        let mut occ = OccupancyMap::new(&m);
+        occ.reserve(&m.threads_on_node(NodeId(1))).unwrap();
+        s.publish(&occ);
+        assert_eq!(s.free_on_node(NodeId(1)), 0);
+        assert_eq!(s.free_on_node(NodeId(0)), 8);
+        assert_eq!(s.free_threads(), 8);
     }
 
     #[test]
@@ -221,5 +386,26 @@ mod tests {
         assert_eq!(classes[1].1, vec![1]);
         assert_eq!(classes[2].1, vec![3]);
         assert_eq!(classes[0].0, fleet[0].fingerprint());
+    }
+
+    #[test]
+    fn forced_key_collisions_are_split_by_structure() {
+        // Doctored key: every machine hashes to the same bucket. The
+        // structural check must still produce one class per topology,
+        // with same-topology machines joined.
+        let fleet = vec![
+            machines::amd_opteron_6272(),
+            machines::intel_xeon_e7_4830_v3(),
+            machines::amd_opteron_6272(),
+            machines::zen_like(),
+        ];
+        let classes = group_by_key(&fleet, |_| 0xdead_beef);
+        assert_eq!(classes.len(), 3, "collision aliased distinct topologies");
+        assert_eq!(classes[0].1, vec![0, 2]);
+        assert_eq!(classes[1].1, vec![1]);
+        assert_eq!(classes[2].1, vec![3]);
+        for (k, _) in &classes {
+            assert_eq!(*k, 0xdead_beef);
+        }
     }
 }
