@@ -9,6 +9,16 @@
 //! 100× bigger fleet is allowed to be somewhat slower per batch (it
 //! walks 100× more summaries) but nowhere near 100×.
 //!
+//! Two follow-on measurements ride along:
+//!
+//! * **BestScore offers** — class-ranked commitment realises dry-run
+//!   offers lazily, so `EngineStats::offers` must stay near the batch
+//!   size even on the 1000-host fleet (the pre-ranking engine offered
+//!   every admitted host);
+//! * **rebalance-on variants** — a resident population is left in
+//!   place, then one `rebalance()` pass is timed and its
+//!   migration/moved-GB counters recorded.
+//!
 //! Prints one JSON line per configuration (recorded in
 //! `BENCH_engine_fleet.json` at the repo root) before the timed
 //! criterion sections.
@@ -16,17 +26,28 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
-use vc_engine::{BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest};
+use vc_engine::{
+    BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest, RebalancePolicy,
+};
 use vc_topology::machines;
 
 /// A fleet of `hosts` machines drawn from 3 machine classes (AMD,
 /// Zen-like, Intel — AMD twice as common), trimmed corpus so the cold
 /// path stays benchable.
 fn build_fleet(hosts: usize, interference: bool) -> PlacementEngine {
+    build_fleet_with(hosts, interference, None)
+}
+
+fn build_fleet_with(
+    hosts: usize,
+    interference: bool,
+    degradation_budget: Option<f64>,
+) -> PlacementEngine {
     let mut engine = PlacementEngine::new(EngineConfig {
         n_seeds: 2,
         extra_synthetic: 0,
         interference,
+        degradation_budget,
         ..EngineConfig::default()
     });
     for i in 0..hosts {
@@ -55,7 +76,7 @@ fn run_batch(engine: &PlacementEngine, reqs: &[PlacementRequest]) -> usize {
     let placed: Vec<_> = decisions.iter().filter_map(|d| d.placed().cloned()).collect();
     // Release so the fleet is empty again for the next batch.
     for p in &placed {
-        engine.release(p);
+        engine.release(p).unwrap();
     }
     placed.len()
 }
@@ -110,6 +131,79 @@ fn record(hosts: usize, reqs: &[PlacementRequest], interference: bool) -> Placem
     engine
 }
 
+/// BestScore offer accounting: class-ranked commitment must realise a
+/// near-constant number of dry-run offers per request, independent of
+/// host count (the pre-ranking engine dry-ran every admitted host).
+fn record_offers(hosts: usize, reqs: &[PlacementRequest]) {
+    let engine = build_fleet(hosts, false);
+    let decisions = engine.place_batch(reqs, BatchStrategy::BestScore);
+    let placed: Vec<_> = decisions.iter().filter_map(|d| d.placed().cloned()).collect();
+    let stats = engine.stats();
+    println!(
+        "{{\"bench\":\"engine_fleet\",\"variant\":\"best_score_offers\",\
+         \"hosts\":{hosts},\"requests\":{},\"placed\":{},\
+         \"offers\":{},\"summary_admits\":{},\"summary_skips\":{}}}",
+        reqs.len(),
+        placed.len(),
+        stats.offers,
+        stats.summary.admits,
+        stats.summary.skips,
+    );
+    assert!(
+        stats.offers < stats.summary.admits + stats.summary.skips + 1 + hosts as u64,
+        "offers must not revert to one per host"
+    );
+    for p in &placed {
+        engine.release(p).unwrap();
+    }
+}
+
+/// Half-node containers that first-fit stacks two per node onto the
+/// first host — the co-location pathology the rebalance pass unwinds.
+fn resident_stream() -> Vec<PlacementRequest> {
+    let workloads = ["streamcluster", "WTbtree"];
+    (0..16)
+        .map(|i| {
+            PlacementRequest::new(workloads[i % workloads.len()], 4).with_probe_seed(i as u64)
+        })
+        .collect()
+}
+
+/// Rebalance-on variant: a resident population is committed and left
+/// in place, then one pass is measured — scan cost, migrations, moved
+/// GB (the scan simulates only on cold penalty misses, so a second
+/// pass is almost pure cache reads).
+fn record_rebalance(hosts: usize, reqs: &[PlacementRequest]) -> (PlacementEngine, RebalancePolicy) {
+    let engine = build_fleet_with(hosts, true, Some(0.01));
+    let decisions = engine.place_batch(reqs, BatchStrategy::FirstFit);
+    let placed = decisions.iter().filter(|d| d.placed().is_some()).count();
+    let policy = RebalancePolicy::default();
+    let t0 = Instant::now();
+    let report = engine.rebalance(&policy);
+    let pass_s = t0.elapsed().as_secs_f64();
+    println!(
+        "{{\"bench\":\"engine_fleet\",\"variant\":\"rebalance\",\
+         \"hosts\":{hosts},\"residents\":{placed},\"pass_s\":{pass_s:.4},\
+         \"scanned\":{},\"over_budget\":{},\"migrations\":{},\
+         \"blocked_by_cost\":{},\"blocked_no_target\":{},\
+         \"moved_gb\":{:.2},\"frozen_s\":{:.2},\
+         \"degradation_before\":{:.4},\"degradation_after\":{:.4}}}",
+        report.scanned,
+        report.over_budget,
+        report.migrations.len(),
+        report.blocked_by_cost,
+        report.blocked_no_target,
+        report.moved_gb(),
+        report.frozen_s(),
+        report.mean_degradation_before(),
+        report.mean_degradation_after(),
+    );
+    // Every resident is examined at least once; residents migrated to a
+    // later host in the same pass are re-examined in their new home.
+    assert!(report.scanned >= placed, "{} < {placed}", report.scanned);
+    (engine, policy)
+}
+
 fn bench(c: &mut Criterion) {
     let reqs = request_stream();
 
@@ -120,6 +214,14 @@ fn bench(c: &mut Criterion) {
     // cache hit, so the warm path stays off the simulator.
     let small_intf = record(10, &reqs, true);
     let large_intf = record(1000, &reqs, true);
+    // Class-ranked BestScore offer accounting at both fleet sizes.
+    record_offers(10, &reqs);
+    record_offers(1000, &reqs);
+    // Rebalance-on variants: a stacked half-node population is
+    // committed, then one pass is measured.
+    let residents = resident_stream();
+    let (small_reb, policy) = record_rebalance(10, &residents);
+    let (large_reb, _) = record_rebalance(1000, &residents);
 
     let mut group = c.benchmark_group("place_batch_fleet");
     group.sample_size(5);
@@ -134,6 +236,14 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("warm_16req_1000hosts_interference", |b| {
         b.iter(|| black_box(run_batch(&large_intf, &reqs)))
+    });
+    // Warm rebalance passes: penalties are memoized, so these measure
+    // the scan itself (snapshots + cache reads), not the simulator.
+    group.bench_function("rebalance_pass_10hosts", |b| {
+        b.iter(|| black_box(small_reb.rebalance(&policy).scanned))
+    });
+    group.bench_function("rebalance_pass_1000hosts", |b| {
+        b.iter(|| black_box(large_reb.rebalance(&policy).scanned))
     });
     group.finish();
 }

@@ -43,7 +43,7 @@ fn run_batch(engine: &PlacementEngine, reqs: &[PlacementRequest]) -> usize {
     let placed: Vec<_> = decisions.iter().filter_map(|d| d.placed().cloned()).collect();
     // Release so the fleet is empty again for the next batch.
     for p in &placed {
-        engine.release(p);
+        engine.release(p).unwrap();
     }
     placed.len()
 }

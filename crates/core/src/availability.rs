@@ -221,6 +221,52 @@ impl AvailabilityIndex {
         Self::realise(&self.orbits[class_index], machine, occ)
     }
 
+    /// *Every* currently-hostable realisation of the class at catalog
+    /// position `class_index`, cheapest fragmentation first — the head
+    /// is what [`Self::retarget`] picks. Admission only ever needs that
+    /// head; a rebalancer hunting the least-interfering node set on a
+    /// busy machine needs the whole list, because fragmentation
+    /// preference and interference avoidance can disagree (the
+    /// fragmentation-first choice is precisely the set next to the
+    /// noisy neighbour).
+    pub fn realisations(
+        &self,
+        class_index: usize,
+        machine: &Machine,
+        occ: &OccupancyMap,
+    ) -> Vec<AvailablePlacement> {
+        let orbit = &self.orbits[class_index];
+        let mut fitting: Vec<(usize, &Vec<NodeId>)> = orbit
+            .node_sets
+            .iter()
+            .filter(|set| set.iter().all(|&nd| occ.free_on_node(nd) >= orbit.per_node))
+            .map(|set| {
+                let pristine = set.iter().filter(|&&nd| occ.node_is_pristine(nd)).count();
+                (pristine, set)
+            })
+            .collect();
+        fitting.sort();
+        fitting
+            .into_iter()
+            .filter_map(|(pristine, set)| {
+                let spec = PlacementSpec::new(
+                    orbit.spec.vcpus,
+                    set.clone(),
+                    orbit.spec.l3_groups_used,
+                    orbit.spec.l2_groups_used,
+                );
+                assign_vcpus_in(machine, &spec, occ)
+                    .ok()
+                    .map(|threads| AvailablePlacement {
+                        id: orbit.id,
+                        spec,
+                        threads,
+                        pristine_consumed: pristine,
+                    })
+            })
+            .collect()
+    }
+
     /// Picks the cheapest-fragmentation free node set of one orbit:
     /// fewest pristine nodes broken open, ties towards the
     /// lexicographically smallest set.
@@ -505,6 +551,34 @@ mod tests {
             assert_eq!(r.num_l2, ip.spec.l2_groups_used);
             assert_eq!(r.per_l2, ip.spec.vcpus / ip.spec.l2_groups_used);
             assert_eq!(r.num_l2 * r.per_l2, ip.spec.vcpus);
+        }
+    }
+
+    #[test]
+    fn realisations_list_every_hostable_set_head_first() {
+        let (amd, cs, ips) = amd_setup();
+        let index = AvailabilityIndex::build(&amd, &cs, &ips);
+        let mut occ = OccupancyMap::new(&amd);
+        occ.reserve(&amd.threads_on_node(NodeId(0))).unwrap();
+        for (i, ip) in ips.iter().enumerate() {
+            let all = index.realisations(i, &amd, &occ);
+            match index.retarget(i, &amd, &occ) {
+                Some(head) => {
+                    assert_eq!(all[0].spec, head.spec, "class {} head diverged", ip.id);
+                    assert_eq!(all[0].threads, head.threads);
+                    // Every listed set is genuinely free and in-orbit.
+                    for ap in &all {
+                        assert_eq!(ap.id, ip.id);
+                        assert!(ap.threads.iter().all(|&t| occ.is_free(t)));
+                        assert!(index.orbits()[i].node_sets.contains(&ap.spec.nodes));
+                    }
+                    // Fragmentation order is respected.
+                    for w in all.windows(2) {
+                        assert!(w[0].pristine_consumed <= w[1].pristine_consumed);
+                    }
+                }
+                None => assert!(all.is_empty(), "class {} hostable but retarget None", ip.id),
+            }
         }
     }
 

@@ -9,7 +9,9 @@ use vc_core::concern::ConcernSet;
 use vc_core::important::{
     important_placements_from_packings, surviving_packings, ImportantPlacement,
 };
-use vc_core::interference::{InterferenceCounters, InterferenceModel, SharedInterferenceOracle};
+use vc_core::interference::{
+    InterferenceCounters, InterferenceModel, ResidentWorkload, SharedInterferenceOracle,
+};
 use vc_core::model::{
     select_probe_pair, PerfOracle, PerfPairModel, SharedOracle, TrainingSet, TrainingWorkload,
 };
@@ -79,6 +81,15 @@ pub struct EngineConfig {
     /// interference machinery is never consulted
     /// ([`EngineStats::interference`] stays zero).
     pub interference: bool,
+    /// Per-resident predicted-degradation budget for
+    /// [`PlacementEngine::rebalance`], in `[0, 1)`: a resident whose
+    /// predicted co-location degradation (`1 − penalty`, measured
+    /// against the *real* resident workloads) exceeds the budget is a
+    /// migration candidate. `None` (the default) disables rebalancing
+    /// entirely — `rebalance` is a no-op and admission-time behaviour
+    /// is bit-for-bit that of a budget-less engine
+    /// (equivalence-tested).
+    pub degradation_budget: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +105,7 @@ impl Default for EngineConfig {
             train_seed: 7,
             cache_capacity: 64,
             interference: false,
+            degradation_budget: None,
         }
     }
 }
@@ -335,17 +347,47 @@ impl PlacementRequest {
 pub enum BatchStrategy {
     /// First machine (in fleet order) with enough free capacity.
     FirstFit,
-    /// The machine whose predicted performance for the request is best.
+    /// The best-scoring home for the request, found class-first:
+    /// machine classes are ranked by their best goal-clearing
+    /// prediction and realised lazily, branch-and-bound style —
+    /// members are dry-run against live occupancy
+    /// (interference-adjusted when enabled) and the best offer wins;
+    /// a class whose ceiling cannot beat the best offer already found
+    /// is never dry-run at all (an offer never exceeds its class's
+    /// ceiling, so nothing better is lost). A class walk stops at its
+    /// first idle member (other idle members would offer the identical
+    /// placement and lose the lowest-id tie-break), which keeps the
+    /// dry-run count near constant even on thousand-host fleets
+    /// ([`EngineStats::offers`]).
     BestScore,
+}
+
+/// Identity of one live container across its whole stay in the engine,
+/// including any rebalancing moves: assigned at commit, retired at
+/// release. [`PlacementEngine::release`] resolves the container through
+/// its ticket, so a handle taken at admission stays releasable even
+/// after [`PlacementEngine::rebalance`] moved the container to another
+/// host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlacementTicket(pub u64);
+
+impl std::fmt::Display for PlacementTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ticket #{}", self.0)
+    }
 }
 
 /// A committed placement: a placement class retargeted onto concrete,
 /// previously-free hardware threads that are now reserved.
 ///
 /// Hand the value back to [`PlacementEngine::release`] when the
-/// container departs; the engine frees exactly [`Placed::threads`].
+/// container departs; the engine frees exactly what the container holds
+/// *now* (its [`Placed::ticket`] tracks it through rebalancing moves).
 #[derive(Debug, Clone)]
 pub struct Placed {
+    /// The container's engine-wide identity (stable across rebalancing
+    /// moves; what [`PlacementEngine::release`] resolves).
+    pub ticket: PlacementTicket,
     /// Machine the container was placed on.
     pub machine: MachineId,
     /// 1-based important-placement id used.
@@ -395,6 +437,35 @@ impl PlacementDecision {
     }
 }
 
+/// Why [`PlacementEngine::release`] refused a handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReleaseError {
+    /// No host's resident registry holds the handle's ticket: the
+    /// container was already released (double release) or the handle
+    /// never came from a commit on this engine. Nothing was freed.
+    UnknownPlacement {
+        /// The unresolvable ticket.
+        ticket: PlacementTicket,
+        /// The host the stale handle named.
+        machine: MachineId,
+    },
+}
+
+impl std::fmt::Display for ReleaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReleaseError::UnknownPlacement { ticket, machine } => write!(
+                f,
+                "{ticket} is not live on any host (handle named machine {}): \
+                 already released, or never committed here",
+                machine.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReleaseError {}
+
 /// Counters for the lock-free capacity-summary prefilter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SummaryCounters {
@@ -439,6 +510,20 @@ pub struct EngineStats {
     /// separately from [`SummaryCounters::stale`] — these hosts are
     /// neither stale nor re-validatable.
     pub interference_blocked: u64,
+    /// BestScore dry-run offers (per-host availability realisations).
+    /// Class-ranked commitment offers only the members of the
+    /// best-scoring machine class (lower-ranked classes are realised
+    /// lazily, only when the leader cannot host), so on multi-class
+    /// fleets this stays well below the admitted-host count.
+    pub offers: u64,
+    /// Successful releases (departures whose ticket resolved).
+    pub releases: u64,
+    /// Rejected releases: tickets the registry does not hold (double
+    /// release, or a handle that was never committed). The occupancy
+    /// map and published summaries are untouched by these — an earlier
+    /// revision silently ignored them in release builds, leaving
+    /// callers' accounting and the engine's quietly diverged.
+    pub release_failures: u64,
 }
 
 impl EngineStats {
@@ -450,6 +535,68 @@ impl EngineStats {
     /// Total LRU evictions across caches.
     pub fn total_evictions(&self) -> u64 {
         self.catalogs.evictions + self.training_sets.evictions + self.models.evictions
+    }
+}
+
+/// One live container as the engine's resident registry tracks it: the
+/// placement it currently holds plus the request that admitted it (kept
+/// so [`PlacementEngine::rebalance`] can re-score and re-place it).
+///
+/// Snapshots of a host's residents are obtained via
+/// [`PlacementEngine::residents`]; they are taken together with the
+/// occupancy map under one lock, so registry and occupancy always
+/// agree.
+#[derive(Debug, Clone)]
+pub struct Resident {
+    /// The container's engine-wide identity.
+    pub ticket: PlacementTicket,
+    /// The admission request (workload, vcpus, goal, probe seed) —
+    /// what rebalancing re-evaluates.
+    pub request: PlacementRequest,
+    /// 1-based important-placement id currently held.
+    pub placement_id: usize,
+    /// Concrete placement spec currently held.
+    pub spec: PlacementSpec,
+    /// The hardware threads currently reserved for this container.
+    pub threads: Vec<ThreadId>,
+    /// Prediction at the last commit or move (interference-adjusted
+    /// when scoring was).
+    pub predicted_perf: f64,
+    /// Penalty applied at the last commit or move.
+    pub interference_penalty: f64,
+    /// Absolute performance the goal translated to (0 if best-effort).
+    pub goal_perf: f64,
+}
+
+impl Resident {
+    /// The resident as the interference path consumes it.
+    fn as_workload(&self) -> ResidentWorkload {
+        ResidentWorkload {
+            workload: self.request.workload.clone(),
+            threads: self.threads.clone(),
+        }
+    }
+}
+
+/// Everything commit/release mutate under one host lock: the
+/// authoritative occupancy map plus the resident registry. Guarding
+/// them together makes snapshots consistent — a cloned `(occupancy,
+/// residents)` pair always agrees thread-for-thread, which is what
+/// keeps interference memoisation sound.
+#[derive(Debug)]
+struct HostState {
+    occ: OccupancyMap,
+    residents: HashMap<u64, Resident>,
+}
+
+impl HostState {
+    /// The registry as the interference path consumes it, deterministic
+    /// order (ticket-sorted — `HashMap` iteration order must not leak
+    /// into penalty probes).
+    fn resident_workloads(&self) -> Vec<ResidentWorkload> {
+        let mut entries: Vec<(&u64, &Resident)> = self.residents.iter().collect();
+        entries.sort_by_key(|(t, _)| **t);
+        entries.into_iter().map(|(_, r)| r.as_workload()).collect()
     }
 }
 
@@ -466,25 +613,33 @@ struct Host {
     oracle: Arc<SimOracle>,
     /// Shared (per topology) memoizing interference model over `oracle`.
     interference: Arc<InterferenceModel>,
-    /// Node-granular reservation state. Commits and releases lock this
-    /// map; candidate evaluation never does, so the model path stays
-    /// contention-free.
-    occupancy: Mutex<OccupancyMap>,
+    /// Node-granular reservation state plus the resident registry.
+    /// Commits and releases lock this; candidate evaluation never does,
+    /// so the model path stays contention-free.
+    state: Mutex<HostState>,
     /// Lock-free free-capacity summary, published by every commit and
-    /// release before the occupancy lock is dropped. Admission reads it
-    /// to skip hopeless hosts without locking them.
+    /// release before the host lock is dropped. Admission reads it to
+    /// skip hopeless hosts without locking them.
     summary: CapacitySummary,
+}
+
+impl Host {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HostState> {
+        self.state.lock().expect("host state lock poisoned")
+    }
 }
 
 /// One request evaluated against one machine *class*: per-placement
 /// performance predictions, no capacity touched. Committing picks a
 /// member host and the best placement class its occupancy can still
 /// host.
-struct Candidate {
+pub(crate) struct Candidate {
     /// Index into the fleet index's classes.
     class: usize,
-    /// The request's workload (keys the interference-penalty cache).
-    workload: String,
+    /// The request being evaluated (its workload keys the
+    /// interference-penalty cache; the whole request is kept in the
+    /// resident registry at commit so rebalancing can re-evaluate it).
+    request: PlacementRequest,
     catalog: Arc<PlacementCatalog>,
     /// Predicted absolute performance per catalog class, indexed by
     /// `id - 1`. Idle-host predictions: interference, which depends on
@@ -506,7 +661,7 @@ impl Candidate {
 }
 
 /// Why a commit attempt on one host produced no placement.
-enum ChooseError {
+pub(crate) enum ChooseError {
     /// No goal-clearing placement class fits the host's free capacity
     /// (after a summary admitted it, this means the summary was stale
     /// or expressed a constraint it cannot see).
@@ -612,6 +767,22 @@ pub struct PlacementEngine {
     summary_admits: AtomicU64,
     summary_stale: AtomicU64,
     interference_blocked: AtomicU64,
+    offers: AtomicU64,
+    releases: AtomicU64,
+    release_failures: AtomicU64,
+    /// Ticket source: every commit takes the next value, so tickets are
+    /// unique across the engine's lifetime (and across hosts).
+    next_ticket: AtomicU64,
+    /// Ticket → current host index. Commit inserts and release removes
+    /// the entry; rebalance moves update it — all while holding the
+    /// affected host lock(s), so membership is authoritative: a ticket
+    /// absent here is definitely not live. The *location* a reader
+    /// copies out can go stale the instant the map unlocks, which is
+    /// why `release` re-validates against the host registry and
+    /// retries. Lock order is host → locations (this mutex is only
+    /// ever taken nested inside a host lock, or alone), so it can
+    /// never participate in a deadlock cycle with the host locks.
+    locations: Mutex<HashMap<u64, usize>>,
 }
 
 impl PlacementEngine {
@@ -633,6 +804,11 @@ impl PlacementEngine {
             summary_admits: AtomicU64::new(0),
             summary_stale: AtomicU64::new(0),
             interference_blocked: AtomicU64::new(0),
+            offers: AtomicU64::new(0),
+            releases: AtomicU64::new(0),
+            release_failures: AtomicU64::new(0),
+            next_ticket: AtomicU64::new(0),
+            locations: Mutex::new(HashMap::new()),
         }
     }
 
@@ -685,7 +861,10 @@ impl PlacementEngine {
                 Arc::clone(&oracle) as SharedInterferenceOracle
             ))
         }));
-        let occupancy = Mutex::new(OccupancyMap::new(&machine));
+        let state = Mutex::new(HostState {
+            occ: OccupancyMap::new(&machine),
+            residents: HashMap::new(),
+        });
         let summary = CapacitySummary::new(&machine);
         let id = MachineId(self.hosts.len());
         let class = self.fleet.insert(fingerprint, topo, baseline, id);
@@ -696,7 +875,7 @@ impl PlacementEngine {
             class,
             oracle,
             interference,
-            occupancy,
+            state,
             summary,
         });
         id
@@ -769,27 +948,35 @@ impl PlacementEngine {
 
     /// (used, total) hardware threads on a machine.
     pub fn utilisation(&self, id: MachineId) -> (usize, usize) {
-        let occ = self.hosts[id.0].occupancy.lock().expect("occupancy lock poisoned");
-        (occ.used_threads(), occ.total_threads())
+        let st = self.hosts[id.0].lock();
+        (st.occ.used_threads(), st.occ.total_threads())
     }
 
     /// Per-node `(node, used, capacity)` hardware-thread usage on a
     /// machine, node-id order.
     pub fn node_utilisation(&self, id: MachineId) -> Vec<(NodeId, usize, usize)> {
-        self.hosts[id.0]
-            .occupancy
-            .lock()
-            .expect("occupancy lock poisoned")
-            .node_usage()
+        self.hosts[id.0].lock().occ.node_usage()
     }
 
     /// A point-in-time copy of a machine's occupancy map.
     pub fn occupancy(&self, id: MachineId) -> OccupancyMap {
-        self.hosts[id.0]
-            .occupancy
-            .lock()
-            .expect("occupancy lock poisoned")
-            .clone()
+        self.hosts[id.0].lock().occ.clone()
+    }
+
+    /// A point-in-time snapshot of a machine's resident registry,
+    /// ticket order. Taken under the same lock as the occupancy map, so
+    /// the union of the residents' threads is exactly the occupancy's
+    /// used set (equivalence-tested through stochastic churn).
+    pub fn residents(&self, id: MachineId) -> Vec<Resident> {
+        let st = self.hosts[id.0].lock();
+        let mut residents: Vec<Resident> = st.residents.values().cloned().collect();
+        residents.sort_by_key(|r| r.ticket);
+        residents
+    }
+
+    /// Total live containers across the fleet.
+    pub fn num_residents(&self) -> usize {
+        self.hosts.iter().map(|h| h.lock().residents.len()).sum()
     }
 
     /// The machine's lock-free capacity summary. Reads are wait-free;
@@ -799,23 +986,60 @@ impl PlacementEngine {
         &self.hosts[id.0].summary
     }
 
-    /// Releases the hardware threads a placement reserved.
+    /// Releases a departing container: removes its registry entry and
+    /// frees the hardware threads it holds *right now* — which, after a
+    /// [`Self::rebalance`] move, may differ from the (then-stale)
+    /// `placed.threads`, and may even live on a different host. The
+    /// ticket, not the thread list, is the authority: an engine-wide
+    /// location map (maintained under the host locks by commit,
+    /// release and rebalance moves) resolves it in O(1), and a racing
+    /// move between lookup and lock simply retries against the updated
+    /// map — a live container can never be missed.
     ///
-    /// Releasing threads that are not currently reserved (e.g. releasing
-    /// the same placement twice) is API misuse: it panics in debug
-    /// builds and leaves the occupancy map untouched in release builds
-    /// (the release is all-or-nothing, so no partial free occurs).
-    pub fn release(&self, placed: &Placed) {
-        let host = &self.hosts[placed.machine.0];
-        let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
-        match occ.release(&placed.threads) {
-            Ok(()) => host.summary.publish(&occ),
-            Err(e) => {
-                debug_assert!(
-                    false,
-                    "release of a placement not currently reserved on {:?}: {e}",
-                    placed.machine
-                );
+    /// # Errors
+    ///
+    /// [`ReleaseError::UnknownPlacement`] when no host's registry holds
+    /// the ticket — a double release, or a handle that never came from
+    /// a commit. The occupancy maps and published summaries are left
+    /// untouched (an earlier revision swallowed this behind a
+    /// `debug_assert!`, so release builds silently diverged), and the
+    /// failure is counted in [`EngineStats::release_failures`].
+    pub fn release(&self, placed: &Placed) -> Result<(), ReleaseError> {
+        // Optimistic loop over the location map: copy the ticket's
+        // current host (never holding the map while taking a host
+        // lock), lock that host, re-validate. A miss under the host
+        // lock means a rebalance move relocated the container between
+        // the copy and the lock — re-read and retry; the map is
+        // updated under the mover's host locks, so the re-read
+        // converges. A ticket absent from the map is authoritatively
+        // dead: only release removes entries.
+        loop {
+            let location = self
+                .locations
+                .lock()
+                .expect("location map poisoned")
+                .get(&placed.ticket.0)
+                .copied();
+            let Some(idx) = location else {
+                self.release_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(ReleaseError::UnknownPlacement {
+                    ticket: placed.ticket,
+                    machine: placed.machine,
+                });
+            };
+            let host = &self.hosts[idx];
+            let mut st = host.lock();
+            if let Some(resident) = st.residents.remove(&placed.ticket.0) {
+                st.occ
+                    .release(&resident.threads)
+                    .expect("registry threads are reserved by invariant");
+                self.locations
+                    .lock()
+                    .expect("location map poisoned")
+                    .remove(&placed.ticket.0);
+                host.summary.publish(&st.occ);
+                self.releases.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
             }
         }
     }
@@ -839,6 +1063,9 @@ impl PlacementEngine {
                     acc.merged(m.counters())
                 }),
             interference_blocked: self.interference_blocked.load(Ordering::Relaxed),
+            offers: self.offers.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            release_failures: self.release_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -1017,7 +1244,7 @@ impl PlacementEngine {
         }
         Ok(Candidate {
             class,
-            workload: req.workload.clone(),
+            request: req.clone(),
             catalog,
             predicted,
             goal_perf,
@@ -1052,10 +1279,12 @@ impl PlacementEngine {
     /// With interference scoring on, each hostable class's idle-host
     /// prediction is multiplied by the occupancy-conditional co-location
     /// penalty before the goal filter and the ranking — callers pass an
-    /// occupancy *snapshot* taken outside the host lock, so a penalty
-    /// cold miss simulates without any lock held. With it off, the
-    /// penalty is identically `1.0` and the interference model is never
-    /// consulted, reproducing neighbour-blind scoring bit for bit.
+    /// occupancy *snapshot* (plus the matching resident-registry
+    /// snapshot, so the penalty probe simulates the *real* neighbour
+    /// workloads) taken outside the host lock, so a penalty cold miss
+    /// simulates without any lock held. With it off, the penalty is
+    /// identically `1.0` and the interference model is never consulted,
+    /// reproducing neighbour-blind scoring bit for bit.
     ///
     /// Class preference among goal-clearing, currently-hostable
     /// classes: fewest nodes (cheapest for the operator), then fewest
@@ -1069,6 +1298,23 @@ impl PlacementEngine {
         host: &Host,
         cand: &Candidate,
         occ: &OccupancyMap,
+        residents: &[ResidentWorkload],
+    ) -> Result<(AvailablePlacement, f64, f64), ChooseError> {
+        self.best_available_with(host, cand, occ, residents, self.cfg.interference)
+    }
+
+    /// [`Self::best_available`] with the penalty application decided by
+    /// the caller instead of [`EngineConfig::interference`]: the
+    /// rebalancer always scores with real penalties (its whole job is
+    /// degradation), even on engines whose *admission* path is
+    /// neighbour-blind.
+    fn best_available_with(
+        &self,
+        host: &Host,
+        cand: &Candidate,
+        occ: &OccupancyMap,
+        residents: &[ResidentWorkload],
+        penalised: bool,
     ) -> Result<(AvailablePlacement, f64, f64), ChooseError> {
         let available = cand.catalog.availability.available(&host.machine, occ);
         let mut best: Option<(&AvailablePlacement, f64, f64)> = None;
@@ -1081,9 +1327,14 @@ impl PlacementEngine {
             if idle_p < cand.goal_perf {
                 continue;
             }
-            let penalty = if self.cfg.interference {
-                host.interference
-                    .penalty(&cand.workload, &ap.spec.nodes, &ap.threads, occ)
+            let penalty = if penalised {
+                host.interference.penalty(
+                    &cand.request.workload,
+                    &ap.spec.nodes,
+                    &ap.threads,
+                    occ,
+                    residents,
+                )
             } else {
                 1.0
             };
@@ -1125,14 +1376,14 @@ impl PlacementEngine {
         }
     }
 
-    /// A point-in-time clone of the host's occupancy map: the snapshot
-    /// that interference-adjusted scoring runs against, taken so no
-    /// simulator call ever happens while the host lock is held.
-    fn occupancy_snapshot(&self, host: &Host) -> OccupancyMap {
-        host.occupancy
-            .lock()
-            .expect("occupancy lock poisoned")
-            .clone()
+    /// A point-in-time clone of the host's occupancy map *and* the
+    /// matching resident workloads: the snapshot that
+    /// interference-adjusted scoring runs against, taken in one
+    /// critical section so the pair is consistent — and so no simulator
+    /// call ever happens while the host lock is held.
+    fn state_snapshot(&self, host: &Host) -> (OccupancyMap, Vec<ResidentWorkload>) {
+        let st = host.lock();
+        (st.occ.clone(), st.resident_workloads())
     }
 
     /// The predicted performance `try_commit` would deliver for `cand`
@@ -1142,13 +1393,16 @@ impl PlacementEngine {
     /// with it on, it scores against a snapshot so penalty cold misses
     /// never simulate while the lock is held.
     fn offer(&self, id: MachineId, cand: &Candidate) -> Result<f64, ChooseError> {
+        self.offers.fetch_add(1, Ordering::Relaxed);
         let host = &self.hosts[id.0];
         if self.cfg.interference {
-            let occ = self.occupancy_snapshot(host);
-            self.best_available(host, cand, &occ).map(|(_, p, _)| p)
+            let (occ, residents) = self.state_snapshot(host);
+            self.best_available(host, cand, &occ, &residents)
+                .map(|(_, p, _)| p)
         } else {
-            let occ = host.occupancy.lock().expect("occupancy lock poisoned");
-            self.best_available(host, cand, &occ).map(|(_, p, _)| p)
+            let st = host.lock();
+            self.best_available(host, cand, &st.occ, &[])
+                .map(|(_, p, _)| p)
         }
     }
 
@@ -1169,13 +1423,16 @@ impl PlacementEngine {
     fn try_commit(&self, id: MachineId, cand: &Candidate) -> Result<Placed, ChooseError> {
         let host = &self.hosts[id.0];
         if !self.cfg.interference {
-            let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
+            let mut st = host.lock();
             let (ap, predicted_perf, interference_penalty) =
-                self.best_available(host, cand, &occ)?;
-            occ.reserve(&ap.threads)
+                self.best_available(host, cand, &st.occ, &[])?;
+            st.occ
+                .reserve(&ap.threads)
                 .expect("availability was computed under this lock");
-            host.summary.publish(&occ);
-            return Ok(Self::placed(id, ap, predicted_perf, interference_penalty, cand));
+            let placed = self.placed(id, ap, predicted_perf, interference_penalty, cand);
+            self.register(&mut st, &placed, cand);
+            host.summary.publish(&st.occ);
+            return Ok(placed);
         }
         // Interference on: snapshot → score (may simulate, no lock) →
         // re-lock → reserve. Each retry means a concurrent commit won
@@ -1184,13 +1441,15 @@ impl PlacementEngine {
         // it degrades to a stale-offer error, never a bad placement.
         const RACE_RETRIES: usize = 16;
         for _ in 0..RACE_RETRIES {
-            let snapshot = self.occupancy_snapshot(host);
+            let (snapshot, residents) = self.state_snapshot(host);
             let (ap, predicted_perf, interference_penalty) =
-                self.best_available(host, cand, &snapshot)?;
-            let mut occ = host.occupancy.lock().expect("occupancy lock poisoned");
-            if occ.reserve(&ap.threads).is_ok() {
-                host.summary.publish(&occ);
-                return Ok(Self::placed(id, ap, predicted_perf, interference_penalty, cand));
+                self.best_available(host, cand, &snapshot, &residents)?;
+            let mut st = host.lock();
+            if st.occ.reserve(&ap.threads).is_ok() {
+                let placed = self.placed(id, ap, predicted_perf, interference_penalty, cand);
+                self.register(&mut st, &placed, cand);
+                host.summary.publish(&st.occ);
+                return Ok(placed);
             }
         }
         Err(ChooseError::Capacity(format!(
@@ -1201,6 +1460,7 @@ impl PlacementEngine {
     }
 
     fn placed(
+        &self,
         id: MachineId,
         ap: AvailablePlacement,
         predicted_perf: f64,
@@ -1208,6 +1468,7 @@ impl PlacementEngine {
         cand: &Candidate,
     ) -> Placed {
         Placed {
+            ticket: PlacementTicket(self.next_ticket.fetch_add(1, Ordering::Relaxed)),
             machine: id,
             placement_id: ap.id,
             spec: ap.spec,
@@ -1217,6 +1478,32 @@ impl PlacementEngine {
             goal_perf: cand.goal_perf,
             goal_met: predicted_perf >= cand.goal_perf,
         }
+    }
+
+    /// Records a freshly committed placement in the host's resident
+    /// registry and the engine's location map — called under the same
+    /// critical section as the thread reservation, so registry and
+    /// occupancy never disagree and the ticket is releasable the
+    /// moment the committing caller can see it.
+    fn register(&self, st: &mut HostState, placed: &Placed, cand: &Candidate) {
+        self.locations
+            .lock()
+            .expect("location map poisoned")
+            .insert(placed.ticket.0, placed.machine.0);
+        let previous = st.residents.insert(
+            placed.ticket.0,
+            Resident {
+                ticket: placed.ticket,
+                request: cand.request.clone(),
+                placement_id: placed.placement_id,
+                spec: placed.spec.clone(),
+                threads: placed.threads.clone(),
+                predicted_perf: placed.predicted_perf,
+                interference_penalty: placed.interference_penalty,
+                goal_perf: placed.goal_perf,
+            },
+        );
+        debug_assert!(previous.is_none(), "ticket reused");
     }
 
     /// Places a single request (see [`Self::place_batch`]).
@@ -1301,31 +1588,70 @@ impl PlacementEngine {
                     found
                 }
                 BatchStrategy::BestScore => {
-                    // Rank hosts by the performance of the class that
-                    // would actually be committed under their current
-                    // occupancy (a dry run per admitted host), not by
-                    // the catalog-wide ceiling — a busy host's best
-                    // class may be unavailable. With interference on,
-                    // the offer is the interference-ADJUSTED score, so
-                    // busy hosts rank below idle ones offering the same
-                    // class.
+                    // Class-ranked, lazily-realised commitment (the
+                    // fleet-scale shape of "best predicted machine"):
+                    //
+                    // 1. machine classes are ranked by their idle-host
+                    //    ceiling (best goal-clearing prediction),
+                    //    descending;
+                    // 2. members of the leading classes are dry-run in
+                    //    fleet order — each offer is the occupancy-
+                    //    (and, when enabled, interference-) adjusted
+                    //    score of the placement a commit would take;
+                    // 3. a class's walk stops at its first *idle*
+                    //    member: every other idle member would offer
+                    //    the identical class-canonical placement and
+                    //    then lose the lowest-id tie-break;
+                    // 4. branch-and-bound over the remaining classes:
+                    //    an offer never exceeds its class's ceiling, so
+                    //    once the best offer found so far beats a
+                    //    class's ceiling outright, that class (and
+                    //    every lower-ranked one) is never realised —
+                    //    it provably cannot produce a better offer.
+                    //    Ceiling ties keep walking, preserving the
+                    //    lowest-id tie-break.
+                    //
+                    // The best offer wins (highest adjusted score, ties
+                    // to the lowest machine id) — deterministic, and on
+                    // multi-class fleets the dry-run count collapses
+                    // from one per admitted host to a handful
+                    // ([`EngineStats::offers`]; the fleet bench records
+                    // it at both 10 and 1000 hosts).
+                    let mut ranked: Vec<&Candidate> = viable.iter().filter_map(|c| *c).collect();
+                    ranked.sort_by(|a, b| b.best_perf.total_cmp(&a.best_perf));
                     let mut best: Option<(MachineId, &Candidate, f64)> = None;
                     let mut failed: Vec<(MachineId, ChooseError)> = Vec::new();
-                    self.walk_admitted(&viable, &tried, &mut skipped, |id, cand| {
-                        match self.offer(id, cand) {
-                            Ok(p) => {
-                                let better = match best {
-                                    None => true,
-                                    Some((bid, _, bp)) => p > bp || (p == bp && id < bid),
-                                };
-                                if better {
-                                    best = Some((id, cand, p));
+                    for cand in ranked {
+                        if let Some((_, _, bp)) = best {
+                            if cand.best_perf < bp {
+                                break; // no member can beat or tie the best offer
+                            }
+                        }
+                        let mut class_only: Vec<Option<&Candidate>> =
+                            vec![None; self.fleet.num_classes()];
+                        class_only[cand.class] = Some(cand);
+                        self.walk_admitted(&class_only, &tried, &mut skipped, |id, cand| {
+                            let host = &self.hosts[id.0];
+                            let idle =
+                                host.summary.free_threads() == host.machine.num_threads();
+                            match self.offer(id, cand) {
+                                Ok(p) => {
+                                    let better = match best {
+                                        None => true,
+                                        Some((bid, _, bp)) => p > bp || (p == bp && id < bid),
+                                    };
+                                    if better {
+                                        best = Some((id, cand, p));
+                                    }
+                                    idle
+                                }
+                                Err(e) => {
+                                    failed.push((id, e));
+                                    false
                                 }
                             }
-                            Err(e) => failed.push((id, e)),
-                        }
-                        false
-                    });
+                        });
+                    }
                     for (id, e) in failed {
                         self.count_choose_error(&e);
                         tried[id.0] = true;
@@ -1490,6 +1816,272 @@ impl PlacementEngine {
         (0..self.fleet.num_classes())
             .map(|class| self.evaluate(class, req))
             .collect()
+    }
+}
+
+/// Lock-holding plumbing for [`crate::rebalance`]: everything here that
+/// locks holds host locks only for bookkeeping (clone, reserve,
+/// registry moves) — the expensive scoring and pricing run in the
+/// rebalance module against the snapshots these helpers hand out.
+impl PlacementEngine {
+    /// Snapshot of one host: `(occupancy, resident workloads)`, taken
+    /// in one critical section.
+    pub(crate) fn host_view(&self, id: MachineId) -> (OccupancyMap, Vec<ResidentWorkload>) {
+        self.state_snapshot(&self.hosts[id.0])
+    }
+
+    /// Snapshot of one host *as if* the given resident had departed:
+    /// its threads freed in the cloned occupancy, its entry dropped
+    /// from the resident list. `None` when the ticket is no longer on
+    /// the host (it departed or moved since the caller looked).
+    pub(crate) fn host_view_without(
+        &self,
+        id: MachineId,
+        ticket: PlacementTicket,
+    ) -> Option<(OccupancyMap, Vec<ResidentWorkload>)> {
+        let st = self.hosts[id.0].lock();
+        let resident = st.residents.get(&ticket.0)?;
+        let mut occ = st.occ.clone();
+        occ.release(&resident.threads)
+            .expect("registry threads are reserved by invariant");
+        let mut others: Vec<(&u64, &Resident)> = st
+            .residents
+            .iter()
+            .filter(|(t, _)| **t != ticket.0)
+            .collect();
+        others.sort_by_key(|(t, _)| **t);
+        let others = others.into_iter().map(|(_, r)| r.as_workload()).collect();
+        Some((occ, others))
+    }
+
+    /// The memoized co-location penalty a resident currently
+    /// experiences, scored against the supplied minus-self view of its
+    /// host (no lock held; a cold miss simulates the real neighbour
+    /// workloads).
+    pub(crate) fn resident_penalty(
+        &self,
+        id: MachineId,
+        resident: &Resident,
+        occ_without: &OccupancyMap,
+        others: &[ResidentWorkload],
+    ) -> f64 {
+        self.hosts[id.0].interference.penalty(
+            &resident.request.workload,
+            &resident.spec.nodes,
+            &resident.threads,
+            occ_without,
+            others,
+        )
+    }
+
+    /// The full workload descriptor behind a name, from the host's
+    /// oracle suite (the migration model prices its memory footprint,
+    /// process count and THP fraction).
+    pub(crate) fn workload_descriptor(
+        &self,
+        id: MachineId,
+        name: &str,
+    ) -> Option<vc_workloads::Workload> {
+        self.hosts[id.0]
+            .oracle
+            .workloads()
+            .iter()
+            .find(|w| w.name == name)
+            .cloned()
+    }
+
+    /// Whether the host's lock-free capacity summary already rules out
+    /// every goal-clearing shape of the candidate — the same check the
+    /// admission prefilter makes, minus the admission counters (a
+    /// rebalance scan must not inflate `summary.admits`). `true` means
+    /// the host cannot possibly host the candidate and need not be
+    /// locked, cloned or scored.
+    pub(crate) fn summary_rules_out(&self, id: MachineId, cand: &Candidate) -> bool {
+        let host = &self.hosts[id.0];
+        !cand.goal_shapes.iter().any(|r| {
+            host.summary.can_host(r.num_nodes, r.per_node)
+                && host.summary.can_host_l2(r.num_l2, r.per_l2)
+        })
+    }
+
+    /// Re-evaluates an admission request against one machine class
+    /// (warm-cache probing + prediction; counted in
+    /// [`EngineStats::evaluations`]).
+    pub(crate) fn evaluate_for_rebalance(
+        &self,
+        class: usize,
+        req: &PlacementRequest,
+    ) -> Result<Candidate, String> {
+        self.evaluate(class, req)
+    }
+
+    /// Scores a candidate on a host snapshot with penalties *always*
+    /// applied (rebalancing measures degradation even on engines whose
+    /// admission path is neighbour-blind).
+    pub(crate) fn score_on_view(
+        &self,
+        id: MachineId,
+        cand: &Candidate,
+        occ: &OccupancyMap,
+        residents: &[ResidentWorkload],
+    ) -> Result<(AvailablePlacement, f64, f64), ChooseError> {
+        self.best_available_with(&self.hosts[id.0], cand, occ, residents, true)
+    }
+
+    /// The least-interfering goal-clearing placement on a host
+    /// snapshot: scans *every* hostable realisation of every class
+    /// (full availability orbits, not just the fragmentation-first
+    /// head) and minimises predicted degradation, then maximises the
+    /// adjusted prediction. This is the rebalancer's escape hatch on
+    /// the victim's own machine — admission's fragmentation-first
+    /// realisation would re-offer a stacked victim the very node set
+    /// beside its noisy neighbour. Worth its O(orbit) penalty lookups
+    /// only on the one host being escaped from; cross-host targets are
+    /// scored like admissions.
+    pub(crate) fn best_escape_on_view(
+        &self,
+        id: MachineId,
+        cand: &Candidate,
+        occ: &OccupancyMap,
+        residents: &[ResidentWorkload],
+    ) -> Option<(AvailablePlacement, f64, f64)> {
+        let host = &self.hosts[id.0];
+        let mut best: Option<(AvailablePlacement, f64, f64)> = None;
+        for (i, ip) in cand.catalog.placements.iter().enumerate() {
+            let idle_p = cand.predicted[ip.id - 1];
+            if idle_p < cand.goal_perf {
+                continue;
+            }
+            for ap in cand
+                .catalog
+                .availability
+                .realisations(i, &host.machine, occ)
+            {
+                let penalty = host.interference.penalty(
+                    &cand.request.workload,
+                    &ap.spec.nodes,
+                    &ap.threads,
+                    occ,
+                    residents,
+                );
+                let p = idle_p * penalty;
+                if p < cand.goal_perf {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((_, bp, bpen)) => penalty > *bpen || (penalty == *bpen && p > *bp),
+                };
+                if better {
+                    best = Some((ap, p, penalty));
+                }
+            }
+        }
+        best
+    }
+
+    /// Executes one planned move under the host lock(s): verifies the
+    /// resident is still where the plan saw it (same ticket, same
+    /// threads), reserves the new threads, re-homes the registry entry
+    /// and frees the old threads — all-or-nothing in every failure
+    /// mode, publishing both summaries before unlocking. Locks are
+    /// taken in machine-id order, so concurrent passes (and commits,
+    /// which take one lock at a time) cannot deadlock. Nothing in here
+    /// simulates or prices.
+    #[allow(clippy::result_unit_err)] // Err = "lost the race, retry next pass"
+    pub(crate) fn commit_move(
+        &self,
+        src: MachineId,
+        dst: MachineId,
+        resident: &Resident,
+        ap: AvailablePlacement,
+        predicted_perf: f64,
+        interference_penalty: f64,
+    ) -> Result<Placed, ()> {
+        let placed = Placed {
+            ticket: resident.ticket,
+            machine: dst,
+            placement_id: ap.id,
+            spec: ap.spec.clone(),
+            threads: ap.threads.clone(),
+            predicted_perf,
+            interference_penalty,
+            goal_perf: resident.goal_perf,
+            goal_met: predicted_perf >= resident.goal_perf,
+        };
+        if src == dst {
+            let host = &self.hosts[src.0];
+            let mut st = host.lock();
+            match st.residents.get(&resident.ticket.0) {
+                Some(current) if current.threads == resident.threads => {}
+                _ => return Err(()), // departed or already moved
+            }
+            // Same-host moves may overlap the old node set: free first,
+            // then reserve, rolling back on a raced reservation.
+            st.occ
+                .release(&resident.threads)
+                .expect("registry threads are reserved by invariant");
+            if st.occ.reserve(&ap.threads).is_err() {
+                st.occ
+                    .reserve(&resident.threads)
+                    .expect("rollback re-reserves just-freed threads");
+                return Err(());
+            }
+            Self::rehome(&mut st, &placed);
+            host.summary.publish(&st.occ);
+            return Ok(placed);
+        }
+        // Cross-host: lock both in id order.
+        let (lo, hi) = (src.0.min(dst.0), src.0.max(dst.0));
+        let mut lo_guard = self.hosts[lo].lock();
+        let mut hi_guard = self.hosts[hi].lock();
+        let (src_st, dst_st) = if src.0 == lo {
+            (&mut *lo_guard, &mut *hi_guard)
+        } else {
+            (&mut *hi_guard, &mut *lo_guard)
+        };
+        match src_st.residents.get(&resident.ticket.0) {
+            Some(current) if current.threads == resident.threads => {}
+            _ => return Err(()),
+        }
+        if dst_st.occ.reserve(&ap.threads).is_err() {
+            return Err(()); // a concurrent commit claimed the target
+        }
+        let entry = src_st
+            .residents
+            .remove(&resident.ticket.0)
+            .expect("checked above");
+        src_st
+            .occ
+            .release(&entry.threads)
+            .expect("registry threads are reserved by invariant");
+        dst_st.residents.insert(resident.ticket.0, entry);
+        Self::rehome(dst_st, &placed);
+        // Update the location map while both host locks are held, so a
+        // concurrent release never observes a map entry pointing at a
+        // host that has already given the container up.
+        self.locations
+            .lock()
+            .expect("location map poisoned")
+            .insert(resident.ticket.0, dst.0);
+        self.hosts[src.0].summary.publish(&src_st.occ);
+        self.hosts[dst.0].summary.publish(&dst_st.occ);
+        Ok(placed)
+    }
+
+    /// Updates the (already re-homed) registry entry to the new
+    /// placement. The ticket and original request are preserved — only
+    /// where the container runs changes.
+    fn rehome(st: &mut HostState, placed: &Placed) {
+        let entry = st
+            .residents
+            .get_mut(&placed.ticket.0)
+            .expect("entry was just inserted/verified");
+        entry.placement_id = placed.placement_id;
+        entry.spec = placed.spec.clone();
+        entry.threads = placed.threads.clone();
+        entry.predicted_perf = placed.predicted_perf;
+        entry.interference_penalty = placed.interference_penalty;
     }
 }
 

@@ -53,12 +53,36 @@
 //! links the idle-host model never saw. With
 //! [`EngineConfig::interference`] enabled, commit-time scoring and
 //! BestScore ranking multiply each class's prediction by the
-//! occupancy-conditional co-location penalty (simulated candidate +
-//! residents, memoized per `(workload, class, occupancy signature)` by
-//! [`vc_core::interference::InterferenceModel`]); the applied penalty
+//! occupancy-conditional co-location penalty — the candidate simulated
+//! together with the host's **real resident workloads** (the engine
+//! tracks every live container in a per-host resident registry, so the
+//! penalty the engine acts on is the penalty the fleet actually
+//! experiences), memoized per `(workload, class, occupancy signature,
+//! resident-workload signature)` by
+//! [`vc_core::interference::InterferenceModel`]. The applied penalty
 //! is reported in [`Placed::interference_penalty`] and the cache
 //! counters in [`EngineStats`]. Off (the default), decisions are
 //! bit-for-bit the neighbour-blind engine's.
+//!
+//! # Resident registry and rebalancing
+//!
+//! Every commit records a [`Resident`] (the admission request plus the
+//! concrete placement) in its host's registry, under the same lock as
+//! the thread reservation — registry and occupancy never disagree
+//! (see [`PlacementEngine::residents`]). Each container carries a
+//! [`PlacementTicket`]; [`PlacementEngine::release`] resolves the
+//! ticket wherever the container lives *now*, returns
+//! [`ReleaseError`] on misuse (double release no longer silently
+//! corrupts accounting), and counts both outcomes in [`EngineStats`].
+//!
+//! On top of the registry, [`PlacementEngine::rebalance`] closes the
+//! loop that admission-time scoring leaves open: residents whose
+//! predicted degradation exceeds
+//! [`EngineConfig::degradation_budget`] are re-placed fleet-wide,
+//! priced with the §7 Table 2 migration cost model
+//! ([`MigrationModel`]: fast / throttled / default-Linux), and moved
+//! only when the predicted benefit beats the migration's own cost —
+//! see the [`rebalance`] module.
 //!
 //! # Quickstart
 //!
@@ -93,7 +117,7 @@
 //! // Departures hand their exact hardware threads back.
 //! let departing = more[0].placed().expect("fleet still has room").clone();
 //! let (used_before, _) = engine.utilisation(departing.machine);
-//! engine.release(&departing);
+//! engine.release(&departing).unwrap();
 //! let (used_after, _) = engine.utilisation(departing.machine);
 //! assert_eq!(used_before - used_after, departing.threads.len());
 //! ```
@@ -103,14 +127,19 @@
 
 pub mod cache;
 mod engine;
+pub mod rebalance;
 
 pub use cache::{CacheCounters, KeyedCache};
 pub use engine::{
     BatchStrategy, EngineConfig, EngineStats, FleetClass, FleetIndex, MachineId, ModelArtifact,
     Placed, PlacementCatalog, PlacementDecision, PlacementEngine, PlacementRequest,
-    SummaryCounters,
+    PlacementTicket, ReleaseError, Resident, SummaryCounters,
 };
-pub use vc_core::interference::InterferenceCounters;
+pub use rebalance::{Migration, RebalancePolicy, RebalanceReport};
+pub use vc_core::interference::{InterferenceCounters, ResidentWorkload};
+// The migration cost types appear in the rebalance API; re-exported so
+// engine clients need not depend on `vc-migration` directly.
+pub use vc_migration::{MigrationEstimate, MigrationMode, MigrationModel};
 
 #[cfg(test)]
 mod tests {
@@ -171,7 +200,7 @@ mod tests {
         for seed in 1..5 {
             let warm = engine.place(&PlacementRequest::new("WTbtree", 16).with_probe_seed(seed));
             let placed = warm.placed().expect("capacity was released").clone();
-            engine.release(&placed); // keep capacity free for the next query
+            engine.release(&placed).unwrap(); // keep capacity free for the next query
         }
         let after_warm = engine.stats();
         assert_eq!(after_cold.catalogs.computes, after_warm.catalogs.computes);
@@ -214,7 +243,7 @@ mod tests {
         }
         let full = engine.place(&req);
         assert!(full.placed().is_none(), "65th--80th vCPUs must not fit");
-        engine.release(&p1);
+        engine.release(&p1).unwrap();
         assert_eq!(engine.utilisation(MachineId(0)), (48, 64));
         assert!(engine.place(&req).placed().is_some());
     }

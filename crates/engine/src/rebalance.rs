@@ -1,0 +1,375 @@
+//! Degradation-budget rebalancing: re-score the live population, move
+//! what the budget condemns — if the move pays for itself.
+//!
+//! Admission-time scoring (even interference-aware scoring) freezes a
+//! decision at arrival: later arrivals pile new neighbours next to old
+//! residents, so a placement that cleared every bar when it committed
+//! can degrade arbitrarily afterwards — and in the PR-4 engine nothing
+//! would ever move it. This module closes the loop the way Phoenix
+//! (performance-aware re-orchestration, arXiv:2502.10923) and MAO
+//! (warehouse-scale NUMA re-optimisation, arXiv:2411.01460) argue a
+//! placement service must: measure, select, *price*, and only then act.
+//!
+//! [`PlacementEngine::rebalance`] walks the resident registry and, for
+//! every resident whose predicted co-location degradation exceeds
+//! [`EngineConfig::degradation_budget`](crate::EngineConfig::degradation_budget),
+//! plans the best alternative placement across the fleet (scored with
+//! the *real* neighbour workloads, minus the resident itself), prices
+//! the move with the §7 migration cost model
+//! ([`vc_migration::MigrationModel`], Table 2 — fast / throttled /
+//! default-Linux modes), and executes only moves whose predicted
+//! benefit over [`RebalancePolicy::expected_runtime_s`] beats the
+//! migration's own lost work. Scoring and pricing run against
+//! snapshots — no simulator call and no migration-model call ever
+//! happens under a host lock; only the final bookkeeping (reserve new
+//! threads, move the registry entry, free old threads) locks, and a
+//! raced reservation simply counts as a failed move.
+
+use vc_migration::{MigrationEstimate, MigrationMode, MigrationModel};
+
+use crate::engine::{MachineId, Placed, PlacementEngine, PlacementTicket, Resident};
+
+/// How [`PlacementEngine::rebalance`] prices and gates migrations.
+#[derive(Debug, Clone)]
+pub struct RebalancePolicy {
+    /// The calibrated Table 2 cost constants.
+    pub model: MigrationModel,
+    /// How moves are executed (freeze-and-copy fast migration by
+    /// default; throttled or stock-Linux for sensitivity studies).
+    pub mode: MigrationMode,
+    /// Runtime (s) credited to a move when weighing benefit against
+    /// cost: a move recovering `Δdegradation` of throughput is worth
+    /// `Δdegradation × expected_runtime_s` seconds of work, and must
+    /// beat the work the migration itself destroys (freeze time plus
+    /// slowdown during the copy). Short horizons make the gate strict —
+    /// a container about to depart is not worth moving.
+    pub expected_runtime_s: f64,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            model: MigrationModel::default(),
+            mode: MigrationMode::Fast,
+            expected_runtime_s: 600.0,
+        }
+    }
+}
+
+impl RebalancePolicy {
+    /// Work (in seconds) the migration itself destroys: the freeze plus
+    /// the throughput lost while copying concurrently.
+    pub fn cost_s(&self, estimate: &MigrationEstimate) -> f64 {
+        estimate.frozen_s + estimate.runtime_overhead_pct / 100.0 * estimate.duration_s
+    }
+
+    /// Work (in seconds) a degradation reduction recovers over the
+    /// credited runtime.
+    pub fn benefit_s(&self, degradation_before: f64, degradation_after: f64) -> f64 {
+        (degradation_before - degradation_after) * self.expected_runtime_s
+    }
+}
+
+/// One executed migration.
+#[derive(Debug, Clone)]
+pub struct Migration {
+    /// The moved container's engine-wide identity (unchanged by the
+    /// move — the admission-time [`Placed`] handle still releases it).
+    pub ticket: PlacementTicket,
+    /// The moved container's workload.
+    pub workload: String,
+    /// Host the container left.
+    pub from: MachineId,
+    /// Host the container landed on (may equal `from`: a move onto a
+    /// less-contended node set of the same machine).
+    pub to: MachineId,
+    /// Predicted degradation in the old placement (what condemned it).
+    pub degradation_before: f64,
+    /// Predicted degradation in the new placement.
+    pub degradation_after: f64,
+    /// The Table 2 price actually charged for the move.
+    pub estimate: MigrationEstimate,
+    /// The new placement (same ticket, new spec/threads).
+    pub placed: Placed,
+}
+
+/// What one [`PlacementEngine::rebalance`] pass did.
+#[derive(Debug, Clone, Default)]
+pub struct RebalanceReport {
+    /// Resident examinations (the whole live population, unless the
+    /// budget is unset — then rebalancing is disabled and nothing is
+    /// scanned). A resident migrated to a host the pass has not reached
+    /// yet is examined *again* in its new home, so this can exceed the
+    /// population by up to [`Self::migrations`]`.len()`.
+    pub scanned: usize,
+    /// Residents whose predicted degradation exceeded the budget.
+    pub over_budget: usize,
+    /// Executed moves, selection order.
+    pub migrations: Vec<Migration>,
+    /// Over-budget residents left in place because no candidate
+    /// placement predicted a strictly lower degradation.
+    pub blocked_no_target: usize,
+    /// Over-budget residents left in place because the best move's
+    /// predicted benefit did not beat its migration cost.
+    pub blocked_by_cost: usize,
+    /// Moves abandoned at commit time: a concurrent commit claimed the
+    /// chosen threads, the resident departed between snapshot and
+    /// reservation, or the target's fresh score no longer cleared the
+    /// improvement/cost gates. The resident stays where it was; the
+    /// next pass retries.
+    pub failed_commits: usize,
+}
+
+impl RebalanceReport {
+    /// Total data moved across all executed migrations (GB).
+    pub fn moved_gb(&self) -> f64 {
+        // fold, not sum: std's empty f64 sum is the additive identity
+        // -0.0, which leaks a "-0.00" into reports.
+        self.migrations
+            .iter()
+            .fold(0.0, |acc, m| acc + m.estimate.moved_gb)
+    }
+
+    /// Total container freeze time across all executed migrations (s).
+    pub fn frozen_s(&self) -> f64 {
+        self.migrations
+            .iter()
+            .fold(0.0, |acc, m| acc + m.estimate.frozen_s)
+    }
+
+    /// Mean predicted degradation of the moved containers before their
+    /// moves (0.0 when nothing moved).
+    pub fn mean_degradation_before(&self) -> f64 {
+        mean(self.migrations.iter().map(|m| m.degradation_before))
+    }
+
+    /// Mean predicted degradation of the moved containers after their
+    /// moves (0.0 when nothing moved).
+    pub fn mean_degradation_after(&self) -> f64 {
+        mean(self.migrations.iter().map(|m| m.degradation_after))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// A planned (not yet executed) move for one over-budget resident.
+struct PlannedMove {
+    to: MachineId,
+    degradation_after: f64,
+    adjusted_perf: f64,
+}
+
+impl PlannedMove {
+    /// Whether `self` beats `other`: lower predicted degradation, then
+    /// higher adjusted prediction, then staying on the current machine
+    /// (an intra-machine node-set move is the §7 setting the Table 2
+    /// costs were measured in; a cross-host move is at best as cheap),
+    /// then the lower machine id — a total, deterministic order.
+    fn beats(&self, other: &PlannedMove, src: MachineId) -> bool {
+        let key = |m: &PlannedMove| {
+            (
+                m.degradation_after,
+                -m.adjusted_perf,
+                (m.to != src) as u8,
+                m.to.0,
+            )
+        };
+        key(self) < key(other)
+    }
+}
+
+impl PlacementEngine {
+    /// One rebalancing pass over the live population.
+    ///
+    /// No-op unless
+    /// [`EngineConfig::degradation_budget`](crate::EngineConfig::degradation_budget)
+    /// is set (admission behaviour with the budget unset is bit-for-bit
+    /// that of a budget-less engine; equivalence-tested). With it set:
+    ///
+    /// 1. **Re-score** every resident against a consistent
+    ///    `(occupancy, residents)` snapshot of its host, *minus
+    ///    itself*: its predicted degradation is `1 − penalty` with the
+    ///    real neighbour workloads running. Within budget → untouched.
+    /// 2. **Plan** the best alternative placement fleet-wide for each
+    ///    over-budget resident (lowest predicted degradation, then
+    ///    highest adjusted prediction, then lowest machine id), scored
+    ///    against per-host snapshots exactly like admission.
+    /// 3. **Price** the move with [`RebalancePolicy::model`] in
+    ///    [`RebalancePolicy::mode`] and execute it only when
+    ///    `benefit_s > cost_s` ([`RebalancePolicy`] documents both
+    ///    sides). Everything expensive — co-location simulation,
+    ///    pricing — happens on snapshots with no host lock held; the
+    ///    executed move only locks for the reserve/registry/release
+    ///    bookkeeping, and a lost race is counted, not forced.
+    ///
+    /// The moved container keeps its [`PlacementTicket`], so handles
+    /// returned at admission still release it.
+    pub fn rebalance(&self, policy: &RebalancePolicy) -> RebalanceReport {
+        let mut report = RebalanceReport::default();
+        let Some(budget) = self.config().degradation_budget else {
+            return report;
+        };
+        for src in self.machine_ids() {
+            let snapshot = self.residents(src);
+            for resident in &snapshot {
+                report.scanned += 1;
+                // Fresh per-resident snapshot: earlier moves in this
+                // same pass changed the landscape.
+                let Some((occ_minus, others)) = self.host_view_without(src, resident.ticket)
+                else {
+                    continue; // departed since the outer snapshot
+                };
+                let degradation = 1.0 - self.resident_penalty(src, resident, &occ_minus, &others);
+                if degradation <= budget {
+                    continue;
+                }
+                report.over_budget += 1;
+                let Some(plan) = self.plan_move(src, resident, degradation, &occ_minus, &others)
+                else {
+                    report.blocked_no_target += 1;
+                    continue;
+                };
+                // Price the move — Table 2, on the real descriptor (so
+                // generated or renamed workloads keep their calibrated
+                // THP fraction).
+                let workload = self
+                    .workload_descriptor(src, &resident.request.workload)
+                    .expect("resident workloads resolve against their host's oracle");
+                let estimate = policy.model.estimate(&workload, policy.mode);
+                if policy.benefit_s(degradation, plan.degradation_after) <= policy.cost_s(&estimate)
+                {
+                    report.blocked_by_cost += 1;
+                    continue;
+                }
+                match self.execute_move(src, resident, &plan, degradation, policy, &estimate) {
+                    Ok((placed, degradation_after)) => report.migrations.push(Migration {
+                        ticket: resident.ticket,
+                        workload: resident.request.workload.clone(),
+                        from: src,
+                        to: plan.to,
+                        degradation_before: degradation,
+                        degradation_after,
+                        estimate,
+                        placed,
+                    }),
+                    Err(()) => report.failed_commits += 1,
+                }
+            }
+        }
+        report
+    }
+
+    /// The best alternative placement for an over-budget resident:
+    /// every machine class is re-evaluated from the original admission
+    /// request (warm-cache work), every summary-admissible host scored
+    /// against its snapshot — the resident's own host scored *minus
+    /// itself* (over `occ_minus`/`others`, the caller's already-taken
+    /// minus-self view), so staying on freed-up local nodes competes
+    /// fairly with moving away. Returns `None` when no candidate
+    /// strictly improves on `degradation_before`.
+    fn plan_move(
+        &self,
+        src: MachineId,
+        resident: &Resident,
+        degradation_before: f64,
+        occ_minus: &vc_topology::OccupancyMap,
+        others: &[vc_core::interference::ResidentWorkload],
+    ) -> Option<PlannedMove> {
+        let mut best: Option<PlannedMove> = None;
+        for class in 0..self.fleet_index().num_classes() {
+            let Ok(cand) = self.evaluate_for_rebalance(class, &resident.request) else {
+                continue;
+            };
+            for &id in self.fleet_index().classes()[class].members() {
+                // Lock-free prefilter, exactly like admission: a host
+                // whose summary leaves no goal-clearing shape possible
+                // is skipped without being locked, cloned or scored.
+                // (The victim's own host is exempt — minus-self it has
+                // at least its current placement free.)
+                if id != src && self.summary_rules_out(id, &cand) {
+                    continue;
+                }
+                // The victim's own host is scored minus-self over the
+                // *full* availability orbits (the fragmentation-first
+                // head is exactly the set beside the noisy neighbour);
+                // other hosts are scored like admissions.
+                let scored = if id == src {
+                    self.best_escape_on_view(id, &cand, occ_minus, others)
+                } else {
+                    let (occ, residents) = self.host_view(id);
+                    self.score_on_view(id, &cand, &occ, &residents).ok()
+                };
+                let Some((_, p, penalty)) = scored else { continue };
+                let degradation_after = 1.0 - penalty;
+                if degradation_after >= degradation_before {
+                    continue;
+                }
+                let plan = PlannedMove {
+                    to: id,
+                    degradation_after,
+                    adjusted_perf: p,
+                };
+                if best.as_ref().is_none_or(|b| plan.beats(b, src)) {
+                    best = Some(plan);
+                }
+            }
+        }
+        best
+    }
+
+    /// Executes a planned move: re-score on a fresh snapshot of the
+    /// target, **re-validate the improvement and the cost gate against
+    /// that fresh score** (a concurrent admission may have landed a
+    /// noisy neighbour on the target since the plan — the rebalancer
+    /// must never pay a migration to make things worse), then — under
+    /// the host lock(s), taken in machine-id order so concurrent
+    /// passes cannot deadlock — reserve the new threads, re-home the
+    /// registry entry (same ticket) and free the old threads. Returns
+    /// the new placement plus the fresh predicted degradation it was
+    /// committed at. The lock-held part is pure bookkeeping; nothing
+    /// there simulates or prices.
+    fn execute_move(
+        &self,
+        src: MachineId,
+        resident: &Resident,
+        plan: &PlannedMove,
+        degradation_before: f64,
+        policy: &RebalancePolicy,
+        estimate: &MigrationEstimate,
+    ) -> Result<(Placed, f64), ()> {
+        let dst = plan.to;
+        // Fresh target snapshot → concrete threads (may simulate on a
+        // cold penalty miss; still no lock held).
+        let cand = self
+            .evaluate_for_rebalance(self.machine_class(dst), &resident.request)
+            .map_err(|_| ())?;
+        let (ap, p, penalty) = if dst == src {
+            let (occ, residents) = self.host_view_without(src, resident.ticket).ok_or(())?;
+            self.best_escape_on_view(dst, &cand, &occ, &residents)
+                .ok_or(())?
+        } else {
+            let (occ, residents) = self.host_view(dst);
+            self.score_on_view(dst, &cand, &occ, &residents)
+                .map_err(|_| ())?
+        };
+        let degradation_after = 1.0 - penalty;
+        if degradation_after >= degradation_before
+            || policy.benefit_s(degradation_before, degradation_after) <= policy.cost_s(estimate)
+        {
+            return Err(()); // the target degraded since the plan
+        }
+        self.commit_move(src, dst, resident, ap, p, penalty)
+            .map(|placed| (placed, degradation_after))
+    }
+}

@@ -190,13 +190,13 @@ proptest! {
         let batch_placed: Vec<Placed> =
             batched.iter().filter_map(|d| d.placed().cloned()).collect();
         for p in &batch_placed {
-            engine.release(p);
+            engine.release(p).unwrap();
         }
 
         let sequential: Vec<Option<Placed>> =
             reqs.iter().map(|r| engine.place(r).placed().cloned()).collect();
         for p in sequential.iter().flatten() {
-            engine.release(p);
+            engine.release(p).unwrap();
         }
         assert_summaries_published(engine);
 
@@ -226,7 +226,7 @@ proptest! {
         for (op, seed) in ops {
             if op == 0 && !live.is_empty() {
                 let victim = live.remove(seed as usize % live.len());
-                engine.release(&victim);
+                engine.release(&victim).unwrap();
             } else {
                 let vcpus = [8, 16, 24][(seed % 3) as usize];
                 let req = PlacementRequest::new("WTbtree", vcpus).with_probe_seed(seed);
@@ -237,7 +237,7 @@ proptest! {
             assert_summaries_published(engine);
         }
         for p in live.drain(..) {
-            engine.release(&p);
+            engine.release(&p).unwrap();
         }
         assert_summaries_published(engine);
     }
@@ -305,7 +305,7 @@ fn full_hosts_are_skipped_by_summaries_without_locking() {
         _ => unreachable!(),
     }
 
-    engine.release(&placed.pop().expect("eight placed"));
+    engine.release(&placed.pop().expect("eight placed")).unwrap();
     assert!(
         engine.place(&req(101)).placed().is_some(),
         "release published the summary; the host is admissible again"
@@ -324,7 +324,7 @@ fn racing_batches_stay_consistent_under_stale_summaries() {
     let engine = Arc::new(engine);
     // Warm the caches so the race is over commitment, not training.
     let warm = engine.place(&PlacementRequest::new("WTbtree", 16));
-    engine.release(warm.placed().expect("fits"));
+    engine.release(warm.placed().expect("fits")).unwrap();
 
     let placed_total: usize = std::thread::scope(|s| {
         let handles: Vec<_> = (0..8)
@@ -354,6 +354,52 @@ fn racing_batches_stay_consistent_under_stale_summaries() {
         assert_eq!(used, total, "both hosts must end exactly full");
     }
     assert_summaries_published(&engine);
+}
+
+/// BestScore ranks machine classes before realising offers: on a fleet
+/// where one class dominates, members of the other classes are never
+/// dry-run at all — `EngineStats::offers` stays at the winning class's
+/// realisations instead of one per admitted host (the pre-ranking
+/// engine offered every one of the 101 hosts).
+#[test]
+fn best_score_offers_only_the_winning_class() {
+    let mut engine = PlacementEngine::new(fast_config());
+    for _ in 0..100 {
+        engine.add_machine(machines::amd_opteron_6272());
+    }
+    engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+
+    let req = PlacementRequest::new("WTbtree", 16);
+    let placed = engine
+        .place_batch(std::slice::from_ref(&req), BatchStrategy::BestScore)
+        .pop()
+        .unwrap()
+        .placed()
+        .expect("empty fleet")
+        .clone();
+    let stats = engine.stats();
+    assert!(
+        stats.offers <= 2,
+        "class-ranked BestScore must stop at the leader's ceiling \
+         (idle host offers it immediately), not dry-run 101 hosts: {} offers",
+        stats.offers
+    );
+    // And the choice is still the best-scoring host: the winning class
+    // ceiling equals the committed prediction (idle fleet, no penalty).
+    assert_eq!(placed.interference_penalty, 1.0);
+    engine.release(&placed).unwrap();
+
+    // Tie-correctness at the ceiling: repeating the request must keep
+    // choosing the lowest machine id of the winning class.
+    let again = engine
+        .place_batch(std::slice::from_ref(&req), BatchStrategy::BestScore)
+        .pop()
+        .unwrap()
+        .placed()
+        .expect("fits")
+        .clone();
+    assert_eq!(again.machine, placed.machine, "deterministic tie-break");
+    engine.release(&again).unwrap();
 }
 
 /// LRU-bounded engines stay bounded: distinct vcpus values beyond the

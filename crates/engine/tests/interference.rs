@@ -116,8 +116,8 @@ fn interference_on_empty_hosts_changes_nothing() {
             (Some(x), Some(y)) => {
                 assert_same_placed(x, y, &format!("request {i}"));
                 assert_eq!(y.interference_penalty, 1.0);
-                off.release(x);
-                on.release(y);
+                off.release(x).unwrap();
+                on.release(y).unwrap();
             }
             (None, None) => {}
             _ => panic!("request {i}: engines disagree on feasibility"),
@@ -271,7 +271,7 @@ fn racing_interference_batches_never_overcommit_or_bounce() {
     let engine = std::sync::Arc::new(engine);
     // Warm the model caches so the race is over commitment.
     let warm = engine.place(&PlacementRequest::new("WTbtree", 16));
-    engine.release(warm.placed().expect("fits"));
+    engine.release(warm.placed().expect("fits")).unwrap();
 
     let placed_total: usize = std::thread::scope(|s| {
         let handles: Vec<_> = (0..8)
@@ -341,11 +341,11 @@ fn warm_interference_lookups_hit_the_cache() {
 
     // Same request against the same signature, repeatedly: zero new
     // simulations.
-    engine.release(&first);
+    engine.release(&first).unwrap();
     for _ in 0..3 {
         let again = engine.place(&req).placed().expect("room").clone();
         assert_eq!(again.interference_penalty, first.interference_penalty);
-        engine.release(&again);
+        engine.release(&again).unwrap();
     }
     let warm = engine.stats().interference;
     assert_eq!(
@@ -353,5 +353,5 @@ fn warm_interference_lookups_hit_the_cache() {
         "warm-path lookups must not re-simulate"
     );
     assert!(warm.hits > cold.hits, "repeats must be cache hits");
-    engine.release(&resident);
+    engine.release(&resident).unwrap();
 }

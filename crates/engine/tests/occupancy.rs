@@ -81,7 +81,7 @@ proptest! {
             if op == 0 && !live.is_empty() {
                 // Depart a pseudo-random live container.
                 let victim = live.remove(seed as usize % live.len());
-                engine.release(&victim);
+                engine.release(&victim).unwrap();
             } else {
                 let vcpus = [8, 16, 24][(seed % 3) as usize];
                 let req = PlacementRequest::new("WTbtree", vcpus).with_probe_seed(seed);
@@ -93,7 +93,7 @@ proptest! {
         }
         // Leave the engine empty for the next case.
         for p in live.drain(..) {
-            engine.release(&p);
+            engine.release(&p).unwrap();
         }
     }
 }
@@ -108,7 +108,7 @@ fn release_restores_exactly_the_freed_capacity() {
     let b = engine.place(&req).placed().expect("fits").clone();
     let before = engine.node_utilisation(MachineId(0));
 
-    engine.release(&a);
+    engine.release(&a).unwrap();
     let after = engine.node_utilisation(MachineId(0));
     for ((node, was, cap), (_, now, _)) in before.iter().zip(&after) {
         let freed_here = a.threads.iter().filter(|&&t| {

@@ -133,7 +133,7 @@ fn concurrent_place_batch_never_deadlocks_or_double_computes() {
                 assert_eq!(decisions.len(), 4);
                 for d in &decisions {
                     if let Some(p) = d.placed() {
-                        engine.release(p);
+                        engine.release(p).unwrap();
                     }
                 }
             });
@@ -162,7 +162,7 @@ fn concurrent_placements_never_overcommit_capacity() {
     // Warm the caches so the racing threads contend on commitment, not
     // on training.
     let warm = engine.place(&PlacementRequest::new("WTbtree", 16));
-    engine.release(warm.placed().expect("fits"));
+    engine.release(warm.placed().expect("fits")).unwrap();
 
     let placed_total = std::thread::scope(|s| {
         let handles: Vec<_> = (0..8)

@@ -1,0 +1,362 @@
+//! The self-correcting loop, end to end:
+//!
+//! * with `degradation_budget` unset, `rebalance()` is a no-op and the
+//!   engine commits bit-for-bit the decisions of a budget-less engine;
+//! * with a budget nothing ever exceeds, passes scan but never migrate
+//!   — and decisions remain bit-for-bit identical;
+//! * the cost/benefit gate keeps migrations whose Table 2 price
+//!   outweighs the predicted gain from executing;
+//! * a genuinely degraded resident is migrated (priced via
+//!   `MigrationModel`), its simulator-measured degradation strictly
+//!   improves, and the admission-time `Placed` handle still releases it
+//!   from its new home;
+//! * release errors are surfaced, counted, and leave occupancy intact.
+//!
+//! No simulator or migration-model call runs under a host lock: scoring
+//! and pricing run on snapshots (the deadlock-free completion of these
+//! tests, which all take host locks through commits/releases while
+//! penalties simulate, exercises exactly that).
+
+use vc_engine::{
+    BatchStrategy, EngineConfig, MachineId, MigrationMode, Placed, PlacementEngine,
+    PlacementRequest, RebalancePolicy, ReleaseError,
+};
+use vc_ml::forest::ForestConfig;
+use vc_sim::{simulate_co_location, ContainerRun, SimConfig};
+use vc_topology::machines;
+
+fn fast_config() -> EngineConfig {
+    EngineConfig {
+        n_seeds: 2,
+        extra_synthetic: 0,
+        forest: ForestConfig {
+            n_trees: 20,
+            ..ForestConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+fn two_amd(budget: Option<f64>) -> PlacementEngine {
+    let mut engine = PlacementEngine::new(EngineConfig {
+        interference: true,
+        degradation_budget: budget,
+        ..fast_config()
+    });
+    engine.add_machine(machines::amd_opteron_6272());
+    engine.add_machine(machines::amd_opteron_6272());
+    engine
+}
+
+/// A streaming resident on half of host 0's node 0, and a candidate the
+/// pristine-averse retargeter stacks right next to it — the classic
+/// co-location pathology the rebalancer exists to fix. Host 1 is idle.
+fn degraded_pair(engine: &PlacementEngine) -> (Placed, Placed) {
+    let resident = engine
+        .place(&PlacementRequest::new("streamcluster", 4))
+        .placed()
+        .expect("empty fleet")
+        .clone();
+    assert_eq!(resident.machine, MachineId(0));
+    let victim = engine
+        .place(&PlacementRequest::new("WTbtree", 4).with_probe_seed(7))
+        .placed()
+        .expect("room next to the resident")
+        .clone();
+    assert_eq!(victim.machine, MachineId(0), "must stack beside the resident");
+    assert!(
+        victim.interference_penalty < 1.0,
+        "the pair must actually interfere"
+    );
+    (resident, victim)
+}
+
+fn assert_same_placed(a: &Placed, b: &Placed, ctx: &str) {
+    assert_eq!(a.machine, b.machine, "{ctx}: machine diverged");
+    assert_eq!(a.placement_id, b.placement_id, "{ctx}: class diverged");
+    assert_eq!(a.spec.nodes, b.spec.nodes, "{ctx}: node set diverged");
+    assert_eq!(a.threads, b.threads, "{ctx}: threads diverged");
+    assert_eq!(a.predicted_perf, b.predicted_perf, "{ctx}: prediction diverged");
+}
+
+/// Budget unset (the default): `rebalance` scans nothing, moves
+/// nothing, touches nothing — and admission decisions are bit-for-bit
+/// those of an engine on which `rebalance` is never called.
+#[test]
+fn budget_unset_rebalance_is_a_noop() {
+    let rebalanced = two_amd(None);
+    let untouched = two_amd(None);
+    assert!(rebalanced.config().degradation_budget.is_none(), "default");
+
+    let policy = RebalancePolicy::default();
+    for i in 0..6 {
+        let req = PlacementRequest::new(["WTbtree", "streamcluster"][i % 2], 8)
+            .with_probe_seed(i as u64);
+        let a = rebalanced.place_batch(std::slice::from_ref(&req), BatchStrategy::BestScore);
+        // A pass between every placement: must change nothing.
+        let report = rebalanced.rebalance(&policy);
+        assert_eq!(report.scanned, 0, "budget unset must not even scan");
+        assert_eq!(report.over_budget, 0);
+        assert!(report.migrations.is_empty());
+        let b = untouched.place_batch(std::slice::from_ref(&req), BatchStrategy::BestScore);
+        match (a[0].placed(), b[0].placed()) {
+            (Some(x), Some(y)) => assert_same_placed(x, y, &format!("request {i}")),
+            (None, None) => {}
+            _ => panic!("request {i}: engines disagree on feasibility"),
+        }
+    }
+}
+
+/// A budget nothing exceeds: passes scan the population but never
+/// migrate, and the decision stream stays bit-for-bit identical to the
+/// budget-less engine's.
+#[test]
+fn generous_budget_scans_but_never_migrates() {
+    let generous = two_amd(Some(0.99));
+    let reference = two_amd(None);
+    let policy = RebalancePolicy::default();
+    let mut scanned_total = 0;
+    for i in 0..6 {
+        let req = PlacementRequest::new(["WTbtree", "streamcluster"][i % 2], 8)
+            .with_probe_seed(i as u64);
+        let a = generous.place_batch(std::slice::from_ref(&req), BatchStrategy::BestScore);
+        let report = generous.rebalance(&policy);
+        scanned_total += report.scanned;
+        assert_eq!(report.over_budget, 0, "no degradation reaches 0.99");
+        assert!(report.migrations.is_empty());
+        assert_eq!(report.blocked_by_cost + report.blocked_no_target, 0);
+        let b = reference.place_batch(std::slice::from_ref(&req), BatchStrategy::BestScore);
+        match (a[0].placed(), b[0].placed()) {
+            (Some(x), Some(y)) => assert_same_placed(x, y, &format!("request {i}")),
+            (None, None) => {}
+            _ => panic!("request {i}: engines disagree on feasibility"),
+        }
+    }
+    assert!(scanned_total > 0, "the passes must have examined residents");
+}
+
+/// The cost/benefit gate: the same degraded resident that a normal
+/// horizon migrates is kept in place when the credited runtime is too
+/// short for the move to pay for itself (WiredTiger's 36 GB freeze
+/// outweighs a fraction of a second of recovered throughput).
+#[test]
+fn cost_benefit_gate_blocks_unprofitable_moves() {
+    let engine = two_amd(Some(0.005));
+    let (_resident, _victim) = degraded_pair(&engine);
+    let stingy = RebalancePolicy {
+        expected_runtime_s: 0.001,
+        ..RebalancePolicy::default()
+    };
+    let report = engine.rebalance(&stingy);
+    assert!(report.over_budget >= 1, "the victim must be over budget");
+    assert!(
+        report.migrations.is_empty(),
+        "no move can pay for itself in a millisecond of runtime"
+    );
+    assert!(report.blocked_by_cost >= 1, "the gate must be what blocked it");
+    // Nothing moved: both containers still where they were.
+    assert_eq!(engine.utilisation(MachineId(0)).0, 8);
+    assert_eq!(engine.utilisation(MachineId(1)).0, 0);
+}
+
+/// The acceptance demo: a degraded resident is migrated to the idle
+/// host, the move is priced by the Table 2 model, and the simulator —
+/// running the *real* workloads — confirms the container is strictly
+/// faster in its new home. The admission-time handle then releases it
+/// from where it lives now.
+#[test]
+fn degraded_resident_is_migrated_and_measurably_faster() {
+    let engine = two_amd(Some(0.005));
+    let (resident, victim) = degraded_pair(&engine);
+
+    let policy = RebalancePolicy {
+        mode: MigrationMode::Fast,
+        ..RebalancePolicy::default()
+    };
+    let report = engine.rebalance(&policy);
+    assert!(report.over_budget >= 1);
+    // The bandwidth-starved streamcluster (scanned first, worst off) is
+    // the mover; once it leaves, WiredTiger re-scores within budget and
+    // stays put — one move fixes the pair.
+    assert_eq!(report.migrations.len(), 1, "one move must fix the pair");
+    let m = &report.migrations[0];
+    assert_eq!(m.ticket, resident.ticket, "the streaming resident moves");
+    assert_eq!(m.workload, "streamcluster");
+    assert_eq!(m.from, MachineId(0));
+    assert!(
+        m.degradation_after < m.degradation_before,
+        "{} !< {}",
+        m.degradation_after,
+        m.degradation_before
+    );
+    assert_ne!(
+        (m.to, m.placed.spec.nodes.clone()),
+        (m.from, resident.spec.nodes.clone()),
+        "the move must change where the container runs"
+    );
+    // Priced, not hand-waved: Table 2 streamcluster row (0.1 GB, base
+    // setup plus per-task cost — sub-second but strictly positive).
+    assert!(m.estimate.moved_gb > 0.0);
+    assert!(m.estimate.duration_s > 0.0);
+    assert!((report.moved_gb() - m.estimate.moved_gb).abs() < 1e-9);
+    assert!(report.frozen_s() > 0.0, "fast migration freezes the container");
+
+    // The registry followed the move: same ticket, new threads.
+    let new_home: Vec<_> = engine
+        .residents(m.to)
+        .into_iter()
+        .filter(|r| r.ticket == m.ticket)
+        .collect();
+    assert_eq!(new_home.len(), 1);
+    assert_eq!(new_home[0].threads, m.placed.threads);
+    assert!(
+        engine
+            .residents(MachineId(0))
+            .iter()
+            .any(|r| r.ticket == victim.ticket),
+        "WiredTiger stays"
+    );
+
+    // Let the simulator judge, with the real workloads: the mover next
+    // to WiredTiger (before) vs in its new home (after, with whatever
+    // neighbours live there now).
+    let amd = machines::amd_opteron_6272();
+    let oracle = engine.sim_oracle(MachineId(0));
+    let workload_of = |name: &str| {
+        oracle
+            .workloads()
+            .iter()
+            .find(|w| w.name == name)
+            .expect("suite workload")
+            .clone()
+    };
+    let probe = SimConfig::interference_probe();
+    let before = simulate_co_location(
+        &amd,
+        &ContainerRun {
+            workload: workload_of("streamcluster"),
+            assignment: resident.threads.clone(),
+        },
+        &[ContainerRun {
+            workload: workload_of("WTbtree"),
+            assignment: victim.threads.clone(),
+        }],
+        &probe,
+        0,
+    );
+    let after_neighbours: Vec<ContainerRun> = engine
+        .residents(m.to)
+        .into_iter()
+        .filter(|r| r.ticket != m.ticket)
+        .map(|r| ContainerRun {
+            workload: workload_of(&r.request.workload),
+            assignment: r.threads,
+        })
+        .collect();
+    let after = simulate_co_location(
+        &amd,
+        &ContainerRun {
+            workload: workload_of("streamcluster"),
+            assignment: m.placed.threads.clone(),
+        },
+        &after_neighbours,
+        &probe,
+        0,
+    );
+    assert!(
+        after.candidate.inst_per_sec > before.candidate.inst_per_sec,
+        "the move must measurably help: after {} vs before {}",
+        after.candidate.inst_per_sec,
+        before.candidate.inst_per_sec
+    );
+
+    // The caller never heard about the move; its admission-time handle
+    // (stale machine, stale threads) still releases the container from
+    // wherever it lives now.
+    engine.release(&resident).unwrap();
+    engine.release(&victim).unwrap();
+    assert_eq!(engine.utilisation(MachineId(0)).0, 0);
+    assert_eq!(engine.utilisation(MachineId(1)).0, 0);
+    assert_eq!(engine.stats().release_failures, 0);
+    assert_eq!(engine.num_residents(), 0);
+}
+
+/// Release misuse is an error, counted, and harmless: double releases
+/// (including via a handle made stale by a rebalance move that then
+/// departed) leave occupancy and summaries untouched.
+#[test]
+fn release_errors_are_surfaced_counted_and_harmless() {
+    let engine = PlacementEngine::single(machines::amd_opteron_6272(), fast_config());
+    let placed = engine
+        .place(&PlacementRequest::new("swaptions", 16))
+        .placed()
+        .expect("fits")
+        .clone();
+    let other = engine
+        .place(&PlacementRequest::new("swaptions", 16))
+        .placed()
+        .expect("fits")
+        .clone();
+
+    engine.release(&placed).unwrap();
+    assert_eq!(engine.utilisation(MachineId(0)).0, 16);
+
+    // Double release: refused, counted, and the *other* container's
+    // threads are untouched (the old thread-list release would have
+    // failed half-way or freed someone else's hardware).
+    let err = engine.release(&placed).unwrap_err();
+    assert!(matches!(err, ReleaseError::UnknownPlacement { ticket, .. } if ticket == placed.ticket));
+    assert!(err.to_string().contains("already released"), "{err}");
+    let stats = engine.stats();
+    assert_eq!(stats.release_failures, 1);
+    assert_eq!(stats.releases, 1);
+    assert_eq!(engine.utilisation(MachineId(0)).0, 16, "nothing was freed");
+    let occ = engine.occupancy(MachineId(0));
+    for &t in &other.threads {
+        assert!(!occ.is_free(t), "double release freed a live container's thread");
+    }
+
+    engine.release(&other).unwrap();
+    assert_eq!(engine.stats().releases, 2);
+    assert_eq!(engine.utilisation(MachineId(0)).0, 0);
+}
+
+/// A same-host rebalance: with no second host to flee to, the victim is
+/// moved onto a far node of its own machine (the same-host path
+/// releases before it reserves, so overlapping node sets are legal).
+#[test]
+fn rebalance_can_move_within_one_host() {
+    let mut engine = PlacementEngine::new(EngineConfig {
+        interference: true,
+        degradation_budget: Some(0.005),
+        ..fast_config()
+    });
+    engine.add_machine(machines::amd_opteron_6272());
+    let (_resident, victim) = {
+        let resident = engine
+            .place(&PlacementRequest::new("streamcluster", 4))
+            .placed()
+            .expect("empty fleet")
+            .clone();
+        let victim = engine
+            .place(&PlacementRequest::new("WTbtree", 4).with_probe_seed(7))
+            .placed()
+            .expect("room")
+            .clone();
+        (resident, victim)
+    };
+    let report = engine.rebalance(&RebalancePolicy::default());
+    assert_eq!(report.migrations.len(), 1);
+    let m = &report.migrations[0];
+    assert_eq!(m.from, MachineId(0));
+    assert_eq!(m.to, MachineId(0));
+    assert_ne!(
+        m.placed.spec.nodes, victim.spec.nodes,
+        "the move must change the node set"
+    );
+    assert!(m.degradation_after < m.degradation_before);
+    // Occupancy stays exact: still exactly two containers' threads.
+    assert_eq!(engine.utilisation(MachineId(0)).0, 8);
+    engine.release(&victim).unwrap();
+    assert_eq!(engine.utilisation(MachineId(0)).0, 4);
+}

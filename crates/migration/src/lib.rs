@@ -78,25 +78,41 @@ pub struct MigrationEstimate {
     pub migrates_page_cache: bool,
 }
 
-/// Fraction of a workload's anonymous memory backed by transparent huge
-/// pages. Large streaming heaps (Metis) promote well; Postgres and JVM
-/// heaps largely do not.
-pub fn thp_fraction(workload_name: &str) -> f64 {
-    match workload_name {
-        "kmeans" => 0.6,
-        "pca" => 0.42,
-        "wc" => 0.2,
-        "wr" => 0.25,
-        _ => 0.0,
-    }
+/// How a rebalancing move is executed — which §7 cost structure prices
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MigrationMode {
+    /// The paper's fast migration: freeze the container, copy anonymous
+    /// memory *and* page cache with parallel workers.
+    Fast,
+    /// Fast migration with the copy bandwidth capped (GB/s): the
+    /// container keeps running at a few percent overhead.
+    Throttled {
+        /// Copy-bandwidth cap in GB/s (clamped to the fast-copy peak).
+        bw_gbs: f64,
+    },
+    /// Stock Linux `cpuset`/`mempolicy` migration: anonymous memory
+    /// only, per-page syscalls, per-task rebind costs.
+    LinuxDefault,
 }
 
 impl MigrationModel {
     /// Effective Linux copy bandwidth for a workload, accounting for its
-    /// THP fraction.
+    /// THP fraction. Reads [`Workload::thp_fraction`] — an earlier
+    /// revision matched on workload *names*, silently handing every
+    /// generated or renamed workload the worst-case 4 KiB-page estimate.
     fn linux_bw(&self, w: &Workload) -> f64 {
-        let thp = thp_fraction(&w.name);
+        let thp = w.thp_fraction;
         self.linux_small_page_bw_gbs * (1.0 - thp) + self.linux_huge_page_bw_gbs * thp
+    }
+
+    /// Prices one migration of `w` in the given mode.
+    pub fn estimate(&self, w: &Workload, mode: MigrationMode) -> MigrationEstimate {
+        match mode {
+            MigrationMode::Fast => self.fast(w),
+            MigrationMode::Throttled { bw_gbs } => self.throttled(w, bw_gbs),
+            MigrationMode::LinuxDefault => self.linux_default(w),
+        }
     }
 
     /// The paper's fast migration (freeze mode): moves anonymous memory
@@ -239,6 +255,45 @@ mod tests {
         let per_task =
             w.processes as f64 * (m.linux_per_task_s + m.linux_per_task_per_gb_s * w.anon_gb);
         assert!(per_task / est.duration_s > 0.8);
+    }
+
+    #[test]
+    fn renamed_and_generated_workloads_keep_their_thp_speed() {
+        // Regression: the THP fraction lives on the descriptor. A clone
+        // of kmeans under a generated name must migrate at the same
+        // huge-page-assisted bandwidth — the old name lookup gave it
+        // 0.0 THP and the worst-case 4 KiB estimate.
+        let m = MigrationModel::default();
+        let kmeans = workload_by_name("kmeans").unwrap();
+        let mut clone = kmeans.clone();
+        clone.name = "kmeans-7f3a".to_string();
+        assert_eq!(
+            m.linux_default(&clone).duration_s,
+            m.linux_default(&kmeans).duration_s
+        );
+        // And a synthetic workload with a big heap is strictly faster
+        // than the same workload stripped of its THP fraction.
+        let mut synth = vc_workloads::generator::training_corpus(1, 3).remove(0);
+        synth.anon_gb = 24.0;
+        synth.thp_fraction = 0.45;
+        let mut no_thp = synth.clone();
+        no_thp.thp_fraction = 0.0;
+        assert!(m.linux_default(&synth).duration_s < m.linux_default(&no_thp).duration_s);
+    }
+
+    #[test]
+    fn estimate_dispatches_on_mode() {
+        let m = MigrationModel::default();
+        let w = workload_by_name("WTbtree").unwrap();
+        assert_eq!(m.estimate(&w, MigrationMode::Fast), m.fast(&w));
+        assert_eq!(
+            m.estimate(&w, MigrationMode::LinuxDefault),
+            m.linux_default(&w)
+        );
+        assert_eq!(
+            m.estimate(&w, MigrationMode::Throttled { bw_gbs: 0.6 }),
+            m.throttled(&w, 0.6)
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use vc_engine::{BatchStrategy, Placed, PlacementEngine, PlacementRequest};
+use vc_engine::{
+    BatchStrategy, Placed, PlacementEngine, PlacementRequest, RebalancePolicy, RebalanceReport,
+};
 
 /// One event in a churn schedule.
 #[derive(Debug, Clone)]
@@ -140,6 +142,83 @@ pub struct ChurnReport {
     /// event occupies one unit interval). The final utilisation sample
     /// holds from its event time to this instant.
     pub horizon: f64,
+    /// Aggregate rebalancing activity. All zero unless the scenario
+    /// was given [`ChurnScenario::with_rebalance`]; on an engine
+    /// without a degradation budget the passes still run (and are
+    /// counted in [`RebalanceTotals::runs`]) but scan and move
+    /// nothing.
+    pub rebalance: RebalanceTotals,
+}
+
+/// Aggregated counters over every periodic [`PlacementEngine::rebalance`]
+/// pass a churn run performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RebalanceTotals {
+    /// Rebalance passes executed.
+    pub runs: usize,
+    /// Residents examined across all passes.
+    pub scanned: usize,
+    /// Residents found over the degradation budget.
+    pub over_budget: usize,
+    /// Migrations executed.
+    pub migrations: usize,
+    /// Over-budget residents kept in place because the best move's
+    /// benefit did not beat its migration cost.
+    pub blocked_by_cost: usize,
+    /// Over-budget residents with no strictly better placement.
+    pub blocked_no_target: usize,
+    /// Planned moves abandoned at commit time (raced by concurrent
+    /// commits, the resident departed, or the target's fresh score no
+    /// longer cleared the gates).
+    pub failed_commits: usize,
+    /// Total data moved by executed migrations (GB).
+    pub moved_gb: f64,
+    /// Total container freeze time charged by executed migrations (s).
+    pub frozen_s: f64,
+    /// Sum of predicted degradations of moved containers before their
+    /// moves (divide by [`Self::migrations`] for the mean).
+    pub degradation_before_sum: f64,
+    /// Sum of predicted degradations of moved containers after their
+    /// moves.
+    pub degradation_after_sum: f64,
+}
+
+impl RebalanceTotals {
+    fn absorb(&mut self, report: &RebalanceReport) {
+        self.runs += 1;
+        self.scanned += report.scanned;
+        self.over_budget += report.over_budget;
+        self.migrations += report.migrations.len();
+        self.blocked_by_cost += report.blocked_by_cost;
+        self.blocked_no_target += report.blocked_no_target;
+        self.failed_commits += report.failed_commits;
+        self.moved_gb += report.moved_gb();
+        self.frozen_s += report.frozen_s();
+        for m in &report.migrations {
+            self.degradation_before_sum += m.degradation_before;
+            self.degradation_after_sum += m.degradation_after;
+        }
+    }
+
+    /// Mean predicted degradation of moved containers before their
+    /// moves (0.0 when nothing moved).
+    pub fn mean_degradation_before(&self) -> f64 {
+        if self.migrations == 0 {
+            0.0
+        } else {
+            self.degradation_before_sum / self.migrations as f64
+        }
+    }
+
+    /// Mean predicted degradation of moved containers after their moves
+    /// (0.0 when nothing moved).
+    pub fn mean_degradation_after(&self) -> f64 {
+        if self.migrations == 0 {
+            0.0
+        } else {
+            self.degradation_after_sum / self.migrations as f64
+        }
+    }
 }
 
 impl ChurnReport {
@@ -215,6 +294,10 @@ pub struct ChurnScenario {
     /// Generation parameters, kept so builder methods can regenerate
     /// the schedule.
     stochastic: Option<StochasticParams>,
+    /// Periodic rebalancing: `(interval, policy)`. Every `interval`
+    /// time units the engine re-scores its residents and migrates what
+    /// the budget condemns and the cost model approves.
+    rebalance: Option<(f64, RebalancePolicy)>,
 }
 
 #[derive(Debug, Clone)]
@@ -234,6 +317,7 @@ impl ChurnScenario {
             times: Vec::new(),
             strategy: BatchStrategy::FirstFit,
             stochastic: None,
+            rebalance: None,
         }
     }
 
@@ -286,6 +370,7 @@ impl ChurnScenario {
             events: Vec::new(),
             times: Vec::new(),
             strategy: BatchStrategy::FirstFit,
+            rebalance: None,
             stochastic: Some(StochasticParams {
                 seed,
                 rate,
@@ -323,6 +408,27 @@ impl ChurnScenario {
     /// Overrides the batch strategy used for arrivals.
     pub fn with_strategy(mut self, strategy: BatchStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Enables periodic rebalancing: every `interval` time units (event
+    /// units on declarative schedules) the run calls
+    /// [`PlacementEngine::rebalance`] with `policy`, migrating
+    /// residents whose predicted degradation exceeds the *engine's*
+    /// `degradation_budget` when the move's benefit beats its Table 2
+    /// migration cost. With the engine budget unset the passes are
+    /// no-ops (counted in [`RebalanceTotals::runs`] only).
+    ///
+    /// Containers moved by a pass keep their tickets, so the scenario's
+    /// departure bookkeeping — and yours — keeps working on the
+    /// admission-time [`Placed`] handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval` is not strictly positive.
+    pub fn with_rebalance(mut self, interval: f64, policy: RebalancePolicy) -> Self {
+        assert!(interval > 0.0, "rebalance interval must be positive");
+        self.rebalance = Some((interval, policy));
         self
     }
 
@@ -388,7 +494,32 @@ impl ChurnScenario {
             total_threads,
         };
         let mut utilisation = Vec::with_capacity(self.events.len());
+        let horizon = match &self.stochastic {
+            Some(p) => p.horizon,
+            // Declarative schedules: event i occupies [i, i + 1).
+            None => self.events.len() as f64,
+        };
+        let mut rebalance_totals = RebalanceTotals::default();
+        // Next pending rebalance tick, advanced as simulated time
+        // passes events (f64::INFINITY = rebalancing off).
+        let mut next_tick = self
+            .rebalance
+            .as_ref()
+            .map_or(f64::INFINITY, |(interval, _)| *interval);
+        let mut tick = |now: f64, totals: &mut RebalanceTotals| {
+            let Some((interval, policy)) = &self.rebalance else {
+                return;
+            };
+            while next_tick <= now.min(horizon) {
+                totals.absorb(&engine.rebalance(policy));
+                next_tick += interval;
+            }
+        };
         for (i, event) in self.events.iter().enumerate() {
+            tick(
+                self.times.get(i).copied().unwrap_or(i as f64),
+                &mut rebalance_totals,
+            );
             match event {
                 ChurnEvent::Arrive { name, request } => {
                     let decision = engine
@@ -416,7 +547,12 @@ impl ChurnScenario {
                 }
                 ChurnEvent::Depart { name } => {
                     if let Some(p) = live.remove(name) {
-                        engine.release(&p);
+                        // The ticket resolves the container wherever a
+                        // rebalance pass may have moved it; each live
+                        // name releases exactly once.
+                        engine
+                            .release(&p)
+                            .expect("live container releases exactly once");
                         departed += 1;
                     }
                 }
@@ -433,13 +569,11 @@ impl ChurnScenario {
                 total_threads,
             });
         }
+        // Ticks between the final event and the horizon still fire: a
+        // quiet tail is when accumulated co-location pain gets fixed.
+        tick(horizon, &mut rebalance_totals);
         let placed = arrivals.iter().filter(|a| a.placed.is_some()).count();
         let rejected = arrivals.len() - placed;
-        let horizon = match &self.stochastic {
-            Some(p) => p.horizon,
-            // Declarative schedules: event i occupies [i, i + 1).
-            None => self.events.len() as f64,
-        };
         ChurnReport {
             arrivals,
             placed,
@@ -449,6 +583,7 @@ impl ChurnScenario {
             utilisation,
             initial_utilisation,
             horizon,
+            rebalance: rebalance_totals,
         }
     }
 }
@@ -456,7 +591,9 @@ impl ChurnScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vc_engine::EngineConfig;
+    use proptest::prelude::*;
+    use vc_engine::{EngineConfig, PlacementEngine};
+    use vc_ml::forest::ForestConfig;
     use vc_topology::machines;
 
     fn engine() -> PlacementEngine {
@@ -467,6 +604,72 @@ mod tests {
                 ..EngineConfig::default()
             },
         )
+    }
+
+    /// Trimmed training so rebalance-heavy tests stay fast.
+    fn fast_config() -> EngineConfig {
+        EngineConfig {
+            n_seeds: 2,
+            extra_synthetic: 0,
+            forest: ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Per machine: the union of registry threads is exactly the
+    /// occupancy's used set — the registry↔occupancy equivalence the
+    /// engine promises through arbitrary churn and rebalancing.
+    fn assert_registry_matches_occupancy(engine: &PlacementEngine) {
+        for id in engine.machine_ids() {
+            let occ = engine.occupancy(id);
+            let residents = engine.residents(id);
+            let mut union: Vec<vc_topology::ThreadId> = Vec::new();
+            for r in &residents {
+                for &t in &r.threads {
+                    assert!(
+                        !occ.is_free(t),
+                        "machine {id:?}: registry thread {t} is free in occupancy"
+                    );
+                    assert!(
+                        !union.contains(&t),
+                        "machine {id:?}: thread {t} owned by two residents"
+                    );
+                    union.push(t);
+                }
+            }
+            assert_eq!(
+                union.len(),
+                occ.used_threads(),
+                "machine {id:?}: registry covers {} threads, occupancy holds {}",
+                union.len(),
+                occ.used_threads()
+            );
+        }
+    }
+
+    /// Releases every live container via handles rebuilt from the
+    /// registry (exercising ticket-resolved release on the way out).
+    fn drain(engine: &PlacementEngine) {
+        for id in engine.machine_ids() {
+            for r in engine.residents(id) {
+                let handle = Placed {
+                    ticket: r.ticket,
+                    machine: id,
+                    placement_id: r.placement_id,
+                    spec: r.spec.clone(),
+                    threads: r.threads.clone(),
+                    predicted_perf: r.predicted_perf,
+                    interference_penalty: r.interference_penalty,
+                    goal_perf: r.goal_perf,
+                    goal_met: true,
+                };
+                engine.release(&handle).unwrap();
+            }
+        }
+        assert_eq!(engine.num_residents(), 0);
     }
 
     #[test]
@@ -629,6 +832,7 @@ mod tests {
                 total_threads: 64,
             },
             horizon: 10.0,
+            rebalance: RebalanceTotals::default(),
         };
         assert!((report.mean_utilisation() - 0.225).abs() < 1e-12);
     }
@@ -656,6 +860,7 @@ mod tests {
                 total_threads: 64,
             },
             horizon: 10.0,
+            rebalance: RebalanceTotals::default(),
         };
         assert!((report.mean_utilisation() - 0.05).abs() < 1e-12);
     }
@@ -683,6 +888,7 @@ mod tests {
                 total_threads: 64,
             },
             horizon: 10.0,
+            rebalance: RebalanceTotals::default(),
         };
         assert!(
             (report.mean_utilisation() - 0.4).abs() < 1e-12,
@@ -783,6 +989,136 @@ mod tests {
         assert_eq!(report.utilisation[0].used_threads, 16);
         assert_eq!(report.utilisation[1].time, 1.0);
         assert_eq!(report.utilisation[1].used_threads, 0);
+    }
+
+    #[test]
+    fn rebalance_ticks_on_a_budgetless_engine_change_nothing() {
+        // The bit-for-bit guard for the default: with
+        // `degradation_budget` unset, a schedule with rebalance ticks
+        // commits exactly what the same schedule commits without them
+        // (the passes run but scan nothing).
+        let scenario = ChurnScenario::stochastic(11, 0.8, 4.0)
+            .with_horizon(12.0)
+            .with_request_pool(vec![
+                PlacementRequest::new("streamcluster", 4),
+                PlacementRequest::new("WTbtree", 8),
+            ]);
+        let build = || {
+            let mut e = PlacementEngine::new(EngineConfig {
+                interference: true,
+                ..fast_config()
+            });
+            e.add_machine(machines::amd_opteron_6272());
+            e.add_machine(machines::amd_opteron_6272());
+            e
+        };
+        let plain_engine = build();
+        let plain = scenario.run(&plain_engine);
+        let ticked_engine = build();
+        let ticked = scenario
+            .clone()
+            .with_rebalance(2.0, RebalancePolicy::default())
+            .run(&ticked_engine);
+
+        assert!(ticked.rebalance.runs > 0, "ticks must fire");
+        assert_eq!(ticked.rebalance.scanned, 0, "no budget, nothing scanned");
+        assert_eq!(ticked.rebalance.migrations, 0);
+        assert_eq!(plain.arrivals.len(), ticked.arrivals.len());
+        for (a, b) in plain.arrivals.iter().zip(&ticked.arrivals) {
+            match (&a.placed, &b.placed) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.machine, y.machine, "{}", a.name);
+                    assert_eq!(x.threads, y.threads, "{}", a.name);
+                    assert_eq!(x.predicted_perf, y.predicted_perf, "{}", a.name);
+                }
+                (None, None) => {}
+                _ => panic!("{}: decisions diverged", a.name),
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_churn_with_rebalance_reports_migration_economics() {
+        // Two hosts, streaming + comm-bound half-node containers at an
+        // offered load that forces co-location, a tight budget: the
+        // periodic passes must actually move containers, and the report
+        // must carry the Table 2 economics.
+        let mut engine = PlacementEngine::new(EngineConfig {
+            interference: true,
+            degradation_budget: Some(0.01),
+            ..fast_config()
+        });
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine(machines::amd_opteron_6272());
+        let report = ChurnScenario::stochastic(3, 1.0, 6.0)
+            .with_horizon(16.0)
+            .with_request_pool(vec![
+                PlacementRequest::new("streamcluster", 4),
+                PlacementRequest::new("WTbtree", 4),
+            ])
+            .with_rebalance(2.0, RebalancePolicy::default())
+            .run(&engine);
+
+        assert!(report.placed > 0);
+        let totals = report.rebalance;
+        assert!(totals.runs >= 7, "a tick every 2 units of 16: {}", totals.runs);
+        assert!(totals.scanned > 0);
+        assert!(totals.migrations > 0, "the tight budget must trigger moves");
+        assert!(totals.moved_gb > 0.0);
+        assert!(
+            totals.mean_degradation_after() < totals.mean_degradation_before(),
+            "after {} !< before {}",
+            totals.mean_degradation_after(),
+            totals.mean_degradation_before()
+        );
+        // Departures of moved containers resolved by ticket (the run
+        // would have panicked otherwise); what's left is consistent.
+        assert_registry_matches_occupancy(&engine);
+        drain(&engine);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Registry↔occupancy equivalence through stochastic churn
+        /// *with rebalancing*: whatever the schedule and the passes
+        /// did, every host's registry covers exactly the occupancy's
+        /// used threads, resident thread sets stay pairwise disjoint,
+        /// and every container drains by ticket.
+        #[test]
+        fn registry_matches_occupancy_through_stochastic_churn(
+            seed in 0u64..1000,
+            rate_x10 in 5u64..15,
+            interval_x10 in 10u64..40,
+        ) {
+            static ENGINE: std::sync::OnceLock<PlacementEngine> = std::sync::OnceLock::new();
+            let engine = ENGINE.get_or_init(|| {
+                let mut e = PlacementEngine::new(EngineConfig {
+                    interference: true,
+                    degradation_budget: Some(0.01),
+                    ..fast_config()
+                });
+                e.add_machine(machines::amd_opteron_6272());
+                e.add_machine(machines::amd_opteron_6272());
+                e
+            });
+            let report = ChurnScenario::stochastic(seed, rate_x10 as f64 / 10.0, 5.0)
+                .with_horizon(10.0)
+                .with_request_pool(vec![
+                    PlacementRequest::new("streamcluster", 4),
+                    PlacementRequest::new("swaptions", 8),
+                    PlacementRequest::new("WTbtree", 4),
+                ])
+                .with_rebalance(interval_x10 as f64 / 10.0, RebalancePolicy::default())
+                .run(engine);
+            prop_assert_eq!(report.placed + report.rejected, report.arrivals.len());
+            assert_registry_matches_occupancy(engine);
+            // Shared engine across cases: drain so the next case starts
+            // empty (and the drain itself re-proves ticket release).
+            drain(engine);
+            assert_registry_matches_occupancy(engine);
+            prop_assert_eq!(engine.machine_ids().iter().map(|&id| engine.utilisation(id).0).sum::<usize>(), 0);
+        }
     }
 
     #[test]

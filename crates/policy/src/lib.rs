@@ -20,5 +20,5 @@
 pub mod churn;
 pub mod scenario;
 
-pub use churn::{ChurnEvent, ChurnReport, ChurnScenario};
+pub use churn::{ChurnEvent, ChurnReport, ChurnScenario, RebalanceTotals};
 pub use scenario::{PackingScenario, Policy, PolicyOutcome};

@@ -129,6 +129,7 @@ pub fn resident_stand_in() -> Workload {
         coop_prefetch: 0.1,
         anon_gb: 4.0,
         page_cache_gb: 1.0,
+        thp_fraction: 0.0,
         processes: 1,
         metric: Metric::Ipc,
         inst_per_op: 10_000.0,

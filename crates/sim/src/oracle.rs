@@ -1,7 +1,7 @@
 //! [`vc_core::model::PerfOracle`] implementation backed by the simulator.
 
 use vc_core::assign::assign_vcpus;
-use vc_core::interference::InterferenceOracle;
+use vc_core::interference::{InterferenceOracle, ResidentWorkload};
 use vc_core::model::PerfOracle;
 use vc_core::placement::PlacementSpec;
 use vc_topology::{Machine, OccupancyMap, ThreadId};
@@ -90,23 +90,35 @@ impl SimOracle {
 }
 
 impl InterferenceOracle for SimOracle {
-    /// Simulates `workload` pinned to `threads` together with stand-in
-    /// residents derived from `occ` (one
-    /// [`resident_stand_in`] container
-    /// per occupied node) and returns co-located over solo throughput.
+    /// Simulates `workload` pinned to `threads` together with the
+    /// host's residents and returns co-located over solo throughput.
+    ///
+    /// When `residents` names the real co-resident workloads (a serving
+    /// engine's registry snapshot), each is simulated as *itself* on its
+    /// reserved threads — the penalty the engine acts on is the penalty
+    /// the fleet actually experiences. When `residents` is empty, the
+    /// probe falls back to stand-in containers derived from `occ` (one
+    /// [`resident_stand_in`] per occupied node): a reservation map
+    /// records where neighbours run, not what they run.
     ///
     /// The probe runs under [`SimConfig::interference_probe`]:
     /// noise-free, fixed-seed, with a tail-averaged fixed point — the
     /// penalty is a pure contention measurement, deterministic per
-    /// `(workload, threads, occupancy)`, which keeps memoized penalties
-    /// coherent across repeated queries.
+    /// `(workload, threads, occupancy, residents)`, which keeps
+    /// memoized penalties coherent across repeated queries.
     ///
     /// # Panics
     ///
     /// Panics when `threads` overlaps the occupancy's used threads
     /// (callers score candidates *before* committing them) or names an
-    /// unknown workload.
-    fn co_location_penalty(&self, workload: &str, threads: &[ThreadId], occ: &OccupancyMap) -> f64 {
+    /// unknown workload — candidate or resident.
+    fn co_location_penalty(
+        &self,
+        workload: &str,
+        threads: &[ThreadId],
+        occ: &OccupancyMap,
+        residents: &[ResidentWorkload],
+    ) -> f64 {
         if occ.used_threads() == 0 {
             return 1.0;
         }
@@ -114,9 +126,19 @@ impl InterferenceOracle for SimOracle {
             workload: self.workload(workload).clone(),
             assignment: threads.to_vec(),
         };
-        let residents = residents_from_occupancy(&self.machine, occ, &resident_stand_in());
+        let resident_runs: Vec<ContainerRun> = if residents.is_empty() {
+            residents_from_occupancy(&self.machine, occ, &resident_stand_in())
+        } else {
+            residents
+                .iter()
+                .map(|r| ContainerRun {
+                    workload: self.workload(&r.workload).clone(),
+                    assignment: r.threads.clone(),
+                })
+                .collect()
+        };
         let probe_config = SimConfig::interference_probe();
-        simulate_co_location(&self.machine, &candidate, &residents, &probe_config, 0)
+        simulate_co_location(&self.machine, &candidate, &resident_runs, &probe_config, 0)
             .candidate_penalty()
     }
 }
@@ -183,16 +205,51 @@ mod tests {
         let o = SimOracle::new(amd.clone());
         let threads = amd.threads_on_node(NodeId(0));
         let occ = OccupancyMap::new(&amd);
-        assert_eq!(o.co_location_penalty("streamcluster", &threads, &occ), 1.0);
+        assert_eq!(o.co_location_penalty("streamcluster", &threads, &occ, &[]), 1.0);
 
         let mut busy = OccupancyMap::new(&amd);
         busy.reserve(&amd.threads_on_node(NodeId(1))).unwrap();
-        let p = o.co_location_penalty("streamcluster", &threads, &busy);
+        let p = o.co_location_penalty("streamcluster", &threads, &busy, &[]);
         assert!(p > 0.0 && p <= 1.0, "penalty out of range: {p}");
         assert_eq!(
             p,
-            o.co_location_penalty("streamcluster", &threads, &busy),
+            o.co_location_penalty("streamcluster", &threads, &busy, &[]),
             "noise-free probe must be deterministic"
+        );
+    }
+
+    #[test]
+    fn real_residents_change_the_penalty_the_stand_in_guessed() {
+        // Same occupancy pattern, two different truths about what runs
+        // there: a pure-compute neighbour barely costs a half-node
+        // candidate anything, a streaming neighbour costs plenty. The
+        // stand-in guess must land between the two extremes, and the
+        // real-resident probes must order correctly.
+        let amd = machines::amd_opteron_6272();
+        let o = SimOracle::new(amd.clone());
+        let node0 = amd.threads_on_node(NodeId(0));
+        let (candidate, neighbour) = (node0[4..].to_vec(), node0[..4].to_vec());
+        let mut occ = OccupancyMap::new(&amd);
+        occ.reserve(&neighbour).unwrap();
+
+        let with = |name: &str| {
+            o.co_location_penalty(
+                "streamcluster",
+                &candidate,
+                &occ,
+                &[ResidentWorkload {
+                    workload: name.to_string(),
+                    threads: neighbour.clone(),
+                }],
+            )
+        };
+        let next_to_compute = with("swaptions");
+        let next_to_stream = with("streamcluster");
+        let stand_in = o.co_location_penalty("streamcluster", &candidate, &occ, &[]);
+        assert!(
+            next_to_stream < stand_in && stand_in < next_to_compute,
+            "stand-in {stand_in} must sit between stream {next_to_stream} \
+             and compute {next_to_compute}"
         );
     }
 

@@ -185,6 +185,12 @@ impl OccupancyMap {
         !self.used[thread.index()]
     }
 
+    /// The NUMA node `thread` lives on (the map is self-contained, so
+    /// callers need not keep the [`Machine`] around to answer this).
+    pub fn node_of(&self, thread: ThreadId) -> NodeId {
+        self.node_of[thread.index()]
+    }
+
     /// Reserved threads on `node`.
     pub fn used_on_node(&self, node: NodeId) -> usize {
         self.used_per_node[node.index()]

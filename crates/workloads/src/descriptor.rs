@@ -56,6 +56,14 @@ pub struct Workload {
     pub anon_gb: f64,
     /// Page-cache footprint of the container in GB (Table 2).
     pub page_cache_gb: f64,
+    /// Fraction of the anonymous memory backed by transparent huge
+    /// pages, in `[0, 1]`. Large streaming heaps promote well; Postgres
+    /// and JVM heaps largely do not. Drives the default-Linux migration
+    /// bandwidth in `vc-migration` (huge pages move an order of
+    /// magnitude faster than 4 KiB pages), so it lives on the
+    /// descriptor — a cost model matching on workload *names* would
+    /// silently assume 0.0 for every generated or renamed workload.
+    pub thp_fraction: f64,
     /// Number of OS processes in the container (Table 2 discussion:
     /// per-task migration overhead).
     pub processes: usize,
@@ -79,7 +87,7 @@ impl Workload {
     ///
     /// Returns a description of the first out-of-range parameter.
     pub fn validate(&self) -> Result<(), String> {
-        let checks: [(&str, f64, f64, f64); 9] = [
+        let checks: [(&str, f64, f64, f64); 10] = [
             ("ipc_base", self.ipc_base, 0.05, 8.0),
             ("mem_per_kinst", self.mem_per_kinst, 0.0, 400.0),
             ("comm_per_kinst", self.comm_per_kinst, 0.0, 100.0),
@@ -89,6 +97,7 @@ impl Workload {
             ("coop_prefetch", self.coop_prefetch, 0.0, 0.9),
             ("anon_gb", self.anon_gb, 0.0, 1024.0),
             ("page_cache_gb", self.page_cache_gb, 0.0, 1024.0),
+            ("thp_fraction", self.thp_fraction, 0.0, 1.0),
         ];
         for (name, v, lo, hi) in checks {
             if !(lo..=hi).contains(&v) || !v.is_finite() {
@@ -139,6 +148,7 @@ mod tests {
             coop_prefetch: 0.2,
             anon_gb: 1.0,
             page_cache_gb: 0.5,
+            thp_fraction: 0.0,
             processes: 1,
             metric: Metric::Ipc,
             inst_per_op: 10_000.0,
@@ -160,6 +170,9 @@ mod tests {
         assert!(w.validate().is_err());
         let mut w = base();
         w.processes = 0;
+        assert!(w.validate().is_err());
+        let mut w = base();
+        w.thp_fraction = 1.2;
         assert!(w.validate().is_err());
     }
 

@@ -15,7 +15,7 @@ use crate::descriptor::{Metric, Workload};
 /// folds.
 pub fn random_workload(name: &str, rng: &mut StdRng) -> Workload {
     let mem_per_kinst = rng.random_range(1.0..60.0);
-    let w = Workload {
+    let mut w = Workload {
         name: name.to_string(),
         family: name.to_string(),
         ipc_base: rng.random_range(0.5..2.4),
@@ -30,6 +30,7 @@ pub fn random_workload(name: &str, rng: &mut StdRng) -> Workload {
         coop_prefetch: rng.random_range(0.0..0.4),
         anon_gb: rng.random_range(0.05..32.0),
         page_cache_gb: rng.random_range(0.0..24.0),
+        thp_fraction: 0.0,
         processes: rng.random_range(1..64),
         metric: if rng.random_bool(0.3) {
             Metric::OpsPerSecond
@@ -38,6 +39,12 @@ pub fn random_workload(name: &str, rng: &mut StdRng) -> Workload {
         },
         inst_per_op: rng.random_range(10_000.0..2_000_000.0),
     };
+    // Derived, not drawn: large streaming heaps promote to huge pages
+    // (Table 2's calibrated fractions top out around 0.6). Deriving from
+    // the already-sampled heap size keeps the generator's random stream
+    // identical to pre-THP corpora, so seed-tuned training sets and
+    // tests are unaffected.
+    w.thp_fraction = (w.anon_gb / 32.0 * 0.6).clamp(0.0, 0.6);
     debug_assert!(w.validate().is_ok());
     w
 }
@@ -77,6 +84,19 @@ mod tests {
     fn every_generated_workload_validates() {
         for w in training_corpus(100, 7) {
             w.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn generated_workloads_carry_a_heap_derived_thp_fraction() {
+        // The migration model reads the descriptor, so generated
+        // workloads must not all degenerate to the worst-case 0.0 the
+        // old name-matching lookup gave them.
+        let corpus = training_corpus(50, 7);
+        assert!(corpus.iter().any(|w| w.thp_fraction > 0.1));
+        for w in &corpus {
+            assert!((0.0..=0.6).contains(&w.thp_fraction), "{}", w.name);
+            assert!((w.thp_fraction - (w.anon_gb / 32.0 * 0.6).clamp(0.0, 0.6)).abs() < 1e-12);
         }
     }
 

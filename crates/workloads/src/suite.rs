@@ -20,7 +20,7 @@ use crate::descriptor::{Metric, Workload};
 macro_rules! workload {
     ($name:expr, $family:expr, $ipc:expr, $mem:expr, $l2:expr, $priv_:expr, $sh:expr,
      $comm:expr, $smt:expr, $cmt:expr, $mlp:expr, $coop:expr,
-     $anon:expr, $cache:expr, $procs:expr, $metric:expr, $ipo:expr) => {
+     $anon:expr, $cache:expr, $thp:expr, $procs:expr, $metric:expr, $ipo:expr) => {
         Workload {
             name: $name.to_string(),
             family: $family.to_string(),
@@ -36,6 +36,7 @@ macro_rules! workload {
             coop_prefetch: $coop,
             anon_gb: $anon,
             page_cache_gb: $cache,
+            thp_fraction: $thp,
             processes: $procs,
             metric: $metric,
             inst_per_op: $ipo,
@@ -49,8 +50,8 @@ pub fn paper_suite() -> Vec<Workload> {
     vec![
         // BLAST: streaming scans over a large mostly-page-cache database.
         workload!(
-            "blast", "blast", 1.4, 18.0, 1.5, 1.0, 48.0, 0.2, 1.7, 1.75, 0.75, 0.25, 1.3, 17.2, 4,
-            Ipc, 50_000.0
+            "blast", "blast", 1.4, 18.0, 1.5, 1.0, 48.0, 0.2, 1.7, 1.75, 0.75, 0.25, 1.3, 17.2,
+            0.0, 4, Ipc, 50_000.0
         ),
         // canneal: cache-hostile pointer chasing over a large graph.
         workload!(
@@ -67,6 +68,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.3,
             0.1,
             1.1,
+            0.0,
             0.0,
             1,
             Ipc,
@@ -88,6 +90,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.3,
             0.7,
             0.0,
+            0.0,
             1,
             Ipc,
             50_000.0
@@ -108,14 +111,15 @@ pub fn paper_suite() -> Vec<Workload> {
             0.2,
             1.3,
             0.0,
+            0.0,
             1,
             Ipc,
             50_000.0
         ),
         // gcc: parallel kernel compile, many independent processes.
         workload!(
-            "gcc", "gcc", 1.1, 16.0, 0.5, 6.0, 12.0, 0.1, 1.65, 1.8, 0.5, 0.05, 0.8, 0.6, 2, Ipc,
-            50_000.0
+            "gcc", "gcc", 1.1, 16.0, 0.5, 6.0, 12.0, 0.1, 1.65, 1.8, 0.5, 0.05, 0.8, 0.6, 0.0, 2,
+            Ipc, 50_000.0
         ),
         // kmeans: streaming map-reduce; the suite's one SMT lover (§6).
         workload!(
@@ -133,6 +137,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.35,
             7.2,
             0.0,
+            0.6,
             1,
             Ipc,
             50_000.0
@@ -153,6 +158,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.2,
             12.0,
             0.0,
+            0.42,
             1,
             Ipc,
             50_000.0
@@ -174,6 +180,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.15,
             10.2,
             16.6,
+            0.0,
             40,
             OpsPerSecond,
             2_000_000.0
@@ -194,6 +201,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.2,
             9.4,
             28.3,
+            0.0,
             200,
             OpsPerSecond,
             400_000.0
@@ -201,7 +209,7 @@ pub fn paper_suite() -> Vec<Workload> {
         // spark-cc: connected components on LiveJournal.
         workload!(
             "spark-cc", "spark", 0.9, 26.0, 1.5, 8.0, 90.0, 1.8, 1.6, 1.7, 0.55, 0.15, 15.5, 1.5,
-            27, Ipc, 500_000.0
+            0.0, 27, Ipc, 500_000.0
         ),
         // spark-pr-lj: PageRank on LiveJournal.
         workload!(
@@ -219,6 +227,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.15,
             15.6,
             1.5,
+            0.0,
             26,
             OpsPerSecond,
             500_000.0
@@ -238,6 +247,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.9,
             0.1,
             0.1,
+            0.0,
             0.0,
             1,
             Ipc,
@@ -259,6 +269,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.0,
             0.01,
             0.0,
+            0.0,
             1,
             Ipc,
             50_000.0
@@ -266,13 +277,13 @@ pub fn paper_suite() -> Vec<Workload> {
         // ft.C: NAS FFT — DRAM bandwidth plus FPU pressure (module
         // sharing hurts).
         workload!(
-            "ft.C", "nas-ft", 1.1, 42.0, 4.0, 14.0, 80.0, 1.2, 1.55, 1.4, 0.8, 0.1, 5.0, 0.0, 1,
-            Ipc, 50_000.0
+            "ft.C", "nas-ft", 1.1, 42.0, 4.0, 14.0, 80.0, 1.2, 1.55, 1.4, 0.8, 0.1, 5.0, 0.0, 0.0,
+            1, Ipc, 50_000.0
         ),
         // dc.B: NAS data cube, I/O and cache heavy.
         workload!(
-            "dc.B", "nas-dc", 0.8, 20.0, 1.0, 10.0, 60.0, 0.4, 1.6, 1.7, 0.45, 0.1, 15.0, 12.3, 1,
-            Ipc, 50_000.0
+            "dc.B", "nas-dc", 0.8, 20.0, 1.0, 10.0, 60.0, 0.4, 1.6, 1.7, 0.45, 0.1, 15.0, 12.3,
+            0.0, 1, Ipc, 50_000.0
         ),
         // wc: Metis wordcount over a big in-memory corpus.
         workload!(
@@ -290,6 +301,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.3,
             14.0,
             1.4,
+            0.2,
             1,
             Ipc,
             50_000.0
@@ -310,6 +322,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.3,
             15.6,
             1.5,
+            0.25,
             1,
             Ipc,
             50_000.0
@@ -331,6 +344,7 @@ pub fn paper_suite() -> Vec<Workload> {
             0.1,
             12.0,
             24.3,
+            0.0,
             1,
             OpsPerSecond,
             15_000.0
@@ -396,6 +410,19 @@ mod tests {
         assert!(tpcc.page_cache_gb / tpcc.memory_gb() > 0.65);
         let tpch = workload_by_name("postgres-tpch").unwrap();
         assert!(tpch.page_cache_gb / tpch.memory_gb() > 0.5);
+    }
+
+    #[test]
+    fn thp_fractions_carry_the_calibrated_defaults() {
+        // The Metis jobs' large streaming heaps promote to huge pages;
+        // Postgres and the JVM-backed Spark jobs largely do not (the
+        // values the migration model was calibrated against).
+        for (name, thp) in [("kmeans", 0.6), ("pca", 0.42), ("wc", 0.2), ("wr", 0.25)] {
+            assert_eq!(workload_by_name(name).unwrap().thp_fraction, thp, "{name}");
+        }
+        for name in ["swaptions", "postgres-tpcc", "WTbtree"] {
+            assert_eq!(workload_by_name(name).unwrap().thp_fraction, 0.0, "{name}");
+        }
     }
 
     #[test]

@@ -111,7 +111,7 @@ fn main() {
     // wave without fragmenting the rest of the fleet.
     println!("\nreleasing every second container, then placing a second wave:");
     for p in placed.iter().step_by(2) {
-        engine.release(p);
+        engine.release(p).unwrap();
     }
     let wave2: Vec<PlacementRequest> = (0..3)
         .map(|i| {
