@@ -17,7 +17,14 @@
 //!   every admitted host);
 //! * **rebalance-on variants** — a resident population is left in
 //!   place, then one `rebalance()` pass is timed and its
-//!   migration/moved-GB counters recorded.
+//!   migration/moved-GB counters recorded;
+//! * **contended variants** — 8 client threads hammer
+//!   `place_batch`/`release` while a background thread runs
+//!   `rebalance()` passes the whole time, on the epoch-published
+//!   snapshot engine vs the `snapshot_reads: false` lock-clone
+//!   baseline, recording client-observed p50/p99 place latency — plus
+//!   a counter-verified proof that snapshot-mode scoring and planning
+//!   acquire zero host locks.
 //!
 //! Prints one JSON line per configuration (recorded in
 //! `BENCH_engine_fleet.json` at the repo root) before the timed
@@ -29,6 +36,7 @@ use std::time::Instant;
 use vc_engine::{
     BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest, RebalancePolicy,
 };
+use vc_policy::ContendedLoad;
 use vc_topology::machines;
 
 /// A fleet of `hosts` machines drawn from 3 machine classes (AMD,
@@ -43,11 +51,21 @@ fn build_fleet_with(
     interference: bool,
     degradation_budget: Option<f64>,
 ) -> PlacementEngine {
+    build_fleet_mode(hosts, interference, degradation_budget, true)
+}
+
+fn build_fleet_mode(
+    hosts: usize,
+    interference: bool,
+    degradation_budget: Option<f64>,
+    snapshot_reads: bool,
+) -> PlacementEngine {
     let mut engine = PlacementEngine::new(EngineConfig {
         n_seeds: 2,
         extra_synthetic: 0,
         interference,
         degradation_budget,
+        snapshot_reads,
         ..EngineConfig::default()
     });
     for i in 0..hosts {
@@ -201,7 +219,102 @@ fn record_rebalance(hosts: usize, reqs: &[PlacementRequest]) -> (PlacementEngine
     // Every resident is examined at least once; residents migrated to a
     // later host in the same pass are re-examined in their new home.
     assert!(report.scanned >= placed, "{} < {placed}", report.scanned);
+    // Lock accounting: the pass reports exactly the executed moves'
+    // commit bookkeeping, and a settled follow-up pass — scanning the
+    // same population, migrating nothing — plans entirely on published
+    // snapshots: zero host locks, counter-verified.
+    let settled = engine.rebalance(&policy);
+    assert!(settled.migrations.is_empty(), "the first pass must settle the fleet");
+    assert_eq!(
+        settled.host_lock_acquisitions, 0,
+        "plan-only rebalance must not acquire host locks"
+    );
+    println!(
+        "{{\"bench\":\"engine_fleet\",\"variant\":\"rebalance_locks\",\
+         \"hosts\":{hosts},\"executing_pass_locks\":{},\
+         \"settled_pass_locks\":{},\"settled_scanned\":{}}}",
+        report.host_lock_acquisitions, settled.host_lock_acquisitions, settled.scanned,
+    );
     (engine, policy)
+}
+
+/// Contended variant: 8 clients hammer `place_batch`/`release` while a
+/// background rebalancer runs, on the snapshot engine vs the
+/// lock-clone baseline. Before the contended phase, a quiescent
+/// BestScore sweep counter-verifies that snapshot-mode scoring takes
+/// zero host locks (every acquisition is a commit or release).
+fn record_contended(hosts: usize, snapshot_reads: bool) {
+    let engine = build_fleet_mode(hosts, true, Some(0.01), snapshot_reads);
+    // Warm every catalog/model/penalty cache off the clock.
+    let warm: Vec<_> = resident_stream()
+        .iter()
+        .filter_map(|r| engine.place(r).placed().cloned())
+        .collect();
+    for p in &warm {
+        engine.release(p).unwrap();
+    }
+
+    // Counter-verified scoring locks: a BestScore batch dry-runs offers
+    // across the fleet; in snapshot mode the only acquisitions are the
+    // commits and the releases that follow.
+    let before = engine.stats().host_lock_acquisitions;
+    let reqs: Vec<PlacementRequest> = (0..8)
+        .map(|i| PlacementRequest::new("swaptions", 16).with_probe_seed(100 + i))
+        .collect();
+    let placed: Vec<_> = engine
+        .place_batch(&reqs, BatchStrategy::BestScore)
+        .iter()
+        .filter_map(|d| d.placed().cloned())
+        .collect();
+    for p in &placed {
+        engine.release(p).unwrap();
+    }
+    let scoring_locks =
+        engine.stats().host_lock_acquisitions - before - 2 * placed.len() as u64;
+    if snapshot_reads {
+        assert_eq!(
+            scoring_locks, 0,
+            "snapshot-mode scoring must acquire zero host locks"
+        );
+    }
+
+    let clients = 8;
+    let per_client = 16;
+    let t0 = Instant::now();
+    let report = ContendedLoad::new(clients, per_client)
+        .with_request_pool(vec![
+            PlacementRequest::new("streamcluster", 4),
+            PlacementRequest::new("WTbtree", 8),
+            PlacementRequest::new("swaptions", 16),
+        ])
+        .with_rebalance(RebalancePolicy::default())
+        .run(&engine);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    println!(
+        "{{\"bench\":\"engine_fleet\",\"variant\":\"contended\",\
+         \"hosts\":{hosts},\"snapshot_reads\":{snapshot_reads},\
+         \"clients\":{clients},\"requests_per_client\":{per_client},\
+         \"placed\":{},\"rejected\":{},\"wall_s\":{wall_s:.3},\
+         \"place_p50_us\":{:.1},\"place_p99_us\":{:.1},\"place_max_us\":{:.1},\
+         \"place_mean_us\":{:.1},\"release_p50_us\":{:.1},\"release_p99_us\":{:.1},\
+         \"rebalance_passes\":{},\"migrations\":{},\
+         \"scoring_lock_acquisitions\":{scoring_locks},\
+         \"snapshot_published\":{},\"snapshot_reads_count\":{},\"stale_retries\":{}}}",
+        report.placed,
+        report.rejected,
+        report.place.p50() as f64 / 1e3,
+        report.place.p99() as f64 / 1e3,
+        report.place.max() as f64 / 1e3,
+        report.place.mean() as f64 / 1e3,
+        report.release.p50() as f64 / 1e3,
+        report.release.p99() as f64 / 1e3,
+        report.rebalance_passes,
+        report.migrations,
+        stats.snapshot.published,
+        stats.snapshot.reads,
+        stats.snapshot.stale_retries,
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -222,6 +335,11 @@ fn bench(c: &mut Criterion) {
     let residents = resident_stream();
     let (small_reb, policy) = record_rebalance(10, &residents);
     let (large_reb, _) = record_rebalance(1000, &residents);
+    // Contended variants: snapshot vs lock-clone at both fleet sizes.
+    record_contended(10, true);
+    record_contended(10, false);
+    record_contended(1000, true);
+    record_contended(1000, false);
 
     let mut group = c.benchmark_group("place_batch_fleet");
     group.sample_size(5);

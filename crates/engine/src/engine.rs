@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use vc_core::availability::{AvailabilityIndex, AvailablePlacement, ShapeRequirement};
 use vc_core::concern::ConcernSet;
@@ -19,6 +19,7 @@ use vc_core::packing::Packing;
 use vc_core::placement::{PlacementError, PlacementSpec};
 use vc_ml::forest::ForestConfig;
 use vc_sim::SimOracle;
+use vc_sync::{Domain, Slot};
 use vc_topology::{CapacitySummary, Machine, NodeId, OccupancyMap, ThreadId};
 
 use crate::cache::{CacheCounters, KeyedCache};
@@ -90,6 +91,22 @@ pub struct EngineConfig {
     /// is bit-for-bit that of a budget-less engine
     /// (equivalence-tested).
     pub degradation_budget: Option<f64>,
+    /// Serve read paths (scoring, offers, accessors, rebalance
+    /// planning) from epoch-published immutable host snapshots instead
+    /// of locking the host mutex.
+    ///
+    /// `true` (the default) makes every read path wait-free: each
+    /// commit/release/rebalance-move publishes an `Arc<HostSnapshot>`
+    /// before dropping the host lock, readers load it with zero lock
+    /// acquisitions (QSBR-protected — see `vc_sync`), and only the
+    /// final all-or-nothing reserve takes the mutex. `false` is the
+    /// lock-clone baseline: reads lock the host and clone its state —
+    /// kept for bit-for-bit equivalence tests and as the contended
+    /// bench's comparison point. Decisions are identical either way
+    /// (single-threaded: equivalence-tested; a snapshot lags the map by
+    /// at most one in-flight critical section, exactly like the
+    /// capacity summary).
+    pub snapshot_reads: bool,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +123,7 @@ impl Default for EngineConfig {
             cache_capacity: 64,
             interference: false,
             degradation_budget: None,
+            snapshot_reads: true,
         }
     }
 }
@@ -484,6 +502,22 @@ pub struct SummaryCounters {
     pub stale: u64,
 }
 
+/// Counters for the wait-free snapshot publication path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotCounters {
+    /// Host snapshots published (one per commit, release and executed
+    /// rebalance move, plus one per host at registration).
+    pub published: u64,
+    /// Snapshot loads served to read paths with zero lock
+    /// acquisitions. Stays zero with
+    /// [`EngineConfig::snapshot_reads`] off.
+    pub reads: u64,
+    /// Commit attempts that scored against a snapshot, then lost the
+    /// reserve race to a concurrent writer and re-scored against a
+    /// fresh snapshot. Zero single-threaded.
+    pub stale_retries: u64,
+}
+
 /// Counter snapshot across all engine caches and the fleet serving path.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineStats {
@@ -524,6 +558,20 @@ pub struct EngineStats {
     /// revision silently ignored them in release builds, leaving
     /// callers' accounting and the engine's quietly diverged.
     pub release_failures: u64,
+    /// Wait-free snapshot publication activity.
+    pub snapshot: SnapshotCounters,
+    /// Host mutex acquisitions, engine-wide: every commit reserve,
+    /// release, rebalance-move bookkeeping — and, with
+    /// [`EngineConfig::snapshot_reads`] off, every read path too. The
+    /// zero-lock claim for snapshot-mode scoring/planning is asserted
+    /// against this counter in tests.
+    pub host_lock_acquisitions: u64,
+    /// Poisoned mutexes recovered (host state or location map): a
+    /// panic unwound through a critical section and the next acquirer
+    /// carried on with the guard. Host state is all-or-nothing by
+    /// construction, so recovery is sound — but each recovery means
+    /// some commit died mid-flight and is worth investigating.
+    pub lock_poison_recoveries: u64,
 }
 
 impl EngineStats {
@@ -590,13 +638,70 @@ struct HostState {
 }
 
 impl HostState {
+    /// An immutable copy of everything the read paths consume: the
+    /// occupancy map plus the resident registry, ticket order. Built
+    /// under the host lock (and published before the lock drops), so
+    /// the pair is always mid-commit-free.
+    fn snapshot(&self) -> HostSnapshot {
+        let mut residents: Vec<Resident> = self.residents.values().cloned().collect();
+        residents.sort_by_key(|r| r.ticket);
+        HostSnapshot {
+            occ: self.occ.clone(),
+            residents,
+        }
+    }
+}
+
+/// A consistent, immutable point-in-time view of one host: the
+/// occupancy map and the resident registry as some commit, release or
+/// rebalance move left them.
+///
+/// Snapshots are published through a single-slot wait-free cell
+/// (`vc_sync::Slot`) *before* the publishing writer drops the host
+/// lock, so a snapshot never shows a half-applied mutation: the union
+/// of the residents' threads is exactly the occupancy's used set in
+/// every published snapshot (proptested under concurrent churn).
+/// Readers keep a snapshot alive through their own `Arc`; a newer
+/// publication never invalidates it.
+#[derive(Debug, Clone)]
+pub struct HostSnapshot {
+    occ: OccupancyMap,
+    /// Ticket-sorted.
+    residents: Vec<Resident>,
+}
+
+impl HostSnapshot {
+    /// The occupancy map as of publication.
+    pub fn occupancy(&self) -> &OccupancyMap {
+        &self.occ
+    }
+
+    /// The resident registry as of publication, ticket order.
+    pub fn residents(&self) -> &[Resident] {
+        &self.residents
+    }
+
+    /// One resident by ticket (the list is ticket-sorted).
+    pub fn resident(&self, ticket: PlacementTicket) -> Option<&Resident> {
+        self.residents
+            .binary_search_by_key(&ticket, |r| r.ticket)
+            .ok()
+            .map(|i| &self.residents[i])
+    }
+
     /// The registry as the interference path consumes it, deterministic
-    /// order (ticket-sorted — `HashMap` iteration order must not leak
-    /// into penalty probes).
+    /// (ticket) order.
     fn resident_workloads(&self) -> Vec<ResidentWorkload> {
-        let mut entries: Vec<(&u64, &Resident)> = self.residents.iter().collect();
-        entries.sort_by_key(|(t, _)| **t);
-        entries.into_iter().map(|(_, r)| r.as_workload()).collect()
+        self.residents.iter().map(Resident::as_workload).collect()
+    }
+
+    /// The workloads of every resident but `ticket`, ticket order.
+    fn resident_workloads_without(&self, ticket: PlacementTicket) -> Vec<ResidentWorkload> {
+        self.residents
+            .iter()
+            .filter(|r| r.ticket != ticket)
+            .map(Resident::as_workload)
+            .collect()
     }
 }
 
@@ -621,12 +726,11 @@ struct Host {
     /// release before the host lock is dropped. Admission reads it to
     /// skip hopeless hosts without locking them.
     summary: CapacitySummary,
-}
-
-impl Host {
-    fn lock(&self) -> std::sync::MutexGuard<'_, HostState> {
-        self.state.lock().expect("host state lock poisoned")
-    }
+    /// The epoch-published full snapshot (occupancy + residents),
+    /// stored — like the summary — before the host lock is dropped.
+    /// Read paths load it wait-free when
+    /// [`EngineConfig::snapshot_reads`] is on.
+    snapshot: Slot<HostSnapshot>,
 }
 
 /// One request evaluated against one machine *class*: per-placement
@@ -770,6 +874,14 @@ pub struct PlacementEngine {
     offers: AtomicU64,
     releases: AtomicU64,
     release_failures: AtomicU64,
+    snapshot_published: AtomicU64,
+    snapshot_loads: AtomicU64,
+    snapshot_stale_retries: AtomicU64,
+    host_lock_acquisitions: AtomicU64,
+    lock_poison_recoveries: AtomicU64,
+    /// QSBR domain the host snapshot slots publish through: one grace
+    /// period protects every host's slot.
+    domain: Domain,
     /// Ticket source: every commit takes the next value, so tickets are
     /// unique across the engine's lifetime (and across hosts).
     next_ticket: AtomicU64,
@@ -807,6 +919,12 @@ impl PlacementEngine {
             offers: AtomicU64::new(0),
             releases: AtomicU64::new(0),
             release_failures: AtomicU64::new(0),
+            snapshot_published: AtomicU64::new(0),
+            snapshot_loads: AtomicU64::new(0),
+            snapshot_stale_retries: AtomicU64::new(0),
+            host_lock_acquisitions: AtomicU64::new(0),
+            lock_poison_recoveries: AtomicU64::new(0),
+            domain: Domain::new(),
             next_ticket: AtomicU64::new(0),
             locations: Mutex::new(HashMap::new()),
         }
@@ -861,10 +979,17 @@ impl PlacementEngine {
                 Arc::clone(&oracle) as SharedInterferenceOracle
             ))
         }));
-        let state = Mutex::new(HostState {
+        let initial = HostState {
             occ: OccupancyMap::new(&machine),
             residents: HashMap::new(),
-        });
+        };
+        // The slot must always hold a value; only snapshot mode counts
+        // it as a publication (the lock-clone baseline never reads it).
+        let snapshot = Slot::new(Arc::new(initial.snapshot()));
+        if self.cfg.snapshot_reads {
+            self.snapshot_published.fetch_add(1, Ordering::Relaxed);
+        }
+        let state = Mutex::new(initial);
         let summary = CapacitySummary::new(&machine);
         let id = MachineId(self.hosts.len());
         let class = self.fleet.insert(fingerprint, topo, baseline, id);
@@ -877,6 +1002,7 @@ impl PlacementEngine {
             interference,
             state,
             summary,
+            snapshot,
         });
         id
     }
@@ -946,37 +1072,112 @@ impl PlacementEngine {
         Arc::clone(&self.hosts[id.0].oracle)
     }
 
-    /// (used, total) hardware threads on a machine.
+    /// Acquires a host's state mutex, counting the acquisition and
+    /// recovering a poisoned guard. Recovery is sound because every
+    /// critical section leaves the state consistent at each step:
+    /// `reserve`/`release` are all-or-nothing, and registry/location
+    /// updates are ordered so a panic between them strands nothing
+    /// unreleasable (see `register`/`release`). Each recovery is
+    /// counted in [`EngineStats::lock_poison_recoveries`] — the panic
+    /// that caused it still means a writer died mid-flight.
+    fn lock_host<'a>(&self, host: &'a Host) -> MutexGuard<'a, HostState> {
+        self.host_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        host.state.lock().unwrap_or_else(|poisoned| {
+            self.lock_poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Acquires the ticket-location map, recovering a poisoned guard
+    /// (the map is structurally valid after any panic: inserts and
+    /// removes are atomic at map granularity).
+    fn locations_lock(&self) -> MutexGuard<'_, HashMap<u64, usize>> {
+        self.locations.lock().unwrap_or_else(|poisoned| {
+            self.lock_poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// The host view every read path scores against. With
+    /// [`EngineConfig::snapshot_reads`] on this is a wait-free load of
+    /// the epoch-published snapshot — zero lock acquisitions; with it
+    /// off, a lock-and-clone of the live state (the baseline the
+    /// contended bench compares against). Either way the result is
+    /// internally consistent: residents and occupancy always agree.
+    fn view(&self, host: &Host) -> Arc<HostSnapshot> {
+        if self.cfg.snapshot_reads {
+            self.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+            host.snapshot.load(&self.domain)
+        } else {
+            Arc::new(self.lock_host(host).snapshot())
+        }
+    }
+
+    /// Publishes a host's mutated state to both lock-free views — the
+    /// capacity summary and (in snapshot mode) the full snapshot slot.
+    /// Must be called while the mutating critical section still holds
+    /// the host lock, so the published views never lag a completed
+    /// mutation.
+    fn publish(&self, host: &Host, st: &HostState) {
+        host.summary.publish(&st.occ);
+        if self.cfg.snapshot_reads {
+            host.snapshot.store(Arc::new(st.snapshot()), &self.domain);
+            self.snapshot_published.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// (used, total) hardware threads on a machine. Wait-free in
+    /// snapshot mode.
     pub fn utilisation(&self, id: MachineId) -> (usize, usize) {
-        let st = self.hosts[id.0].lock();
-        (st.occ.used_threads(), st.occ.total_threads())
+        let view = self.view(&self.hosts[id.0]);
+        (view.occ.used_threads(), view.occ.total_threads())
     }
 
     /// Per-node `(node, used, capacity)` hardware-thread usage on a
-    /// machine, node-id order.
+    /// machine, node-id order. Wait-free in snapshot mode.
     pub fn node_utilisation(&self, id: MachineId) -> Vec<(NodeId, usize, usize)> {
-        self.hosts[id.0].lock().occ.node_usage()
+        self.view(&self.hosts[id.0]).occ.node_usage()
     }
 
-    /// A point-in-time copy of a machine's occupancy map.
+    /// A point-in-time copy of a machine's occupancy map. Wait-free in
+    /// snapshot mode; at most one in-flight critical section stale.
     pub fn occupancy(&self, id: MachineId) -> OccupancyMap {
-        self.hosts[id.0].lock().occ.clone()
+        self.view(&self.hosts[id.0]).occ.clone()
+    }
+
+    /// The authoritative occupancy map, read under the host lock:
+    /// exact even mid-churn, at the price of contending with writers.
+    /// Equivalence tests compare [`Self::occupancy`] against this.
+    pub fn occupancy_locked(&self, id: MachineId) -> OccupancyMap {
+        self.lock_host(&self.hosts[id.0]).occ.clone()
     }
 
     /// A point-in-time snapshot of a machine's resident registry,
-    /// ticket order. Taken under the same lock as the occupancy map, so
-    /// the union of the residents' threads is exactly the occupancy's
-    /// used set (equivalence-tested through stochastic churn).
+    /// ticket order. The registry and occupancy of one view always
+    /// agree — the union of the residents' threads is exactly the
+    /// occupancy's used set (equivalence-tested through stochastic
+    /// churn). Wait-free in snapshot mode.
     pub fn residents(&self, id: MachineId) -> Vec<Resident> {
-        let st = self.hosts[id.0].lock();
-        let mut residents: Vec<Resident> = st.residents.values().cloned().collect();
-        residents.sort_by_key(|r| r.ticket);
-        residents
+        self.view(&self.hosts[id.0]).residents.clone()
     }
 
-    /// Total live containers across the fleet.
+    /// The authoritative resident registry, read under the host lock
+    /// (ticket order) — the lock-read twin of [`Self::residents`].
+    pub fn residents_locked(&self, id: MachineId) -> Vec<Resident> {
+        self.lock_host(&self.hosts[id.0]).snapshot().residents
+    }
+
+    /// The full published snapshot of a machine — occupancy and
+    /// residents as one consistent immutable view. Wait-free in
+    /// snapshot mode; callers may hold it as long as they like.
+    pub fn host_snapshot(&self, id: MachineId) -> Arc<HostSnapshot> {
+        self.view(&self.hosts[id.0])
+    }
+
+    /// Total live containers across the fleet. Wait-free in snapshot
+    /// mode.
     pub fn num_residents(&self) -> usize {
-        self.hosts.iter().map(|h| h.lock().residents.len()).sum()
+        self.hosts.iter().map(|h| self.view(h).residents.len()).sum()
     }
 
     /// The machine's lock-free capacity summary. Reads are wait-free;
@@ -1014,12 +1215,7 @@ impl PlacementEngine {
         // converges. A ticket absent from the map is authoritatively
         // dead: only release removes entries.
         loop {
-            let location = self
-                .locations
-                .lock()
-                .expect("location map poisoned")
-                .get(&placed.ticket.0)
-                .copied();
+            let location = self.locations_lock().get(&placed.ticket.0).copied();
             let Some(idx) = location else {
                 self.release_failures.fetch_add(1, Ordering::Relaxed);
                 return Err(ReleaseError::UnknownPlacement {
@@ -1028,16 +1224,19 @@ impl PlacementEngine {
                 });
             };
             let host = &self.hosts[idx];
-            let mut st = host.lock();
+            let mut st = self.lock_host(host);
             if let Some(resident) = st.residents.remove(&placed.ticket.0) {
+                // Drop the location entry *before* freeing the threads:
+                // should the release panic (it cannot, by invariant —
+                // but poisoned locks are recovered now, so the ordering
+                // must tolerate a panic at every step), the ticket is
+                // already unresolvable and no later caller can spin on
+                // a registry that will never hold it again.
+                self.locations_lock().remove(&placed.ticket.0);
                 st.occ
                     .release(&resident.threads)
                     .expect("registry threads are reserved by invariant");
-                self.locations
-                    .lock()
-                    .expect("location map poisoned")
-                    .remove(&placed.ticket.0);
-                host.summary.publish(&st.occ);
+                self.publish(host, &st);
                 self.releases.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
@@ -1066,6 +1265,13 @@ impl PlacementEngine {
             offers: self.offers.load(Ordering::Relaxed),
             releases: self.releases.load(Ordering::Relaxed),
             release_failures: self.release_failures.load(Ordering::Relaxed),
+            snapshot: SnapshotCounters {
+                published: self.snapshot_published.load(Ordering::Relaxed),
+                reads: self.snapshot_loads.load(Ordering::Relaxed),
+                stale_retries: self.snapshot_stale_retries.load(Ordering::Relaxed),
+            },
+            host_lock_acquisitions: self.host_lock_acquisitions.load(Ordering::Relaxed),
+            lock_poison_recoveries: self.lock_poison_recoveries.load(Ordering::Relaxed),
         }
     }
 
@@ -1376,81 +1582,66 @@ impl PlacementEngine {
         }
     }
 
-    /// A point-in-time clone of the host's occupancy map *and* the
-    /// matching resident workloads: the snapshot that
-    /// interference-adjusted scoring runs against, taken in one
-    /// critical section so the pair is consistent — and so no simulator
-    /// call ever happens while the host lock is held.
-    fn state_snapshot(&self, host: &Host) -> (OccupancyMap, Vec<ResidentWorkload>) {
-        let st = host.lock();
-        (st.occ.clone(), st.resident_workloads())
-    }
-
     /// The predicted performance `try_commit` would deliver for `cand`
-    /// on host `id` right now, without reserving anything. With
-    /// interference off, the dry run scores under the host lock (no
-    /// clone, no simulator — the neighbour-blind engine's exact path);
-    /// with it on, it scores against a snapshot so penalty cold misses
-    /// never simulate while the lock is held.
+    /// on host `id` right now, without reserving anything. Scores
+    /// against the host view — wait-free (zero lock acquisitions) in
+    /// snapshot mode, so BestScore dry runs never contend with
+    /// writers; penalty cold misses simulate with no lock held in
+    /// either mode.
     fn offer(&self, id: MachineId, cand: &Candidate) -> Result<f64, ChooseError> {
         self.offers.fetch_add(1, Ordering::Relaxed);
         let host = &self.hosts[id.0];
-        if self.cfg.interference {
-            let (occ, residents) = self.state_snapshot(host);
-            self.best_available(host, cand, &occ, &residents)
-                .map(|(_, p, _)| p)
+        let view = self.view(host);
+        let residents = if self.cfg.interference {
+            view.resident_workloads()
         } else {
-            let st = host.lock();
-            self.best_available(host, cand, &st.occ, &[])
-                .map(|(_, p, _)| p)
-        }
+            Vec::new()
+        };
+        self.best_available(host, cand, &view.occ, &residents)
+            .map(|(_, p, _)| p)
     }
 
     /// Attempts to commit a candidate on host `id`: retargets the best
     /// goal-clearing placement class onto node sets with free hardware
     /// threads (see [`Self::best_available`]) and reserves those threads
     /// atomically under the host's occupancy lock, re-publishing the
-    /// capacity summary before the lock is dropped.
+    /// capacity summary and the host snapshot before the lock is
+    /// dropped.
     ///
-    /// With interference off, selection runs under the lock and the
-    /// reservation cannot fail — the neighbour-blind engine's exact
-    /// path. With it on, selection runs against a snapshot (penalty
-    /// cold misses simulate with no lock held); a concurrent commit
-    /// that claims any chosen thread between snapshot and reservation
-    /// fails the all-or-nothing `reserve`, and the host is re-scored
-    /// against fresh occupancy — the request is never bounced off a
-    /// host that still has room just because of a racing neighbour.
+    /// Selection runs against the host view — wait-free in snapshot
+    /// mode, a lock-clone otherwise — so scoring (and any penalty
+    /// cold-miss simulation) never holds the lock; only the final
+    /// all-or-nothing `reserve` does. A concurrent commit that claims
+    /// any chosen thread between view and reservation fails the
+    /// reserve, and the host is re-scored against a fresh view
+    /// (counted in [`SnapshotCounters::stale_retries`]) — the request
+    /// is never bounced off a host that still has room just because of
+    /// a racing neighbour.
     fn try_commit(&self, id: MachineId, cand: &Candidate) -> Result<Placed, ChooseError> {
         let host = &self.hosts[id.0];
-        if !self.cfg.interference {
-            let mut st = host.lock();
-            let (ap, predicted_perf, interference_penalty) =
-                self.best_available(host, cand, &st.occ, &[])?;
-            st.occ
-                .reserve(&ap.threads)
-                .expect("availability was computed under this lock");
-            let placed = self.placed(id, ap, predicted_perf, interference_penalty, cand);
-            self.register(&mut st, &placed, cand);
-            host.summary.publish(&st.occ);
-            return Ok(placed);
-        }
-        // Interference on: snapshot → score (may simulate, no lock) →
-        // re-lock → reserve. Each retry means a concurrent commit won
-        // the race in between; re-score and try again. The bound is a
-        // livelock backstop under pathological external churn — hitting
-        // it degrades to a stale-offer error, never a bad placement.
+        // The bound is a livelock backstop under pathological external
+        // churn — hitting it degrades to a stale-offer error, never a
+        // bad placement. Single-threaded the first attempt always
+        // succeeds (the view cannot go stale with no other writer).
         const RACE_RETRIES: usize = 16;
         for _ in 0..RACE_RETRIES {
-            let (snapshot, residents) = self.state_snapshot(host);
+            let view = self.view(host);
+            let residents = if self.cfg.interference {
+                view.resident_workloads()
+            } else {
+                Vec::new()
+            };
             let (ap, predicted_perf, interference_penalty) =
-                self.best_available(host, cand, &snapshot, &residents)?;
-            let mut st = host.lock();
+                self.best_available(host, cand, &view.occ, &residents)?;
+            let mut st = self.lock_host(host);
             if st.occ.reserve(&ap.threads).is_ok() {
                 let placed = self.placed(id, ap, predicted_perf, interference_penalty, cand);
                 self.register(&mut st, &placed, cand);
-                host.summary.publish(&st.occ);
+                self.publish(host, &st);
                 return Ok(placed);
             }
+            drop(st);
+            self.snapshot_stale_retries.fetch_add(1, Ordering::Relaxed);
         }
         Err(ChooseError::Capacity(format!(
             "{}: occupancy kept changing between snapshot and commit \
@@ -1485,11 +1676,14 @@ impl PlacementEngine {
     /// critical section as the thread reservation, so registry and
     /// occupancy never disagree and the ticket is releasable the
     /// moment the committing caller can see it.
+    ///
+    /// Registry before location map: poisoned host locks are recovered,
+    /// so a panic between the two inserts must not leave a location
+    /// entry whose registry entry never appeared — `release` would spin
+    /// forever resolving it. The safe partial state is the reverse
+    /// (registered but unlocatable: the commit panicked before
+    /// returning, so no caller holds the ticket to release).
     fn register(&self, st: &mut HostState, placed: &Placed, cand: &Candidate) {
-        self.locations
-            .lock()
-            .expect("location map poisoned")
-            .insert(placed.ticket.0, placed.machine.0);
         let previous = st.residents.insert(
             placed.ticket.0,
             Resident {
@@ -1504,6 +1698,8 @@ impl PlacementEngine {
             },
         );
         debug_assert!(previous.is_none(), "ticket reused");
+        self.locations_lock()
+            .insert(placed.ticket.0, placed.machine.0);
     }
 
     /// Places a single request (see [`Self::place_batch`]).
@@ -1824,34 +2020,30 @@ impl PlacementEngine {
 /// registry moves) — the expensive scoring and pricing run in the
 /// rebalance module against the snapshots these helpers hand out.
 impl PlacementEngine {
-    /// Snapshot of one host: `(occupancy, resident workloads)`, taken
-    /// in one critical section.
+    /// View of one host: `(occupancy, resident workloads)` from one
+    /// consistent snapshot — wait-free in snapshot mode.
     pub(crate) fn host_view(&self, id: MachineId) -> (OccupancyMap, Vec<ResidentWorkload>) {
-        self.state_snapshot(&self.hosts[id.0])
+        let view = self.view(&self.hosts[id.0]);
+        (view.occ.clone(), view.resident_workloads())
     }
 
-    /// Snapshot of one host *as if* the given resident had departed:
-    /// its threads freed in the cloned occupancy, its entry dropped
-    /// from the resident list. `None` when the ticket is no longer on
-    /// the host (it departed or moved since the caller looked).
+    /// View of one host *as if* the given resident had departed: its
+    /// threads freed in the copied occupancy, its entry dropped from
+    /// the resident list. `None` when the ticket is no longer on the
+    /// host (it departed or moved since the caller looked). Wait-free
+    /// in snapshot mode — rebalance planning builds every minus-self
+    /// view without a single lock acquisition.
     pub(crate) fn host_view_without(
         &self,
         id: MachineId,
         ticket: PlacementTicket,
     ) -> Option<(OccupancyMap, Vec<ResidentWorkload>)> {
-        let st = self.hosts[id.0].lock();
-        let resident = st.residents.get(&ticket.0)?;
-        let mut occ = st.occ.clone();
+        let view = self.view(&self.hosts[id.0]);
+        let resident = view.resident(ticket)?;
+        let mut occ = view.occ.clone();
         occ.release(&resident.threads)
-            .expect("registry threads are reserved by invariant");
-        let mut others: Vec<(&u64, &Resident)> = st
-            .residents
-            .iter()
-            .filter(|(t, _)| **t != ticket.0)
-            .collect();
-        others.sort_by_key(|(t, _)| **t);
-        let others = others.into_iter().map(|(_, r)| r.as_workload()).collect();
-        Some((occ, others))
+            .expect("snapshot registry threads are reserved in the snapshot occupancy");
+        Some((occ, view.resident_workloads_without(ticket)))
     }
 
     /// The memoized co-location penalty a resident currently
@@ -1913,19 +2105,6 @@ impl PlacementEngine {
         req: &PlacementRequest,
     ) -> Result<Candidate, String> {
         self.evaluate(class, req)
-    }
-
-    /// Scores a candidate on a host snapshot with penalties *always*
-    /// applied (rebalancing measures degradation even on engines whose
-    /// admission path is neighbour-blind).
-    pub(crate) fn score_on_view(
-        &self,
-        id: MachineId,
-        cand: &Candidate,
-        occ: &OccupancyMap,
-        residents: &[ResidentWorkload],
-    ) -> Result<(AvailablePlacement, f64, f64), ChooseError> {
-        self.best_available_with(&self.hosts[id.0], cand, occ, residents, true)
     }
 
     /// The least-interfering goal-clearing placement on a host
@@ -2011,7 +2190,7 @@ impl PlacementEngine {
         };
         if src == dst {
             let host = &self.hosts[src.0];
-            let mut st = host.lock();
+            let mut st = self.lock_host(host);
             match st.residents.get(&resident.ticket.0) {
                 Some(current) if current.threads == resident.threads => {}
                 _ => return Err(()), // departed or already moved
@@ -2028,13 +2207,13 @@ impl PlacementEngine {
                 return Err(());
             }
             Self::rehome(&mut st, &placed);
-            host.summary.publish(&st.occ);
+            self.publish(host, &st);
             return Ok(placed);
         }
         // Cross-host: lock both in id order.
         let (lo, hi) = (src.0.min(dst.0), src.0.max(dst.0));
-        let mut lo_guard = self.hosts[lo].lock();
-        let mut hi_guard = self.hosts[hi].lock();
+        let mut lo_guard = self.lock_host(&self.hosts[lo]);
+        let mut hi_guard = self.lock_host(&self.hosts[hi]);
         let (src_st, dst_st) = if src.0 == lo {
             (&mut *lo_guard, &mut *hi_guard)
         } else {
@@ -2060,12 +2239,9 @@ impl PlacementEngine {
         // Update the location map while both host locks are held, so a
         // concurrent release never observes a map entry pointing at a
         // host that has already given the container up.
-        self.locations
-            .lock()
-            .expect("location map poisoned")
-            .insert(resident.ticket.0, dst.0);
-        self.hosts[src.0].summary.publish(&src_st.occ);
-        self.hosts[dst.0].summary.publish(&dst_st.occ);
+        self.locations_lock().insert(resident.ticket.0, dst.0);
+        self.publish(&self.hosts[src.0], src_st);
+        self.publish(&self.hosts[dst.0], dst_st);
         Ok(placed)
     }
 
@@ -2166,5 +2342,98 @@ mod collision_tests {
         engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
         assert_eq!(engine.topologies.len(), 2);
         assert_eq!(engine.fleet_index().num_classes(), 2);
+    }
+}
+
+#[cfg(test)]
+mod poison_tests {
+    use super::*;
+    use vc_topology::machines;
+
+    fn fast() -> EngineConfig {
+        EngineConfig {
+            n_seeds: 2,
+            extra_synthetic: 0,
+            forest: ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A deliberately panicking oracle thread dies while holding host
+    /// 0's state mutex, poisoning it. Every critical section in the
+    /// engine is all-or-nothing at the point a panic could unwind, so
+    /// recovery is sound: subsequent commits, releases and accessors
+    /// must recover the guard (counted in
+    /// [`EngineStats::lock_poison_recoveries`]) instead of propagating
+    /// the poison forever — the regression the old `lock().unwrap()`
+    /// paths had.
+    #[test]
+    fn poisoned_host_lock_is_recovered_and_counted() {
+        let engine = PlacementEngine::single(machines::amd_opteron_6272(), fast());
+        let placed = engine
+            .place(&PlacementRequest::new("WTbtree", 16))
+            .placed()
+            .expect("idle host")
+            .clone();
+
+        let oracle = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = engine.hosts[0].state.lock().unwrap();
+                panic!("oracle panicked mid-critical-section");
+            })
+            .join()
+        });
+        assert!(oracle.is_err(), "the oracle must have panicked");
+        assert!(
+            engine.hosts[0].state.lock().is_err(),
+            "the host mutex must actually be poisoned"
+        );
+
+        let before = engine.stats().lock_poison_recoveries;
+        let second = engine
+            .place(&PlacementRequest::new("swaptions", 16))
+            .placed()
+            .expect("a poisoned lock must not reject admission")
+            .clone();
+        engine.release(&placed).unwrap();
+        engine.release(&second).unwrap();
+        assert_eq!(engine.utilisation(MachineId(0)).0, 0);
+        assert_eq!(engine.occupancy_locked(MachineId(0)).free_threads(), 64);
+
+        let stats = engine.stats();
+        assert!(
+            stats.lock_poison_recoveries > before,
+            "recoveries must be counted: {} !> {before}",
+            stats.lock_poison_recoveries
+        );
+        assert_eq!(stats.release_failures, 0);
+    }
+
+    /// Same drill for the fleet-wide location map's mutex: a panic
+    /// while it is held must not wedge releases.
+    #[test]
+    fn poisoned_locations_lock_is_recovered() {
+        let engine = PlacementEngine::single(machines::amd_opteron_6272(), fast());
+        let placed = engine
+            .place(&PlacementRequest::new("WTbtree", 16))
+            .placed()
+            .expect("idle host")
+            .clone();
+
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = engine.locations.lock().unwrap();
+                panic!("oracle panicked holding the location map");
+            })
+            .join()
+        });
+        assert!(engine.locations.lock().is_err(), "must be poisoned");
+
+        engine.release(&placed).unwrap();
+        assert_eq!(engine.num_residents(), 0);
+        assert!(engine.stats().lock_poison_recoveries >= 1);
     }
 }

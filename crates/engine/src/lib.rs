@@ -47,6 +47,25 @@
 //! departing container held. When a machine cannot host a request the
 //! rejection names the exhausted node.
 //!
+//! # Wait-free reads
+//!
+//! Every mutation (commit, release, rebalance move) publishes an
+//! immutable [`HostSnapshot`] — occupancy plus resident registry, one
+//! consistent pair — through a single-slot wait-free cell
+//! (`vc_sync::Slot`, QSBR-reclaimed) *before* dropping the host lock.
+//! With [`EngineConfig::snapshot_reads`] (the default), scoring,
+//! BestScore dry runs, interference probes, the utilisation/occupancy
+//! accessors and the whole rebalance planning phase read these
+//! snapshots with **zero lock acquisitions** — only the final
+//! all-or-nothing reserve takes the host mutex (counter-verified via
+//! [`EngineStats::host_lock_acquisitions`]). A snapshot lags the
+//! authoritative map by at most one in-flight critical section — the
+//! same staleness contract as the capacity summary — and a commit that
+//! scored against a view a concurrent writer invalidated simply
+//! re-scores against a fresh one
+//! ([`SnapshotCounters::stale_retries`]); decisions are bit-for-bit
+//! identical to lock-clone reads (equivalence-tested).
+//!
 //! # Interference
 //!
 //! Co-located containers still share caches, memory controllers and
@@ -131,9 +150,9 @@ pub mod rebalance;
 
 pub use cache::{CacheCounters, KeyedCache};
 pub use engine::{
-    BatchStrategy, EngineConfig, EngineStats, FleetClass, FleetIndex, MachineId, ModelArtifact,
-    Placed, PlacementCatalog, PlacementDecision, PlacementEngine, PlacementRequest,
-    PlacementTicket, ReleaseError, Resident, SummaryCounters,
+    BatchStrategy, EngineConfig, EngineStats, FleetClass, FleetIndex, HostSnapshot, MachineId,
+    ModelArtifact, Placed, PlacementCatalog, PlacementDecision, PlacementEngine, PlacementRequest,
+    PlacementTicket, ReleaseError, Resident, SnapshotCounters, SummaryCounters,
 };
 pub use rebalance::{Migration, RebalancePolicy, RebalanceReport};
 pub use vc_core::interference::{InterferenceCounters, ResidentWorkload};

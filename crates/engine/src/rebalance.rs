@@ -118,6 +118,14 @@ pub struct RebalanceReport {
     /// improvement/cost gates. The resident stays where it was; the
     /// next pass retries.
     pub failed_commits: usize,
+    /// Host mutex acquisitions this pass performed (engine counter
+    /// delta). With snapshot reads on, planning is wait-free, so this
+    /// is exactly the executed-move bookkeeping: one lock per same-host
+    /// move, two per cross-host move (plus the locks of any
+    /// `failed_commits` re-validations) — asserted in tests. With
+    /// snapshot reads off it additionally counts every lock-clone view
+    /// the planning phase took.
+    pub host_lock_acquisitions: u64,
 }
 
 impl RebalanceReport {
@@ -217,6 +225,7 @@ impl PlacementEngine {
     /// returned at admission still release it.
     pub fn rebalance(&self, policy: &RebalancePolicy) -> RebalanceReport {
         let mut report = RebalanceReport::default();
+        let locks_before = self.stats().host_lock_acquisitions;
         let Some(budget) = self.config().degradation_budget else {
             return report;
         };
@@ -267,6 +276,7 @@ impl PlacementEngine {
                 }
             }
         }
+        report.host_lock_acquisitions = self.stats().host_lock_acquisitions - locks_before;
         report
     }
 
@@ -300,15 +310,21 @@ impl PlacementEngine {
                 if id != src && self.summary_rules_out(id, &cand) {
                     continue;
                 }
-                // The victim's own host is scored minus-self over the
-                // *full* availability orbits (the fragmentation-first
-                // head is exactly the set beside the noisy neighbour);
-                // other hosts are scored like admissions.
+                // Every target is scored over the *full* availability
+                // orbits — the victim's own host minus-self (the
+                // fragmentation-first head is exactly the set beside
+                // the noisy neighbour), other hosts on their published
+                // views. Cross-host full-orbit scans were deferred
+                // while views cost a lock-and-clone per host; with
+                // wait-free snapshot reads the whole fleet scan is
+                // zero-lock, so the rebalancer now sees the
+                // least-interfering realisation everywhere instead of
+                // admission's fragmentation-first head.
                 let scored = if id == src {
                     self.best_escape_on_view(id, &cand, occ_minus, others)
                 } else {
                     let (occ, residents) = self.host_view(id);
-                    self.score_on_view(id, &cand, &occ, &residents).ok()
+                    self.best_escape_on_view(id, &cand, &occ, &residents)
                 };
                 let Some((_, p, penalty)) = scored else { continue };
                 let degradation_after = 1.0 - penalty;
@@ -359,9 +375,12 @@ impl PlacementEngine {
             self.best_escape_on_view(dst, &cand, &occ, &residents)
                 .ok_or(())?
         } else {
+            // Full-orbit re-validation, matching the plan's scoring —
+            // an admission-style head scan here could land the move on
+            // a different (worse) realisation than the one planned.
             let (occ, residents) = self.host_view(dst);
-            self.score_on_view(dst, &cand, &occ, &residents)
-                .map_err(|_| ())?
+            self.best_escape_on_view(dst, &cand, &occ, &residents)
+                .ok_or(())?
         };
         let degradation_after = 1.0 - penalty;
         if degradation_after >= degradation_before

@@ -8,9 +8,10 @@ use std::sync::{Arc, OnceLock};
 use proptest::prelude::*;
 use vc_engine::{
     BatchStrategy, EngineConfig, MachineId, Placed, PlacementEngine, PlacementRequest,
+    RebalancePolicy,
 };
 use vc_ml::forest::ForestConfig;
-use vc_topology::{machines, NodeId};
+use vc_topology::{machines, NodeId, ThreadId};
 
 fn fast_config() -> EngineConfig {
     EngineConfig {
@@ -157,6 +158,19 @@ fn batch_vs_sequential_engine() -> &'static PlacementEngine {
 }
 
 fn churn_engine() -> &'static PlacementEngine {
+    static ENGINE: OnceLock<PlacementEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let mut engine = PlacementEngine::new(fast_config());
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+        engine
+    })
+}
+
+/// Its own engine: the torn-read proptest churns concurrently, which
+/// would race the quiescent-point assertions of the tests above if
+/// they shared occupancy.
+fn torn_read_engine() -> &'static PlacementEngine {
     static ENGINE: OnceLock<PlacementEngine> = OnceLock::new();
     ENGINE.get_or_init(|| {
         let mut engine = PlacementEngine::new(fast_config());
@@ -431,4 +445,280 @@ fn bounded_engine_caches_evict_and_still_answer() {
         assert_eq!(a.scores, b.scores);
     }
     assert_eq!(engine.stats().catalogs.computes, 5);
+}
+
+// ---------------------------------------------------------------------
+// Wait-free snapshot reads: equivalence, consistency and lock accounting
+// ---------------------------------------------------------------------
+
+/// A snapshot-reading engine and a lock-clone twin over the same fleet.
+fn snapshot_twins(interference: bool, budget: Option<f64>) -> (PlacementEngine, PlacementEngine) {
+    let build = |snapshot_reads: bool| {
+        let mut e = PlacementEngine::new(EngineConfig {
+            snapshot_reads,
+            interference,
+            degradation_budget: budget,
+            ..fast_config()
+        });
+        e.add_machine(machines::amd_opteron_6272());
+        e.add_machine(machines::amd_opteron_6272());
+        e.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+        e
+    };
+    (build(true), build(false))
+}
+
+fn assert_same_placed(a: &Placed, b: &Placed, ctx: &str) {
+    assert_eq!(a.ticket, b.ticket, "{ctx}: ticket diverged");
+    assert_eq!(a.machine, b.machine, "{ctx}: machine diverged");
+    assert_eq!(a.placement_id, b.placement_id, "{ctx}: class diverged");
+    assert_eq!(a.spec.nodes, b.spec.nodes, "{ctx}: node set diverged");
+    assert_eq!(a.threads, b.threads, "{ctx}: threads diverged");
+    assert_eq!(a.predicted_perf, b.predicted_perf, "{ctx}: prediction diverged");
+    assert_eq!(
+        a.interference_penalty, b.interference_penalty,
+        "{ctx}: penalty diverged"
+    );
+    assert_eq!(a.goal_perf, b.goal_perf, "{ctx}: goal diverged");
+}
+
+/// The tentpole equivalence: an engine scoring on epoch-published
+/// snapshots commits bit-for-bit the decisions of its lock-clone twin
+/// — across plain admission, BestScore offer ranking, interference
+/// probes (both engines score neighbours) and rebalance plans — while
+/// the accessors' snapshot reads match their lock-read twins exactly
+/// at every quiescent point.
+#[test]
+fn snapshot_reads_are_bit_for_bit_equivalent_to_lock_reads() {
+    let (snap, lock) = snapshot_twins(true, Some(0.005));
+    assert!(snap.config().snapshot_reads && !lock.config().snapshot_reads);
+
+    let reqs: Vec<PlacementRequest> = (0..10)
+        .map(|i| {
+            let wl = ["WTbtree", "streamcluster", "swaptions"][i % 3];
+            let strat_goal = [0.0, 0.9][(i / 3) % 2];
+            PlacementRequest::new(wl, [4, 8, 16][i % 3])
+                .with_goal(strat_goal)
+                .with_probe_seed(i as u64)
+        })
+        .collect();
+
+    // Admission (FirstFit) and offer-ranked admission (BestScore),
+    // interleaved so both paths run against churned occupancy.
+    let mut live_snap = Vec::new();
+    let mut live_lock = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        let strat = if i % 2 == 0 { BatchStrategy::FirstFit } else { BatchStrategy::BestScore };
+        let a = snap.place_batch(std::slice::from_ref(req), strat);
+        let b = lock.place_batch(std::slice::from_ref(req), strat);
+        match (a[0].placed(), b[0].placed()) {
+            (Some(x), Some(y)) => {
+                assert_same_placed(x, y, &format!("request {i}"));
+                live_snap.push(x.clone());
+                live_lock.push(y.clone());
+            }
+            (None, None) => {}
+            _ => panic!("request {i}: twins disagree on feasibility"),
+        }
+        // Accessor equivalence at quiescence, on the snapshot engine:
+        // wait-free reads match the authoritative lock reads.
+        for id in snap.machine_ids() {
+            let occ = snap.occupancy(id);
+            let occ_locked = snap.occupancy_locked(id);
+            assert_eq!(occ.used_threads(), occ_locked.used_threads());
+            for t in 0..occ.total_threads() {
+                assert_eq!(occ.is_free(ThreadId(t)), occ_locked.is_free(ThreadId(t)));
+            }
+            let (r, rl) = (snap.residents(id), snap.residents_locked(id));
+            assert_eq!(r.len(), rl.len(), "registry reads diverge on {id:?}");
+            for (x, y) in r.iter().zip(&rl) {
+                assert_eq!(x.ticket, y.ticket);
+                assert_eq!(x.threads, y.threads);
+                assert_eq!(x.placement_id, y.placement_id);
+                assert_eq!(x.predicted_perf, y.predicted_perf);
+            }
+            assert_eq!(
+                snap.node_utilisation(id),
+                snap.host_snapshot(id).occupancy().node_usage()
+            );
+        }
+    }
+    assert!(!live_snap.is_empty(), "the stream must place something");
+
+    // Rebalance plans: the same over-budget victims, the same moves.
+    let policy = RebalancePolicy::default();
+    let ra = snap.rebalance(&policy);
+    let rb = lock.rebalance(&policy);
+    assert_eq!(ra.scanned, rb.scanned, "scan population diverged");
+    assert_eq!(ra.over_budget, rb.over_budget);
+    assert_eq!(ra.blocked_no_target, rb.blocked_no_target);
+    assert_eq!(ra.blocked_by_cost, rb.blocked_by_cost);
+    assert_eq!(ra.migrations.len(), rb.migrations.len(), "plan size diverged");
+    for (x, y) in ra.migrations.iter().zip(&rb.migrations) {
+        assert_eq!(x.ticket, y.ticket, "mover diverged");
+        assert_eq!((x.from, x.to), (y.from, y.to), "route diverged");
+        assert_same_placed(&x.placed, &y.placed, "migration target");
+        assert_eq!(x.degradation_before, y.degradation_before);
+        assert_eq!(x.degradation_after, y.degradation_after);
+    }
+
+    // Mode bookkeeping: the snapshot engine published and read
+    // snapshots; the lock-clone twin never touched the slot.
+    let (sa, sb) = (snap.stats(), lock.stats());
+    assert!(sa.snapshot.published > 0, "commits must publish snapshots");
+    assert!(sa.snapshot.reads > 0, "scoring must read snapshots");
+    assert_eq!(sb.snapshot.published, 0, "lock-clone twin must not publish");
+    assert_eq!(sb.snapshot.reads, 0, "lock-clone twin must not load slots");
+
+    for (a, b) in live_snap.iter().zip(&live_lock) {
+        snap.release(a).unwrap();
+        lock.release(b).unwrap();
+    }
+    for id in snap.machine_ids() {
+        assert_eq!(snap.utilisation(id).0, 0);
+        assert_eq!(lock.utilisation(id).0, 0);
+    }
+}
+
+/// Zero lock acquisitions on the scoring path: a warm snapshot-mode
+/// engine takes the host mutex exactly once per committed placement
+/// and once per release — never for offers, BestScore ranking,
+/// summary prefilters, rejected requests or read accessors.
+#[test]
+fn scoring_and_accessors_acquire_no_host_locks() {
+    let mut engine = PlacementEngine::new(fast_config());
+    engine.add_machine(machines::amd_opteron_6272());
+    engine.add_machine(machines::amd_opteron_6272());
+
+    // Warm every cache so the measured region is pure decision-making.
+    let warm = engine.place(&PlacementRequest::new("WTbtree", 16));
+    engine.release(warm.placed().expect("fits")).unwrap();
+
+    let locks_at = |e: &PlacementEngine| e.stats().host_lock_acquisitions;
+    let base = locks_at(&engine);
+
+    // Read accessors: wait-free, zero locks.
+    for id in engine.machine_ids() {
+        let _ = engine.utilisation(id);
+        let _ = engine.node_utilisation(id);
+        let _ = engine.occupancy(id);
+        let _ = engine.residents(id);
+        let _ = engine.host_snapshot(id);
+    }
+    let _ = engine.num_residents();
+    assert_eq!(locks_at(&engine) - base, 0, "accessors must not lock");
+
+    // Fill the fleet: 8 commits = exactly 8 acquisitions, although
+    // BestScore dry-ran offers across hosts for every request.
+    let reqs: Vec<PlacementRequest> = (0..8)
+        .map(|i| PlacementRequest::new("swaptions", 16).with_probe_seed(i))
+        .collect();
+    let decisions = engine.place_batch(&reqs, BatchStrategy::BestScore);
+    let placed: Vec<Placed> = decisions.iter().filter_map(|d| d.placed().cloned()).collect();
+    assert_eq!(placed.len(), 8, "128 threads hold exactly eight 16-vCPU containers");
+    assert_eq!(
+        locks_at(&engine) - base,
+        8,
+        "one lock per commit; offers and prefilters must be lock-free"
+    );
+
+    // A rejected request on the full fleet: zero locks (summaries and
+    // snapshots rule every host out before any commit attempt).
+    let overflow = engine.place(&PlacementRequest::new("swaptions", 16).with_probe_seed(99));
+    assert!(overflow.placed().is_none());
+    assert_eq!(locks_at(&engine) - base, 8, "rejections must not lock");
+
+    // Releases: one acquisition each.
+    for p in &placed {
+        engine.release(p).unwrap();
+    }
+    assert_eq!(locks_at(&engine) - base, 16, "one lock per release");
+}
+
+/// Snapshots are never observed mid-commit: under racing writers every
+/// loaded snapshot is internally consistent — the union of its
+/// residents' threads is exactly its occupancy's used set, tickets are
+/// strictly sorted, and per-node usage re-derives from the residents.
+fn assert_snapshot_consistent(s: &vc_engine::HostSnapshot) {
+    let occ = s.occupancy();
+    let mut used = vec![false; occ.total_threads()];
+    let mut last_ticket = None;
+    for r in s.residents() {
+        assert!(last_ticket < Some(r.ticket), "registry must be ticket-sorted");
+        last_ticket = Some(r.ticket);
+        for &t in &r.threads {
+            assert!(!used[t.0], "two residents share thread {t:?}: torn snapshot");
+            used[t.0] = true;
+        }
+    }
+    for (t, &in_registry) in used.iter().enumerate() {
+        assert_eq!(
+            in_registry,
+            !occ.is_free(ThreadId(t)),
+            "thread {t}: registry and occupancy disagree — snapshot torn mid-commit"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Concurrent writers churn placements and releases while reader
+    /// threads continuously load `host_snapshot` — no loaded snapshot
+    /// may ever show a half-applied commit, release or publication.
+    #[test]
+    fn snapshots_are_never_torn_under_concurrent_churn(
+        seeds in proptest::collection::vec(0u64..1000, 2..5),
+    ) {
+        let engine = torn_read_engine();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // Validating readers, hammering every machine's slot.
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        for id in engine.machine_ids() {
+                            assert_snapshot_consistent(&engine.host_snapshot(id));
+                        }
+                    }
+                });
+            }
+            // Writers: placement/release churn from the generated seeds.
+            let writers: Vec<_> = seeds
+                .iter()
+                .map(|&seed| {
+                    s.spawn(move || {
+                        let mut live = Vec::new();
+                        for i in 0..4u64 {
+                            let req = PlacementRequest::new("WTbtree", 8)
+                                .with_probe_seed(seed.wrapping_mul(31).wrapping_add(i));
+                            if let Some(p) = engine.place(&req).placed() {
+                                live.push(p.clone());
+                            }
+                            if i % 2 == 1 {
+                                for p in live.drain(..) {
+                                    engine.release(&p).unwrap();
+                                }
+                            }
+                        }
+                        for p in live {
+                            engine.release(&p).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        // Quiescent: the final snapshot equals the authoritative state.
+        for id in engine.machine_ids() {
+            assert_snapshot_consistent(&engine.host_snapshot(id));
+            prop_assert_eq!(
+                engine.occupancy(id).used_threads(),
+                engine.occupancy_locked(id).used_threads()
+            );
+        }
+    }
 }

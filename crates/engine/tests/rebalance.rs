@@ -321,6 +321,59 @@ fn release_errors_are_surfaced_counted_and_harmless() {
     assert_eq!(engine.utilisation(MachineId(0)).0, 0);
 }
 
+/// Lock accounting, the wait-free-planning acceptance check: a pass
+/// that only scans and scores takes **zero** host locks (everything
+/// runs on epoch-published snapshots), and a pass that executes moves
+/// takes exactly the executed moves' commit bookkeeping — one
+/// acquisition for a same-host move, two (source + destination) for a
+/// cross-host move — which `RebalanceReport::host_lock_acquisitions`
+/// must report exactly.
+#[test]
+fn rebalance_lock_acquisitions_equal_executed_move_bookkeeping() {
+    // Plan-only pass: a generous budget scans the same degraded pair
+    // but never moves — and never locks.
+    let generous = two_amd(Some(0.99));
+    let _pair = degraded_pair(&generous);
+    let report = generous.rebalance(&RebalancePolicy::default());
+    assert!(report.scanned > 0, "the pass must have scanned residents");
+    assert!(report.migrations.is_empty());
+    assert_eq!(
+        report.host_lock_acquisitions, 0,
+        "scanning and scoring must run entirely on snapshots"
+    );
+
+    // A cost-blocked pass plans a move but never executes: still zero.
+    let blocked = two_amd(Some(0.005));
+    let _pair = degraded_pair(&blocked);
+    let stingy = RebalancePolicy {
+        expected_runtime_s: 0.001,
+        ..RebalancePolicy::default()
+    };
+    let report = blocked.rebalance(&stingy);
+    assert!(report.blocked_by_cost >= 1);
+    assert_eq!(
+        report.host_lock_acquisitions, 0,
+        "a planned-but-gated move must not lock anything"
+    );
+
+    // An executing pass: exactly the moves' commit locks, nothing for
+    // the planning around them.
+    let engine = two_amd(Some(0.005));
+    let _pair = degraded_pair(&engine);
+    let report = engine.rebalance(&RebalancePolicy::default());
+    assert_eq!(report.migrations.len(), 1, "one move fixes the pair");
+    assert_eq!(report.failed_commits, 0);
+    let expected: u64 = report
+        .migrations
+        .iter()
+        .map(|m| if m.from == m.to { 1 } else { 2 })
+        .sum();
+    assert_eq!(
+        report.host_lock_acquisitions, expected,
+        "every acquisition must be an executed move's commit"
+    );
+}
+
 /// A same-host rebalance: with no second host to flee to, the victim is
 /// moved onto a far node of its own machine (the same-host path
 /// releases before it reserves, so overlapping node sets are legal).

@@ -43,4 +43,4 @@ pub use machine::{
     TopologyError,
 };
 pub use occupancy::{OccupancyError, OccupancyMap};
-pub use summary::{group_by_fingerprint, group_by_key, CapacitySummary};
+pub use summary::{group_by_fingerprint, group_by_key, CapacitySummary, CapacityView};

@@ -48,6 +48,100 @@ use crate::ids::{L2GroupId, NodeId};
 use crate::machine::Machine;
 use crate::occupancy::OccupancyMap;
 
+/// A read-only view of a host's free capacity, per NUMA node and per L2
+/// domain — the query surface admission prefilters run against.
+///
+/// Two implementations with different consistency contracts share it:
+///
+/// * [`CapacitySummary`] — lock-free atomics, possibly one in-flight
+///   critical section stale. `false` answers are only a *hint* here.
+/// * [`OccupancyMap`] — exact at the moment of the call; authoritative
+///   when read under the host lock, and exact-as-of-publication when
+///   the map is part of an immutable published snapshot (the engine's
+///   epoch-published `HostSnapshot`).
+///
+/// Prefilter logic written against this trait (`can_host` /
+/// `can_host_l2` / `nodes_with_free` / `l2s_with_free`) therefore runs
+/// unchanged over an advisory summary, a wait-free snapshot, or the
+/// locked map — which is what keeps the snapshot-read and lock-read
+/// engine paths bit-for-bit comparable in tests.
+pub trait CapacityView {
+    /// Number of NUMA nodes tracked.
+    fn num_nodes(&self) -> usize;
+    /// Number of L2 groups tracked.
+    fn num_l2_groups(&self) -> usize;
+    /// Free threads on `node`.
+    fn free_on_node(&self, node: NodeId) -> usize;
+    /// Free threads in L2 group `l2`.
+    fn free_in_l2(&self, l2: L2GroupId) -> usize;
+    /// Total free threads.
+    fn free_threads(&self) -> usize;
+
+    /// Number of nodes with at least `per_node` free threads.
+    fn nodes_with_free(&self, per_node: usize) -> usize {
+        (0..self.num_nodes())
+            .filter(|&n| self.free_on_node(NodeId(n)) >= per_node)
+            .count()
+    }
+
+    /// Number of L2 groups with at least `per_l2` free threads.
+    fn l2s_with_free(&self, per_l2: usize) -> usize {
+        (0..self.num_l2_groups())
+            .filter(|&g| self.free_in_l2(L2GroupId(g)) >= per_l2)
+            .count()
+    }
+
+    /// Whether a balanced placement needing `n_nodes` nodes with
+    /// `per_node` threads each could possibly fit. On an advisory view
+    /// `true` is a hint; on an exact view it is a fact (as of the
+    /// view's moment).
+    fn can_host(&self, n_nodes: usize, per_node: usize) -> bool {
+        self.nodes_with_free(per_node) >= n_nodes
+    }
+
+    /// The L2-granular companion of [`Self::can_host`]: whether `n_l2`
+    /// L2 groups with `per_l2` free threads each are available.
+    fn can_host_l2(&self, n_l2: usize, per_l2: usize) -> bool {
+        self.l2s_with_free(per_l2) >= n_l2
+    }
+}
+
+impl CapacityView for CapacitySummary {
+    fn num_nodes(&self) -> usize {
+        CapacitySummary::num_nodes(self)
+    }
+    fn num_l2_groups(&self) -> usize {
+        CapacitySummary::num_l2_groups(self)
+    }
+    fn free_on_node(&self, node: NodeId) -> usize {
+        CapacitySummary::free_on_node(self, node)
+    }
+    fn free_in_l2(&self, l2: L2GroupId) -> usize {
+        CapacitySummary::free_in_l2(self, l2)
+    }
+    fn free_threads(&self) -> usize {
+        CapacitySummary::free_threads(self)
+    }
+}
+
+impl CapacityView for OccupancyMap {
+    fn num_nodes(&self) -> usize {
+        OccupancyMap::num_nodes(self)
+    }
+    fn num_l2_groups(&self) -> usize {
+        OccupancyMap::num_l2_groups(self)
+    }
+    fn free_on_node(&self, node: NodeId) -> usize {
+        OccupancyMap::free_on_node(self, node)
+    }
+    fn free_in_l2(&self, l2: L2GroupId) -> usize {
+        OccupancyMap::free_in_l2(self, l2)
+    }
+    fn free_threads(&self) -> usize {
+        OccupancyMap::free_threads(self)
+    }
+}
+
 /// Lock-free snapshot of a host's free capacity, per NUMA node and per
 /// L2 domain.
 ///
@@ -370,6 +464,33 @@ mod tests {
             });
         });
         assert_eq!(s.free_on_node(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn capacity_view_answers_agree_across_implementations() {
+        // The advisory summary and the exact map must answer every
+        // CapacityView query identically once the summary is published
+        // from the map — this is what lets prefilter code be generic.
+        fn probe(v: &dyn CapacityView) -> Vec<usize> {
+            let mut out = vec![v.free_threads()];
+            out.extend((0..=8).map(|k| v.nodes_with_free(k)));
+            out.extend((0..=2).map(|k| v.l2s_with_free(k)));
+            out.push(usize::from(v.can_host(4, 8)));
+            out.push(usize::from(v.can_host_l2(16, 2)));
+            out
+        }
+        let m = machines::amd_opteron_6272();
+        let s = CapacitySummary::new(&m);
+        let mut occ = OccupancyMap::new(&m);
+        occ.reserve(&m.threads_on_node(NodeId(3))).unwrap();
+        let one_per_module: Vec<_> = m
+            .threads_on_node(NodeId(6))
+            .into_iter()
+            .step_by(2)
+            .collect();
+        occ.reserve(&one_per_module).unwrap();
+        s.publish(&occ);
+        assert_eq!(probe(&s), probe(&occ));
     }
 
     #[test]
