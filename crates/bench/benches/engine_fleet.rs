@@ -24,7 +24,12 @@
 //!   snapshot engine vs the `snapshot_reads: false` lock-clone
 //!   baseline, recording client-observed p50/p99 place latency — plus
 //!   a counter-verified proof that snapshot-mode scoring and planning
-//!   acquire zero host locks.
+//!   acquire zero host locks;
+//! * **served variant** — the same stochastic churn driven through the
+//!   `vc-serve` daemon over real TCP (4 client threads against a held
+//!   over-budget population) while the daemon's pausable background
+//!   loop rebalances with hysteresis — client-observed p50/p99 RPC
+//!   latency plus the loop's cooldown-suppression counters.
 //!
 //! Prints one JSON line per configuration (recorded in
 //! `BENCH_engine_fleet.json` at the repo root) before the timed
@@ -32,11 +37,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use vc_engine::{
     BatchStrategy, EngineConfig, PlacementEngine, PlacementRequest, RebalancePolicy,
 };
 use vc_policy::ContendedLoad;
+use vc_serve::rpc::WireRequest;
+use vc_serve::{DemoLoad, LoopConfig, PlacementServer, ServerConfig};
 use vc_topology::machines;
 
 /// A fleet of `hosts` machines drawn from 3 machine classes (AMD,
@@ -317,6 +325,114 @@ fn record_contended(hosts: usize, snapshot_reads: bool) {
     );
 }
 
+/// Served variant: the same engine behind the `vc-serve` daemon — 4
+/// client threads of stochastic churn over real TCP while the pausable
+/// background loop rebalances underneath with hysteresis. The stacked
+/// resident population from `resident_stream` is committed and *held*
+/// through the whole run, so the loop has genuine movers: its first
+/// pass migrates them, and its immediately-following passes re-scan the
+/// just-moved tickets inside their cooldown window — the suppression
+/// the JSON line (and the assert) records.
+fn record_served(hosts: usize) {
+    let engine = Arc::new(build_fleet_mode(hosts, true, Some(0.01), true));
+    // Warm every catalog/model/penalty cache off the clock.
+    let warm: Vec<_> = resident_stream()
+        .iter()
+        .filter_map(|r| engine.place(r).placed().cloned())
+        .collect();
+    for p in &warm {
+        engine.release(p).unwrap();
+    }
+    // The held pathology population the loop will unwind.
+    let held: Vec<_> = resident_stream()
+        .iter()
+        .filter_map(|r| engine.place(r).placed().cloned())
+        .collect();
+
+    let config = ServerConfig::default().with_rebalance(LoopConfig {
+        interval: Duration::from_millis(5),
+        policy: RebalancePolicy::default()
+            .with_cooldown_passes(8)
+            .with_moved_gb_cap(1.0),
+        start_paused: false,
+    });
+    let server = PlacementServer::spawn(Arc::clone(&engine), config).expect("bind loopback");
+
+    let clients = 4;
+    let per_client = 32;
+    let load = DemoLoad {
+        clients,
+        requests_per_client: per_client,
+        pool: vec![
+            WireRequest {
+                workload: "streamcluster".to_string(),
+                vcpus: 4,
+                goal_frac: 0.0,
+                probe_seed: 0,
+            },
+            WireRequest {
+                workload: "WTbtree".to_string(),
+                vcpus: 8,
+                goal_frac: 0.0,
+                probe_seed: 0,
+            },
+            WireRequest {
+                workload: "swaptions".to_string(),
+                vcpus: 16,
+                goal_frac: 0.9,
+                probe_seed: 0,
+            },
+        ],
+        strategy: BatchStrategy::FirstFit,
+        seed: 42,
+        release_pct: 50,
+    };
+    let t0 = Instant::now();
+    let report = load.run(server.local_addr()).expect("demo run");
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Give the loop time to re-scan its own movers at least once.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.loop_totals().suppressed_by_cooldown == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let totals = server.loop_totals();
+    server.shutdown();
+
+    println!(
+        "{{\"bench\":\"engine_fleet\",\"variant\":\"served\",\
+         \"hosts\":{hosts},\"clients\":{clients},\"requests_per_client\":{per_client},\
+         \"placed\":{},\"rejected\":{},\"released\":{},\"wall_s\":{wall_s:.3},\
+         \"place_p50_us\":{:.1},\"place_p99_us\":{:.1},\"place_max_us\":{:.1},\
+         \"release_p50_us\":{:.1},\"release_p99_us\":{:.1},\
+         \"loop_passes\":{},\"loop_migrations\":{},\
+         \"suppressed_by_cooldown\":{},\"blocked_by_gb_cap\":{},\"moved_gb\":{:.2}}}",
+        report.placed,
+        report.rejected,
+        report.released,
+        report.place.quantile_us(0.5),
+        report.place.quantile_us(0.99),
+        report.place.quantile_us(1.0),
+        report.release.quantile_us(0.5),
+        report.release.quantile_us(0.99),
+        totals.passes,
+        totals.migrations,
+        totals.suppressed_by_cooldown,
+        totals.blocked_by_gb_cap,
+        totals.moved_gb,
+    );
+    assert!(totals.passes >= 2, "the loop must actually run");
+    assert!(totals.migrations >= 1, "the held pathology must be unwound");
+    assert!(
+        totals.suppressed_by_cooldown >= 1,
+        "the cooldown must suppress at least one re-scan of a just-moved ticket"
+    );
+    for p in &held {
+        engine.release(p).unwrap();
+    }
+    assert_eq!(engine.num_residents(), 0, "demo clients must drain their tickets");
+}
+
 fn bench(c: &mut Criterion) {
     let reqs = request_stream();
 
@@ -340,6 +456,9 @@ fn bench(c: &mut Criterion) {
     record_contended(10, false);
     record_contended(1000, true);
     record_contended(1000, false);
+    // Served variant: the same churn through the vc-serve daemon over
+    // TCP, with the background loop rebalancing under hysteresis.
+    record_served(10);
 
     let mut group = c.benchmark_group("place_batch_fleet");
     group.sample_size(5);

@@ -455,6 +455,33 @@ impl PlacementDecision {
     }
 }
 
+/// Answer to a [`PlacementEngine::can_fit`] capacity probe: how much of
+/// the fleet could host a request *right now*, without reserving
+/// anything. Advisory by construction — a concurrent commit can consume
+/// the capacity between the probe and a later placement.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FitProbe {
+    /// Hosts whose lock-free capacity summary still admits at least one
+    /// goal-clearing placement shape.
+    pub hosts: usize,
+    /// Machine classes predicted to clear the request's goal (0 when the
+    /// workload is unknown or no class can meet the goal).
+    pub goal_clearing_classes: usize,
+    /// Best idle-host predicted performance over all classes (0.0 when
+    /// no class clears the goal).
+    pub best_predicted: f64,
+    /// Absolute performance the goal translated to on the best class
+    /// (0.0 when best-effort).
+    pub goal_perf: f64,
+}
+
+impl FitProbe {
+    /// Whether at least one host can take the request right now.
+    pub fn fits(&self) -> bool {
+        self.hosts > 0
+    }
+}
+
 /// Why [`PlacementEngine::release`] refused a handle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReleaseError {
@@ -572,6 +599,11 @@ pub struct EngineStats {
     /// construction, so recovery is sound — but each recovery means
     /// some commit died mid-flight and is worth investigating.
     pub lock_poison_recoveries: u64,
+    /// [`PlacementEngine::rebalance`] invocations, including no-op
+    /// passes on engines without a degradation budget. A daemon's
+    /// pause/resume control is observable through this counter: while
+    /// the loop is paused the value stops advancing.
+    pub rebalance_passes: u64,
 }
 
 impl EngineStats {
@@ -895,6 +927,15 @@ pub struct PlacementEngine {
     /// ever taken nested inside a host lock, or alone), so it can
     /// never participate in a deadlock cycle with the host locks.
     locations: Mutex<HashMap<u64, usize>>,
+    /// Monotone rebalance pass counter (see
+    /// [`EngineStats::rebalance_passes`]); the clock the move-cooldown
+    /// hysteresis counts in.
+    rebalance_passes: AtomicU64,
+    /// Ticket → pass index of the ticket's last executed rebalance
+    /// move. Consulted only by [`Self::rebalance`] (never on the
+    /// admission or release path), pruned at the start of every pass,
+    /// and empty whenever the policy's cooldown is zero.
+    move_cooldowns: Mutex<HashMap<u64, u64>>,
 }
 
 impl PlacementEngine {
@@ -927,6 +968,8 @@ impl PlacementEngine {
             domain: Domain::new(),
             next_ticket: AtomicU64::new(0),
             locations: Mutex::new(HashMap::new()),
+            rebalance_passes: AtomicU64::new(0),
+            move_cooldowns: Mutex::new(HashMap::new()),
         }
     }
 
@@ -1093,6 +1136,21 @@ impl PlacementEngine {
     /// removes are atomic at map granularity).
     fn locations_lock(&self) -> MutexGuard<'_, HashMap<u64, usize>> {
         self.locations.lock().unwrap_or_else(|poisoned| {
+            self.lock_poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Starts a rebalance pass: bumps the engine-wide pass clock and
+    /// returns the (1-based) index of the pass being started.
+    pub(crate) fn begin_rebalance_pass(&self) -> u64 {
+        self.rebalance_passes.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The move-cooldown map (ticket → pass of last move), recovering a
+    /// poisoned guard like the other bookkeeping locks.
+    pub(crate) fn cooldowns_lock(&self) -> MutexGuard<'_, HashMap<u64, u64>> {
+        self.move_cooldowns.lock().unwrap_or_else(|poisoned| {
             self.lock_poison_recoveries.fetch_add(1, Ordering::Relaxed);
             poisoned.into_inner()
         })
@@ -1272,6 +1330,7 @@ impl PlacementEngine {
             },
             host_lock_acquisitions: self.host_lock_acquisitions.load(Ordering::Relaxed),
             lock_poison_recoveries: self.lock_poison_recoveries.load(Ordering::Relaxed),
+            rebalance_passes: self.rebalance_passes.load(Ordering::Relaxed),
         }
     }
 
@@ -1707,6 +1766,35 @@ impl PlacementEngine {
         self.place_batch(std::slice::from_ref(req), BatchStrategy::FirstFit)
             .pop()
             .expect("one decision per request")
+    }
+
+    /// A can-we-fit probe: evaluates the request against every machine
+    /// class (warm-cache work, identical to admission's phase 1) and
+    /// counts the hosts whose lock-free capacity summary still admits a
+    /// goal-clearing shape — without taking any host lock or reserving
+    /// anything. The answer is advisory: capacity can be claimed by a
+    /// concurrent commit the instant this returns.
+    pub fn can_fit(&self, req: &PlacementRequest) -> FitProbe {
+        let mut probe = FitProbe::default();
+        for class in 0..self.fleet.num_classes() {
+            let Ok(cand) = self.evaluate(class, req) else {
+                continue;
+            };
+            if !cand.goal_met() || cand.goal_shapes.is_empty() {
+                continue;
+            }
+            probe.goal_clearing_classes += 1;
+            if cand.best_perf > probe.best_predicted {
+                probe.best_predicted = cand.best_perf;
+                probe.goal_perf = cand.goal_perf;
+            }
+            for &id in self.fleet.classes()[class].members() {
+                if !self.summary_rules_out(id, &cand) {
+                    probe.hosts += 1;
+                }
+            }
+        }
+        probe
     }
 
     /// Places a stream of requests across the fleet.

@@ -150,9 +150,9 @@ pub mod rebalance;
 
 pub use cache::{CacheCounters, KeyedCache};
 pub use engine::{
-    BatchStrategy, EngineConfig, EngineStats, FleetClass, FleetIndex, HostSnapshot, MachineId,
-    ModelArtifact, Placed, PlacementCatalog, PlacementDecision, PlacementEngine, PlacementRequest,
-    PlacementTicket, ReleaseError, Resident, SnapshotCounters, SummaryCounters,
+    BatchStrategy, EngineConfig, EngineStats, FitProbe, FleetClass, FleetIndex, HostSnapshot,
+    MachineId, ModelArtifact, Placed, PlacementCatalog, PlacementDecision, PlacementEngine,
+    PlacementRequest, PlacementTicket, ReleaseError, Resident, SnapshotCounters, SummaryCounters,
 };
 pub use rebalance::{Migration, RebalancePolicy, RebalanceReport};
 pub use vc_core::interference::{InterferenceCounters, ResidentWorkload};

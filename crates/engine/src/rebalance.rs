@@ -44,6 +44,22 @@ pub struct RebalancePolicy {
     /// slowdown during the copy). Short horizons make the gate strict —
     /// a container about to depart is not worth moving.
     pub expected_runtime_s: f64,
+    /// Move hysteresis: a ticket moved in pass `p` is not even
+    /// *examined* again until pass `p + cooldown_passes + 1` — the
+    /// pass-driven analogue of "never re-move a just-moved container".
+    /// A periodic loop otherwise ping-pongs a container between two
+    /// near-equal homes as arrivals keep re-tilting the balance, paying
+    /// the Table 2 freeze every interval. `0` (the default) disables
+    /// the cooldown; admission behaviour and single-shot passes are
+    /// bit-for-bit those of the pre-hysteresis engine.
+    pub cooldown_passes: u64,
+    /// Upper bound on data moved per pass (GB). Once executing the next
+    /// candidate move would push the pass total over the cap, that move
+    /// (and every later one this pass) is skipped and counted in
+    /// [`RebalanceReport::blocked_by_gb_cap`] — bounding the migration
+    /// bandwidth a background loop can consume per interval. `None`
+    /// (the default) leaves the pass uncapped.
+    pub max_moved_gb_per_pass: Option<f64>,
 }
 
 impl Default for RebalancePolicy {
@@ -52,11 +68,24 @@ impl Default for RebalancePolicy {
             model: MigrationModel::default(),
             mode: MigrationMode::Fast,
             expected_runtime_s: 600.0,
+            cooldown_passes: 0,
+            max_moved_gb_per_pass: None,
         }
     }
 }
 
 impl RebalancePolicy {
+    /// Sets the re-move cooldown (in passes).
+    pub fn with_cooldown_passes(mut self, passes: u64) -> Self {
+        self.cooldown_passes = passes;
+        self
+    }
+
+    /// Caps the data moved per pass (GB).
+    pub fn with_moved_gb_cap(mut self, gb: f64) -> Self {
+        self.max_moved_gb_per_pass = Some(gb);
+        self
+    }
     /// Work (in seconds) the migration itself destroys: the freeze plus
     /// the throughput lost while copying concurrently.
     pub fn cost_s(&self, estimate: &MigrationEstimate) -> f64 {
@@ -126,6 +155,20 @@ pub struct RebalanceReport {
     /// snapshot reads off it additionally counts every lock-clone view
     /// the planning phase took.
     pub host_lock_acquisitions: u64,
+    /// Engine-wide index of this pass (1-based; the clock
+    /// [`RebalancePolicy::cooldown_passes`] counts in). `0` only for
+    /// the no-op report of a budget-less engine.
+    pub pass: u64,
+    /// Residents skipped without being re-scored because they were
+    /// moved within the last [`RebalancePolicy::cooldown_passes`]
+    /// passes. Each skip is a potential re-move the hysteresis
+    /// suppressed — and a simulation probe it never paid for.
+    pub suppressed_by_cooldown: usize,
+    /// Cost-justified moves skipped because executing them would push
+    /// the pass's moved-GB total over
+    /// [`RebalancePolicy::max_moved_gb_per_pass`]. The residents stay
+    /// over budget and the next pass reconsiders them.
+    pub blocked_by_gb_cap: usize,
 }
 
 impl RebalanceReport {
@@ -226,13 +269,46 @@ impl PlacementEngine {
     pub fn rebalance(&self, policy: &RebalancePolicy) -> RebalanceReport {
         let mut report = RebalanceReport::default();
         let locks_before = self.stats().host_lock_acquisitions;
+        let pass = self.begin_rebalance_pass();
         let Some(budget) = self.config().degradation_budget else {
             return report;
         };
+        report.pass = pass;
+        // Retire cooldown entries that can no longer suppress anything,
+        // so the map stays bounded by the recently-moved set even under
+        // endless churn (tickets are never reused, so stale entries
+        // would otherwise accumulate forever).
+        {
+            let mut cooldowns = self.cooldowns_lock();
+            if policy.cooldown_passes == 0 {
+                cooldowns.clear();
+            } else {
+                cooldowns.retain(|_, moved_at| {
+                    pass.saturating_sub(*moved_at) <= policy.cooldown_passes
+                });
+            }
+        }
+        let mut pass_moved_gb = 0.0_f64;
         for src in self.machine_ids() {
             let snapshot = self.residents(src);
             for resident in &snapshot {
                 report.scanned += 1;
+                // Hysteresis: a just-moved ticket is not even re-scored
+                // until its cooldown expires — re-moving it would pay a
+                // second freeze to chase a landscape that is still
+                // settling around the first move.
+                if policy.cooldown_passes > 0 {
+                    let cooling = self
+                        .cooldowns_lock()
+                        .get(&resident.ticket.0)
+                        .is_some_and(|&moved_at| {
+                            pass.saturating_sub(moved_at) <= policy.cooldown_passes
+                        });
+                    if cooling {
+                        report.suppressed_by_cooldown += 1;
+                        continue;
+                    }
+                }
                 // Fresh per-resident snapshot: earlier moves in this
                 // same pass changed the landscape.
                 let Some((occ_minus, others)) = self.host_view_without(src, resident.ticket)
@@ -261,17 +337,32 @@ impl PlacementEngine {
                     report.blocked_by_cost += 1;
                     continue;
                 }
+                // Per-pass bandwidth cap: a cost-justified move still
+                // waits for a later pass when this one has already
+                // shifted its GB allowance.
+                if let Some(cap) = policy.max_moved_gb_per_pass {
+                    if pass_moved_gb + estimate.moved_gb > cap {
+                        report.blocked_by_gb_cap += 1;
+                        continue;
+                    }
+                }
                 match self.execute_move(src, resident, &plan, degradation, policy, &estimate) {
-                    Ok((placed, degradation_after)) => report.migrations.push(Migration {
-                        ticket: resident.ticket,
-                        workload: resident.request.workload.clone(),
-                        from: src,
-                        to: plan.to,
-                        degradation_before: degradation,
-                        degradation_after,
-                        estimate,
-                        placed,
-                    }),
+                    Ok((placed, degradation_after)) => {
+                        pass_moved_gb += estimate.moved_gb;
+                        if policy.cooldown_passes > 0 {
+                            self.cooldowns_lock().insert(resident.ticket.0, pass);
+                        }
+                        report.migrations.push(Migration {
+                            ticket: resident.ticket,
+                            workload: resident.request.workload.clone(),
+                            from: src,
+                            to: plan.to,
+                            degradation_before: degradation,
+                            degradation_after,
+                            estimate,
+                            placed,
+                        })
+                    }
                     Err(()) => report.failed_commits += 1,
                 }
             }

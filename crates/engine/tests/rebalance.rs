@@ -413,3 +413,177 @@ fn rebalance_can_move_within_one_host() {
     engine.release(&victim).unwrap();
     assert_eq!(engine.utilisation(MachineId(0)).0, 4);
 }
+
+/// Hysteresis, counting half: a ticket moved in pass `p` is skipped —
+/// before any re-scoring — in every pass `q` with `q − p ≤ cooldown`,
+/// counted in `suppressed_by_cooldown`, and re-examined the pass after
+/// the window closes. With no pressure rebuilt, the counts are exact.
+#[test]
+fn cooldown_suppresses_rescans_until_the_window_expires() {
+    let engine = two_amd(Some(0.005));
+    let _pair = degraded_pair(&engine);
+    let policy = RebalancePolicy::default().with_cooldown_passes(2);
+
+    let r1 = engine.rebalance(&policy);
+    assert_eq!(r1.pass, 1, "pass numbering is engine-wide and 1-based");
+    assert_eq!(r1.migrations.len(), 1);
+    assert_eq!(r1.suppressed_by_cooldown, 0, "nothing was cooling yet");
+    let moved = r1.migrations[0].ticket;
+
+    // Passes 2 and 3: the mover is inside its window — suppressed, and
+    // the only cooling ticket, so the count is exactly one. The victim
+    // is re-scored normally (within budget now) and stays.
+    for expected_pass in [2u64, 3] {
+        let r = engine.rebalance(&policy);
+        assert_eq!(r.pass, expected_pass);
+        assert_eq!(r.suppressed_by_cooldown, 1);
+        assert!(
+            !r.migrations.iter().any(|m| m.ticket == moved),
+            "a cooling ticket must not be re-moved"
+        );
+        assert!(r.migrations.is_empty());
+    }
+
+    // Pass 4: the window expired; the mover is re-scored again — and
+    // stays put on merit, it is already in its best home.
+    let r4 = engine.rebalance(&policy);
+    assert_eq!(r4.pass, 4);
+    assert_eq!(r4.suppressed_by_cooldown, 0, "cooldown must expire");
+    assert!(r4.migrations.is_empty());
+    assert_eq!(engine.stats().rebalance_passes, 4);
+}
+
+/// Hysteresis, behavioural half: when real pressure is rebuilt against
+/// a just-moved container, the cooldown is what stands between it and a
+/// second freeze — inside the window it is suppressed even though it is
+/// genuinely over budget again; the pass after expiry it re-moves.
+#[test]
+fn cooldown_suppresses_a_genuine_re_move_then_allows_it() {
+    let engine = two_amd(Some(0.005));
+    let (_resident, victim) = degraded_pair(&engine);
+    let policy = RebalancePolicy::default().with_cooldown_passes(2);
+
+    let r1 = engine.rebalance(&policy);
+    assert_eq!(r1.migrations.len(), 1);
+    let mover = r1.migrations[0].ticket;
+    let new_home = r1.migrations[0].to;
+
+    // Rebuild the pathology around the mover's new home: retire the
+    // original partner, then admit a fresh one. The mover's half-node
+    // is now the only broken-open node in the fleet, so the
+    // pristine-averse retargeter stacks the newcomer right beside the
+    // just-moved container — exactly the pairing pass 1 broke up.
+    engine.release(&victim).expect("retire the original partner");
+    let neighbour = engine
+        .place(&PlacementRequest::new("WTbtree", 4).with_probe_seed(7))
+        .placed()
+        .expect("room beside the mover")
+        .clone();
+    assert_eq!(neighbour.machine, new_home);
+    assert!(
+        neighbour.interference_penalty < 1.0,
+        "the neighbour must stack beside the mover"
+    );
+
+    // Pass 2: the pressure is real, but the mover is cooling — it must
+    // not pay a second freeze. Relief is redirected onto the
+    // non-cooling partner instead, which escapes.
+    let r2 = engine.rebalance(&policy);
+    assert!(r2.suppressed_by_cooldown >= 1, "the mover must be skipped");
+    assert!(
+        !r2.migrations.iter().any(|m| m.ticket == mover),
+        "a cooling ticket must not be re-moved"
+    );
+    assert!(
+        r2.migrations.iter().any(|m| m.ticket == neighbour.ticket),
+        "with the mover frozen, the partner takes the move: {r2:?}"
+    );
+
+    // Pass 3: both are cooling now; nothing moves.
+    let r3 = engine.rebalance(&policy);
+    assert_eq!(r3.suppressed_by_cooldown, 2, "mover and partner both cooling");
+    assert!(r3.migrations.is_empty());
+
+    // Rebuild the pathology a second time, after the mover's window
+    // (passes 2 and 3) has closed.
+    engine.release(&neighbour).expect("retire the second partner");
+    let neighbour = engine
+        .place(&PlacementRequest::new("WTbtree", 4).with_probe_seed(7))
+        .placed()
+        .expect("room beside the mover")
+        .clone();
+    assert!(
+        neighbour.interference_penalty < 1.0,
+        "the rebuilt neighbour must stack beside the mover"
+    );
+
+    // Pass 4: the window closed and the pressure is back — this time
+    // the mover itself pays the move.
+    let r4 = engine.rebalance(&policy);
+    assert!(
+        r4.migrations.iter().any(|m| m.ticket == mover),
+        "after the cooldown the still-degraded mover must re-move: {r4:?}"
+    );
+}
+
+/// The per-pass moved-GB cap: with two cost-justified movers in one
+/// pass and a cap that only pays for one, the second is deferred —
+/// counted in `blocked_by_gb_cap`, executed by the next pass — and the
+/// executed traffic never exceeds the cap.
+#[test]
+fn moved_gb_cap_defers_the_second_move_to_the_next_pass() {
+    // Two independent copies of the degraded pair, one per node: two
+    // streamclusters each stacked against a WTbtree on host 0.
+    let build = || {
+        let engine = two_amd(Some(0.005));
+        for seed in [0u64, 1] {
+            let s = engine
+                .place(&PlacementRequest::new("streamcluster", 4).with_probe_seed(seed))
+                .placed()
+                .expect("room")
+                .clone();
+            assert_eq!(s.machine, MachineId(0));
+            let w = engine
+                .place(&PlacementRequest::new("WTbtree", 4).with_probe_seed(7 + seed))
+                .placed()
+                .expect("room")
+                .clone();
+            assert_eq!(w.machine, MachineId(0));
+            assert!(w.interference_penalty < 1.0, "pair {seed} must interfere");
+        }
+        engine
+    };
+
+    // Control: uncapped, both moves execute in one pass — and the
+    // hysteresis counters of a default policy stay zero.
+    let control = build();
+    let r = control.rebalance(&RebalancePolicy::default());
+    assert_eq!(r.migrations.len(), 2, "uncapped pass fixes both pairs: {r:?}");
+    assert_eq!(r.suppressed_by_cooldown, 0);
+    assert_eq!(r.blocked_by_gb_cap, 0);
+    let both_gb = r.moved_gb();
+    assert!(both_gb > 0.0);
+
+    // Capped at three quarters of the total: the first move fits, the
+    // second must wait.
+    let capped = build();
+    let policy = RebalancePolicy::default().with_moved_gb_cap(both_gb * 0.75);
+    let r1 = capped.rebalance(&policy);
+    assert_eq!(r1.migrations.len(), 1, "the cap pays for one move: {r1:?}");
+    // Two deferrals, not one: the second streamcluster hits the cap,
+    // and because it then STAYS, its still-trapped partner is over
+    // budget too — its cost-justified escape hits the same cap.
+    assert_eq!(r1.blocked_by_gb_cap, 2, "the second pair is deferred, not dropped");
+    assert!(r1.moved_gb() <= both_gb * 0.75 + 1e-9, "traffic respects the cap");
+
+    // Deferred means next pass, not never.
+    let r2 = capped.rebalance(&policy);
+    assert_eq!(r2.migrations.len(), 1, "the deferred move executes: {r2:?}");
+    assert_eq!(r2.blocked_by_gb_cap, 0);
+    assert!(r2.moved_gb() <= both_gb * 0.75 + 1e-9);
+    assert_eq!(
+        r1.migrations.len() + r2.migrations.len(),
+        2,
+        "the cap spreads the same work over passes"
+    );
+}

@@ -81,6 +81,26 @@ impl LatencySummary {
                 / self.samples.len() as u128) as u64
         }
     }
+
+    /// The `q`-quantile in microseconds — the unit the bench JSON lines
+    /// record, so in-process and served latencies read on one scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / 1e3
+    }
+
+    /// Pools the samples of two summaries — the demo/bench aggregation
+    /// over per-client-thread observations.
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        let mut samples = self.samples.clone();
+        samples.extend_from_slice(&other.samples);
+        samples.sort_unstable();
+        LatencySummary { samples }
+    }
 }
 
 /// What a contended run observed.

@@ -1,0 +1,247 @@
+//! A typed, blocking client for the placement daemon.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time (the protocol is strict request/response, no pipelining). Every
+//! verb has a typed method; a server-side [`RpcError`] comes back as
+//! [`ClientError::Server`] rather than being conflated with transport
+//! failures, so callers can distinguish "the daemon is draining" from
+//! "the daemon is gone".
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use vc_engine::BatchStrategy;
+
+use crate::rpc::{
+    ControlAck, DecodeError, FitInfo, OccupancyInfo, PlaceOutcome, Request, Response, RpcError,
+    ServiceStats, WireRequest,
+};
+use crate::wire::{read_frame, write_frame, WireError};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or framing failed (daemon gone, frame truncated).
+    Wire(WireError),
+    /// The daemon's bytes did not decode to a response.
+    Decode(DecodeError),
+    /// The daemon answered, with an error.
+    Server(RpcError),
+    /// The daemon answered with a response of the wrong type for the
+    /// request (a protocol bug, not a transport failure).
+    Unexpected(Response),
+    /// The daemon closed the connection instead of answering.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire failure: {e}"),
+            ClientError::Decode(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Server(e) => write!(f, "server error ({:?}): {}", e.code, e.message),
+            ClientError::Unexpected(r) => write!(f, "mismatched response type: {r:?}"),
+            ClientError::Closed => write!(f, "connection closed mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A blocking connection to a placement daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// One request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`]/[`ClientError::Decode`] on transport or
+    /// codec failures, [`ClientError::Closed`] when the daemon hangs up
+    /// instead of answering. A decoded [`Response::Error`] is returned
+    /// as `Ok` here — the typed verbs below lift it to
+    /// [`ClientError::Server`].
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or(ClientError::Closed)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    fn expect<T>(
+        &mut self,
+        req: &Request,
+        pick: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        match self.request(req)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => pick(other).map_err(ClientError::Unexpected),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Ping, |r| match r {
+            Response::Pong => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Places one container.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with
+    /// [`ErrorCode::Draining`](crate::rpc::ErrorCode::Draining) when
+    /// the daemon no longer admits placements; transport errors as in
+    /// [`Client::request`]. A capacity rejection is **not** an error —
+    /// it is [`PlaceOutcome::Rejected`].
+    pub fn place(
+        &mut self,
+        req: WireRequest,
+        strategy: BatchStrategy,
+    ) -> Result<PlaceOutcome, ClientError> {
+        self.expect(&Request::Place { req, strategy }, |r| match r {
+            Response::Place(o) => Ok(o),
+            other => Err(other),
+        })
+    }
+
+    /// Places a batch; one outcome per request, in order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::place`].
+    pub fn place_batch(
+        &mut self,
+        reqs: Vec<WireRequest>,
+        strategy: BatchStrategy,
+    ) -> Result<Vec<PlaceOutcome>, ClientError> {
+        self.expect(&Request::PlaceBatch { reqs, strategy }, |r| match r {
+            Response::Batch(o) => Ok(o),
+            other => Err(other),
+        })
+    }
+
+    /// Releases a placement by ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with
+    /// [`ErrorCode::UnknownTicket`](crate::rpc::ErrorCode::UnknownTicket)
+    /// for a double release; transport errors as in [`Client::request`].
+    pub fn release(&mut self, ticket: u64) -> Result<(), ClientError> {
+        self.expect(&Request::Release { ticket }, |r| match r {
+            Response::Released => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Engine + daemon counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        self.expect(&Request::Stats, |r| match r {
+            Response::Stats(s) => Ok(s),
+            other => Err(other),
+        })
+    }
+
+    /// Thread-level occupancy of one machine.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn occupancy(&mut self, machine: u32) -> Result<OccupancyInfo, ClientError> {
+        self.expect(&Request::Occupancy { machine }, |r| match r {
+            Response::Occupancy(o) => Ok(o),
+            other => Err(other),
+        })
+    }
+
+    /// Advisory can-we-fit probe; reserves nothing.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn can_fit(&mut self, req: WireRequest) -> Result<FitInfo, ClientError> {
+        self.expect(&Request::CanFit { req }, |r| match r {
+            Response::CanFit(fit) => Ok(fit),
+            other => Err(other),
+        })
+    }
+
+    /// Pauses the background rebalance loop.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn pause_rebalance(&mut self) -> Result<ControlAck, ClientError> {
+        self.control(&Request::PauseRebalance)
+    }
+
+    /// Resumes the background rebalance loop.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn resume_rebalance(&mut self) -> Result<ControlAck, ClientError> {
+        self.control(&Request::ResumeRebalance)
+    }
+
+    /// Puts the daemon into draining: placements are refused, releases
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn drain(&mut self) -> Result<ControlAck, ClientError> {
+        self.control(&Request::Drain)
+    }
+
+    /// Asks the daemon to exit. The ack is sent before the daemon stops
+    /// accepting, so the call observes a clean shutdown handshake.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<ControlAck, ClientError> {
+        self.control(&Request::Shutdown)
+    }
+
+    fn control(&mut self, req: &Request) -> Result<ControlAck, ClientError> {
+        self.expect(req, |r| match r {
+            Response::Ack(a) => Ok(a),
+            other => Err(other),
+        })
+    }
+}

@@ -1,0 +1,598 @@
+//! The placement daemon: a framed TCP front-end over
+//! `Arc<PlacementEngine>` plus a pausable background rebalance loop.
+//!
+//! One accept thread hands each connection to its own handler thread
+//! (the engine is `&self`-only and wait-free on reads, so handlers
+//! simply call it concurrently). The daemon — not its clients — owns
+//! the periodic rebalance pass: a loop thread runs
+//! `PlacementEngine::rebalance` every interval, pausable over the
+//! control verbs, with hysteresis (move cooldown, per-pass moved-GB
+//! cap) supplied by the loop's [`RebalancePolicy`]. This replaces the
+//! hand-driven `ChurnScenario::with_rebalance` pattern: callers connect
+//! and churn, the fleet self-corrects underneath.
+//!
+//! Lifecycle: **running** → (`Drain`) **draining** (placements
+//! refused, releases complete) → (`Shutdown`) **stopped** (accept
+//! loop, handlers and rebalance loop all joined). The daemon tracks
+//! every placement it admits in a ticket registry, so release-by-ticket
+//! needs no client-side state beyond the `u64`, and shutdown can assert
+//! registry-vs-occupancy agreement.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vc_engine::{Placed, PlacementEngine, RebalancePolicy, RebalanceReport};
+
+use crate::rpc::{
+    ControlAck, ErrorCode, FitInfo, NodeUse, OccupancyInfo, PlaceOutcome, PlacedInfo, Request,
+    Response, RpcError, ServiceStats,
+};
+use crate::wire::{read_frame, write_frame};
+
+/// How the daemon's background rebalance loop runs.
+#[derive(Debug, Clone)]
+pub struct LoopConfig {
+    /// Sleep between passes.
+    pub interval: Duration,
+    /// Policy each pass runs with — including the hysteresis knobs
+    /// ([`RebalancePolicy::cooldown_passes`],
+    /// [`RebalancePolicy::max_moved_gb_per_pass`]) that keep a periodic
+    /// loop from ping-ponging containers or saturating the migration
+    /// bandwidth.
+    pub policy: RebalancePolicy,
+    /// Start with the loop paused (resume over the control verb).
+    pub start_paused: bool,
+}
+
+impl Default for LoopConfig {
+    fn default() -> Self {
+        LoopConfig {
+            interval: Duration::from_millis(100),
+            policy: RebalancePolicy::default()
+                .with_cooldown_passes(8)
+                .with_moved_gb_cap(1.0),
+            start_paused: false,
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back with
+    /// [`PlacementServer::local_addr`]).
+    pub addr: String,
+    /// Background rebalance loop; `None` serves without one (manual
+    /// `rebalance()` callers only).
+    pub rebalance: Option<LoopConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            rebalance: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Enables the background rebalance loop.
+    pub fn with_rebalance(mut self, cfg: LoopConfig) -> Self {
+        self.rebalance = Some(cfg);
+        self
+    }
+}
+
+/// What the background loop has done so far, summed over its passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoopTotals {
+    /// Passes completed.
+    pub passes: u64,
+    /// Migrations executed.
+    pub migrations: u64,
+    /// Re-examinations suppressed by the move cooldown.
+    pub suppressed_by_cooldown: u64,
+    /// Cost-justified moves deferred by the per-pass moved-GB cap.
+    pub blocked_by_gb_cap: u64,
+    /// Moves abandoned at commit time (lost races).
+    pub failed_commits: u64,
+    /// Data moved (GB).
+    pub moved_gb: f64,
+}
+
+impl LoopTotals {
+    fn absorb(&mut self, report: &RebalanceReport) {
+        self.passes += 1;
+        self.migrations += report.migrations.len() as u64;
+        self.suppressed_by_cooldown += report.suppressed_by_cooldown as u64;
+        self.blocked_by_gb_cap += report.blocked_by_gb_cap as u64;
+        self.failed_commits += report.failed_commits as u64;
+        self.moved_gb += report.moved_gb();
+    }
+}
+
+/// Rebalance-loop control shared between handlers and the loop thread.
+struct LoopControl {
+    paused: bool,
+    stop: bool,
+}
+
+/// State shared by the accept thread, handler threads and the loop.
+struct Shared {
+    engine: Arc<PlacementEngine>,
+    /// Ticket → the engine handle that releases it. Every placement the
+    /// daemon admits is registered here and removed on release, so
+    /// after shutdown the registry and the engine's occupancy agree
+    /// exactly on what is still resident.
+    registry: Mutex<HashMap<u64, Placed>>,
+    draining: AtomicBool,
+    shutting_down: AtomicBool,
+    has_loop: bool,
+    loop_control: Mutex<LoopControl>,
+    loop_cv: Condvar,
+    loop_totals: Mutex<LoopTotals>,
+    requests: AtomicU64,
+    connections: AtomicU64,
+    protocol_errors: AtomicU64,
+    /// Clones of the accepted streams still being served, keyed by
+    /// connection id, so shutdown can unblock handler threads parked in
+    /// `read_frame`. Each handler removes its entry when it exits —
+    /// otherwise the clone would hold the socket open (no FIN reaches
+    /// the peer) and leak one descriptor per connection.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn ack(&self) -> ControlAck {
+        ControlAck {
+            // A daemon without a loop reports unpaused: there is
+            // nothing the flag could stop.
+            paused: self.has_loop && self.lock(&self.loop_control).paused,
+            draining: self.draining.load(Ordering::SeqCst),
+            shutting_down: self.shutting_down.load(Ordering::SeqCst),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.lock(&self.loop_control).stop = true;
+        self.loop_cv.notify_all();
+    }
+
+    fn service_stats(&self) -> ServiceStats {
+        let engine = self.engine.stats();
+        let totals = *self.lock(&self.loop_totals);
+        ServiceStats {
+            machines: self.engine.num_machines() as u32,
+            residents: self.engine.num_residents() as u64,
+            requests: self.requests.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            evaluations: engine.evaluations,
+            offers: engine.offers,
+            releases: engine.releases,
+            release_failures: engine.release_failures,
+            rebalance_passes: engine.rebalance_passes,
+            loop_passes: totals.passes,
+            loop_migrations: totals.migrations,
+            suppressed_by_cooldown: totals.suppressed_by_cooldown,
+            blocked_by_gb_cap: totals.blocked_by_gb_cap,
+            moved_gb: totals.moved_gb,
+            paused: self.has_loop && self.lock(&self.loop_control).paused,
+            draining: self.draining.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A running placement daemon. Spawn with [`PlacementServer::spawn`],
+/// stop with [`PlacementServer::shutdown`] (or a client's `Shutdown`
+/// verb followed by [`PlacementServer::join`]).
+pub struct PlacementServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    loop_thread: Option<JoinHandle<()>>,
+}
+
+impl PlacementServer {
+    /// Binds, spawns the accept thread (and the rebalance loop, when
+    /// configured) and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket bind failure.
+    pub fn spawn(engine: Arc<PlacementEngine>, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept: the loop polls the shutdown flag between
+        // attempts instead of parking forever in accept(2), so a
+        // client-initiated Shutdown verb stops the daemon without any
+        // self-connection trick.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            engine,
+            registry: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            shutting_down: AtomicBool::new(false),
+            has_loop: config.rebalance.is_some(),
+            loop_control: Mutex::new(LoopControl {
+                paused: config
+                    .rebalance
+                    .as_ref()
+                    .is_some_and(|cfg| cfg.start_paused),
+                stop: false,
+            }),
+            loop_cv: Condvar::new(),
+            loop_totals: Mutex::new(LoopTotals::default()),
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+
+        let loop_thread = config.rebalance.map(|cfg| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || rebalance_loop(&shared, &cfg))
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+
+        Ok(PlacementServer {
+            shared,
+            addr,
+            accept: Some(accept),
+            loop_thread,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<PlacementEngine> {
+        &self.shared.engine
+    }
+
+    /// Tickets of the placements this daemon admitted and has not yet
+    /// released, sorted.
+    pub fn registry_tickets(&self) -> Vec<u64> {
+        let mut tickets: Vec<u64> = self
+            .shared
+            .lock(&self.shared.registry)
+            .keys()
+            .copied()
+            .collect();
+        tickets.sort_unstable();
+        tickets
+    }
+
+    /// What the background loop has done so far.
+    pub fn loop_totals(&self) -> LoopTotals {
+        *self.shared.lock(&self.shared.loop_totals)
+    }
+
+    /// Initiates shutdown and joins every thread (accept, handlers,
+    /// rebalance loop). Idempotent with a client-sent `Shutdown` verb.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        self.join_threads();
+    }
+
+    /// Waits for a client-initiated `Shutdown` verb, then joins every
+    /// thread. Blocks until that verb arrives.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Unblock handlers parked in read_frame on idle connections:
+        // their streams see EOF and the handlers exit cleanly.
+        for (_, conn) in self.shared.lock(&self.shared.conns).drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let handlers: Vec<_> = self.shared.lock(&self.shared.handlers).drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(loop_thread) = self.loop_thread.take() {
+            let _ = loop_thread.join();
+        }
+    }
+}
+
+/// The accept thread: non-blocking accept with a shutdown poll.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed);
+                // The listener is non-blocking; the accepted stream
+                // must not inherit that (handlers do blocking reads).
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                stream.set_nodelay(true).ok();
+                if let Ok(clone) = stream.try_clone() {
+                    shared.lock(&shared.conns).insert(conn_id, clone);
+                }
+                let shared_for_handler = Arc::clone(shared);
+                let handle = std::thread::spawn(move || {
+                    handle_connection(&shared_for_handler, stream, conn_id);
+                });
+                shared.lock(&shared.handlers).push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// The background rebalance thread: run a pass, sleep the interval,
+/// repeat — parked while paused, woken promptly by resume and stop.
+fn rebalance_loop(shared: &Arc<Shared>, cfg: &LoopConfig) {
+    let mut control = shared.lock(&shared.loop_control);
+    loop {
+        while control.paused && !control.stop {
+            control = shared
+                .loop_cv
+                .wait(control)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if control.stop {
+            return;
+        }
+        drop(control);
+
+        let report = shared.engine.rebalance(&cfg.policy);
+        shared.lock(&shared.loop_totals).absorb(&report);
+
+        control = shared.lock(&shared.loop_control);
+        if control.stop {
+            return;
+        }
+        control = shared
+            .loop_cv
+            .wait_timeout(control, cfg.interval)
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .0;
+        if control.stop {
+            return;
+        }
+    }
+}
+
+/// One connection: strict request/response until disconnect, protocol
+/// error, or shutdown. The handler — not the drop of its `stream` —
+/// closes the socket: a clone lives in `Shared::conns` for shutdown to
+/// unblock parked reads, so the peer only sees EOF once `shutdown(2)`
+/// hits the underlying socket and the clone is removed.
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) {
+    serve_connection(shared, &mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    shared.lock(&shared.conns).remove(&conn_id);
+}
+
+/// The request/response loop of [`handle_connection`].
+fn serve_connection(shared: &Arc<Shared>, mut stream: &mut TcpStream) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean disconnect
+            Err(e) => {
+                // Truncated frame, oversized prefix, garbage transport:
+                // count it, answer with the typed protocol error when
+                // the socket still accepts writes, and close — the
+                // framing on this connection is no longer trustworthy.
+                // The daemon keeps serving other/new connections.
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error(RpcError {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                });
+                let _ = write_frame(&mut stream, &resp.encode());
+                return;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error(RpcError {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                });
+                let _ = write_frame(&mut stream, &resp.encode());
+                return;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, close_after) = dispatch(shared, request);
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+        if close_after {
+            return;
+        }
+    }
+}
+
+/// Executes one decoded request. Returns the response plus whether the
+/// connection should close afterwards (only for `Shutdown`).
+fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
+    match request {
+        Request::Ping => (Response::Pong, false),
+        Request::Place { req, strategy } => {
+            if let Some(refusal) = admission_refusal(shared) {
+                return (refusal, false);
+            }
+            let decision = shared
+                .engine
+                .place_batch(&[req.to_engine()], strategy)
+                .pop()
+                .expect("one decision per request");
+            (Response::Place(register_outcome(shared, decision)), false)
+        }
+        Request::PlaceBatch { reqs, strategy } => {
+            if let Some(refusal) = admission_refusal(shared) {
+                return (refusal, false);
+            }
+            let engine_reqs: Vec<_> = reqs.iter().map(|r| r.to_engine()).collect();
+            let outcomes = shared
+                .engine
+                .place_batch(&engine_reqs, strategy)
+                .into_iter()
+                .map(|d| register_outcome(shared, d))
+                .collect();
+            (Response::Batch(outcomes), false)
+        }
+        Request::Release { ticket } => {
+            let Some(placed) = shared.lock(&shared.registry).remove(&ticket) else {
+                return (
+                    Response::Error(RpcError {
+                        code: ErrorCode::UnknownTicket,
+                        message: format!("ticket #{ticket} is not held by this daemon"),
+                    }),
+                    false,
+                );
+            };
+            match shared.engine.release(&placed) {
+                Ok(()) => (Response::Released, false),
+                Err(e) => (
+                    Response::Error(RpcError {
+                        code: ErrorCode::UnknownTicket,
+                        message: e.to_string(),
+                    }),
+                    false,
+                ),
+            }
+        }
+        Request::Stats => (Response::Stats(shared.service_stats()), false),
+        Request::Occupancy { machine } => {
+            if machine as usize >= shared.engine.num_machines() {
+                return (
+                    Response::Error(RpcError {
+                        code: ErrorCode::UnknownMachine,
+                        message: format!(
+                            "machine {machine} is outside the {}-host fleet",
+                            shared.engine.num_machines()
+                        ),
+                    }),
+                    false,
+                );
+            }
+            let id = vc_engine::MachineId(machine as usize);
+            let (used, total) = shared.engine.utilisation(id);
+            let nodes = shared
+                .engine
+                .node_utilisation(id)
+                .into_iter()
+                .map(|(node, used, capacity)| NodeUse {
+                    node: node.0 as u32,
+                    used: used as u32,
+                    capacity: capacity as u32,
+                })
+                .collect();
+            (
+                Response::Occupancy(OccupancyInfo {
+                    machine,
+                    used: used as u32,
+                    total: total as u32,
+                    nodes,
+                }),
+                false,
+            )
+        }
+        Request::CanFit { req } => {
+            let probe = shared.engine.can_fit(&req.to_engine());
+            (
+                Response::CanFit(FitInfo {
+                    hosts: probe.hosts as u64,
+                    goal_clearing_classes: probe.goal_clearing_classes as u32,
+                    best_predicted: probe.best_predicted,
+                    goal_perf: probe.goal_perf,
+                }),
+                false,
+            )
+        }
+        Request::PauseRebalance => {
+            shared.lock(&shared.loop_control).paused = true;
+            shared.loop_cv.notify_all();
+            (Response::Ack(shared.ack()), false)
+        }
+        Request::ResumeRebalance => {
+            shared.lock(&shared.loop_control).paused = false;
+            shared.loop_cv.notify_all();
+            (Response::Ack(shared.ack()), false)
+        }
+        Request::Drain => {
+            shared.draining.store(true, Ordering::SeqCst);
+            (Response::Ack(shared.ack()), false)
+        }
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            (Response::Ack(shared.ack()), true)
+        }
+    }
+}
+
+/// The typed refusal for placement verbs while draining or stopping,
+/// `None` while running normally.
+fn admission_refusal(shared: &Shared) -> Option<Response> {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Some(Response::Error(RpcError {
+            code: ErrorCode::ShuttingDown,
+            message: "daemon is shutting down".to_string(),
+        }));
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        return Some(Response::Error(RpcError {
+            code: ErrorCode::Draining,
+            message: "daemon is draining: new placements are refused".to_string(),
+        }));
+    }
+    None
+}
+
+/// Registers a committed placement in the ticket registry and projects
+/// the decision onto the wire.
+fn register_outcome(shared: &Shared, decision: vc_engine::PlacementDecision) -> PlaceOutcome {
+    match decision {
+        vc_engine::PlacementDecision::Placed(placed) => {
+            let info = PlacedInfo::from_placed(&placed);
+            shared.lock(&shared.registry).insert(placed.ticket.0, placed);
+            PlaceOutcome::Placed(info)
+        }
+        vc_engine::PlacementDecision::Rejected { reason } => PlaceOutcome::Rejected { reason },
+    }
+}

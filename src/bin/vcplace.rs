@@ -6,6 +6,8 @@
 //! vcplace predict  <machine> <vcpus> <workload>
 //! vcplace pack     <machine> <vcpus> <workload> <goal-pct>
 //! vcplace migrate  <workload>
+//! vcplace serve    [--addr A] [--machines m1,m2,..] [--budget F]
+//!                  [--interval-ms N] [--paused] [--demo]
 //! ```
 //!
 //! Machines: `amd` (quad Opteron 6272), `intel` (quad Xeon E7-4830 v3),
@@ -29,7 +31,10 @@ fn usage() -> ! {
         "usage:\n  vcplace machines\n  vcplace placements <machine> <vcpus>\n  \
          vcplace predict <machine> <vcpus> <workload>\n  \
          vcplace pack <machine> <vcpus> <workload> <goal-pct>\n  \
-         vcplace migrate <workload>|--list\n\nmachines: amd | intel | zen | @path/to/file.spec"
+         vcplace migrate <workload>|--list\n  \
+         vcplace serve [--addr A] [--machines m1,m2,..] [--budget F] \
+         [--interval-ms N] [--paused] [--demo]\n\n\
+         machines: amd | intel | zen | @path/to/file.spec"
     );
     std::process::exit(2);
 }
@@ -74,7 +79,108 @@ fn main() {
             parse::<f64>(&args[5]) / 100.0,
         ),
         Some("migrate") if args.len() >= 3 => cmd_migrate(&args[2]),
+        Some("serve") => cmd_serve(&args[2..]),
         _ => usage(),
+    }
+}
+
+/// `vcplace serve`: run the framed placement daemon over a fleet, with
+/// the pausable background rebalance loop. `--demo` drives 4 client
+/// threads of stochastic churn against it, prints the client-observed
+/// latency quantiles and the loop's hysteresis counters, and exits;
+/// without it the daemon runs until a client sends the shutdown verb.
+fn cmd_serve(args: &[String]) {
+    use std::time::Duration;
+    use vcplace::engine::{EngineConfig, PlacementEngine, RebalancePolicy};
+    use vcplace::ml::forest::ForestConfig;
+    use vcplace::serve::{DemoLoad, LoopConfig, PlacementServer, ServerConfig};
+
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut machine_list = "amd,amd".to_string();
+    let mut budget = 0.02_f64;
+    let mut interval_ms = 100_u64;
+    let mut start_paused = false;
+    let mut demo = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--machines" => machine_list = it.next().cloned().unwrap_or_else(|| usage()),
+            "--budget" => budget = parse(it.next().unwrap_or_else(|| usage())),
+            "--interval-ms" => interval_ms = parse(it.next().unwrap_or_else(|| usage())),
+            "--paused" => start_paused = true,
+            "--demo" => demo = true,
+            _ => usage(),
+        }
+    }
+
+    eprintln!("training the fleet model...");
+    let mut engine = PlacementEngine::new(EngineConfig {
+        interference: true,
+        degradation_budget: Some(budget),
+        n_seeds: 2,
+        extra_synthetic: 0,
+        forest: ForestConfig {
+            n_trees: 20,
+            ..ForestConfig::default()
+        },
+        ..EngineConfig::default()
+    });
+    for name in machine_list.split(',') {
+        engine.add_machine(machine_arg(name.trim()));
+    }
+
+    let config = ServerConfig::default()
+        .with_addr(addr.as_str())
+        .with_rebalance(LoopConfig {
+            interval: Duration::from_millis(interval_ms),
+            policy: RebalancePolicy::default()
+                .with_cooldown_passes(8)
+                .with_moved_gb_cap(1.0),
+            start_paused,
+        });
+    let server = PlacementServer::spawn(std::sync::Arc::new(engine), config)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+    println!("placement daemon listening on {}", server.local_addr());
+
+    if demo {
+        let report = DemoLoad::default()
+            .run(server.local_addr())
+            .unwrap_or_else(|e| {
+                eprintln!("demo failed: {e}");
+                std::process::exit(1);
+            });
+        let totals = server.loop_totals();
+        println!(
+            "demo: {} placed, {} rejected, {} released over 4 clients",
+            report.placed, report.rejected, report.released
+        );
+        println!(
+            "place   p50 {:>8.1} us   p99 {:>8.1} us   max {:>8.1} us",
+            report.place.quantile_us(0.5),
+            report.place.quantile_us(0.99),
+            report.place.quantile_us(1.0),
+        );
+        println!(
+            "release p50 {:>8.1} us   p99 {:>8.1} us   max {:>8.1} us",
+            report.release.quantile_us(0.5),
+            report.release.quantile_us(0.99),
+            report.release.quantile_us(1.0),
+        );
+        println!(
+            "loop: {} passes, {} migrations, {} suppressed by cooldown, {} blocked by GB cap",
+            totals.passes,
+            totals.migrations,
+            totals.suppressed_by_cooldown,
+            totals.blocked_by_gb_cap,
+        );
+        server.shutdown();
+    } else {
+        // Runs until a client sends the shutdown verb.
+        server.join();
     }
 }
 

@@ -20,7 +20,10 @@
 //! * [`policy`] — the §7 packing policies and scenario harness;
 //! * [`engine`] — the cluster-scale placement service: a cache-backed
 //!   [`engine::PlacementEngine`] serving placement and packing queries
-//!   over a fleet of machines.
+//!   over a fleet of machines;
+//! * [`serve`] — the long-lived placement daemon: a framed TCP protocol
+//!   over the engine ([`serve::PlacementServer`] / [`serve::Client`])
+//!   with a pausable background rebalance loop.
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@ pub use vc_engine as engine;
 pub use vc_migration as migration;
 pub use vc_ml as ml;
 pub use vc_policy as policy;
+pub use vc_serve as serve;
 pub use vc_sim as sim;
 pub use vc_topology as topology;
 pub use vc_workloads as workloads;
