@@ -29,7 +29,15 @@
 //!   `vc-serve` daemon over real TCP (4 client threads against a held
 //!   over-budget population) while the daemon's pausable background
 //!   loop rebalances with hysteresis — client-observed p50/p99 RPC
-//!   latency plus the loop's cooldown-suppression counters.
+//!   latency plus the loop's cooldown-suppression counters;
+//! * **sketch-scaling variants** — a single-class fleet is filled to
+//!   `n − 1` hosts with half-host containers, then a place/release
+//!   cycle on the last free host is timed with the shard availability
+//!   sketches on vs off: on, the descent jumps every saturated shard
+//!   without reading a single member summary, so the cycle p99 grows
+//!   with the *shard* count, not the host count. A 100k-host on-only
+//!   point rides behind `VC_BENCH_LARGE=1` (off-mode at that size is
+//!   the quadratic fill the sketches exist to avoid).
 //!
 //! Prints one JSON line per configuration (recorded in
 //! `BENCH_engine_fleet.json` at the repo root) before the timed
@@ -433,6 +441,89 @@ fn record_served(hosts: usize) {
     assert_eq!(engine.num_residents(), 0, "demo clients must drain their tickets");
 }
 
+/// A single-class fleet for the sketch-scaling measurement: every host
+/// the same AMD box, so the descent is one class → many shards and the
+/// cost difference is purely sketch-jump vs member-summary scan.
+fn build_sketch_fleet(hosts: usize, sketches: bool) -> PlacementEngine {
+    let mut engine = PlacementEngine::new(EngineConfig {
+        n_seeds: 2,
+        extra_synthetic: 0,
+        sketches,
+        ..EngineConfig::default()
+    });
+    for _ in 0..hosts {
+        engine.add_machine(machines::amd_opteron_6272());
+    }
+    engine
+}
+
+/// Sketch-scaling variant: fill `hosts − 1` hosts with half-host
+/// containers, then time place/release cycles on the one free host at
+/// the far end of the fleet. With sketches on, every saturated shard is
+/// jumped at the sketch level (zero member summaries read); off is the
+/// flat per-host summary scan. Reports cycle p50/p99 and the sketch
+/// counters that prove the descent did the skipping.
+fn record_sketch_scaling(hosts: usize, sketches: bool) {
+    let t0 = Instant::now();
+    let engine = build_sketch_fleet(hosts, sketches);
+    // Half-host containers, two per host (a full-host container would
+    // leave the model a single placement to probe): first-fit commits
+    // them ascending, so the first `hosts − 1` hosts saturate and only
+    // the last stays free.
+    let fill: Vec<PlacementRequest> = (0..2 * (hosts - 1))
+        .map(|i| PlacementRequest::new("WTbtree", 32).with_probe_seed(i as u64))
+        .collect();
+    let decisions = engine.place_batch(&fill, BatchStrategy::FirstFit);
+    let filled = decisions.iter().filter(|d| d.placed().is_some()).count();
+    assert_eq!(filled, fill.len(), "the fill must saturate all but one host");
+    let fill_s = t0.elapsed().as_secs_f64();
+
+    let cycles = 50;
+    let req = PlacementRequest::new("WTbtree", 32).with_probe_seed(hosts as u64);
+    let mut lat_ns: Vec<u64> = (0..cycles)
+        .map(|_| {
+            let t = Instant::now();
+            let placed = engine
+                .place(&req)
+                .placed()
+                .cloned()
+                .expect("one host is free");
+            engine.release(&placed).unwrap();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    lat_ns.sort_unstable();
+    let q = |f: f64| lat_ns[((lat_ns.len() - 1) as f64 * f) as usize] as f64 / 1e3;
+
+    let stats = engine.stats();
+    println!(
+        "{{\"bench\":\"engine_fleet\",\"variant\":\"sketch_scaling\",\
+         \"hosts\":{hosts},\"sketches\":{sketches},\"fill_s\":{fill_s:.3},\
+         \"cycles\":{cycles},\"cycle_p50_us\":{:.1},\"cycle_p99_us\":{:.1},\
+         \"sketch_skips\":{},\"sketch_admits\":{},\"sketch_stale\":{},\
+         \"summary_skips\":{},\"summary_admits\":{}}}",
+        q(0.5),
+        q(0.99),
+        stats.sketch.skips,
+        stats.sketch.admits,
+        stats.sketch.stale,
+        stats.summary.skips,
+        stats.summary.admits,
+    );
+    if sketches {
+        assert!(
+            stats.sketch.skips > 0,
+            "a nearly-full fleet must rule out whole shards at the sketch"
+        );
+    } else {
+        assert_eq!(
+            stats.sketch.skips + stats.sketch.admits + stats.sketch.stale,
+            0,
+            "sketches off must leave the counters untouched"
+        );
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let reqs = request_stream();
 
@@ -459,6 +550,17 @@ fn bench(c: &mut Criterion) {
     // Served variant: the same churn through the vc-serve daemon over
     // TCP, with the background loop rebalancing under hysteresis.
     record_served(10);
+    // Sketch-scaling variants: sketches on vs off on a near-full
+    // single-class fleet, then the 100k-host on-only point (off at
+    // that size is the quadratic scan the sketches replace) behind an
+    // opt-in env var so the default bench run stays quick.
+    record_sketch_scaling(1_000, true);
+    record_sketch_scaling(1_000, false);
+    record_sketch_scaling(10_000, true);
+    record_sketch_scaling(10_000, false);
+    if std::env::var_os("VC_BENCH_LARGE").is_some() {
+        record_sketch_scaling(100_000, true);
+    }
 
     let mut group = c.benchmark_group("place_batch_fleet");
     group.sample_size(5);

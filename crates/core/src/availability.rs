@@ -104,6 +104,25 @@ pub struct ShapeRequirement {
     pub per_l2: usize,
 }
 
+impl ShapeRequirement {
+    /// The node-granular sketch bucket of this shape, `(per_node,
+    /// num_nodes)`: a host can pass the node axis of the prefilter iff
+    /// it has at least `num_nodes` nodes with ≥ `per_node` free
+    /// threads. This is the index shape an availability sketch's
+    /// cumulative node table is queried with
+    /// (`AvailabilitySketch::hosts_with_nodes`).
+    pub fn node_bucket(&self) -> (usize, usize) {
+        (self.per_node, self.num_nodes)
+    }
+
+    /// The L2-granular sketch bucket, `(per_l2, num_l2)` — companion
+    /// of [`Self::node_bucket`] for the sketch's L2 table
+    /// (`AvailabilitySketch::hosts_with_l2s`).
+    pub fn l2_bucket(&self) -> (usize, usize) {
+        (self.per_l2, self.num_l2)
+    }
+}
+
 /// Precomputed availability equivalence classes for one catalog.
 ///
 /// Retargeting a class at admission time used to enumerate and *score*
@@ -551,6 +570,24 @@ mod tests {
             assert_eq!(r.num_l2, ip.spec.l2_groups_used);
             assert_eq!(r.per_l2, ip.spec.vcpus / ip.spec.l2_groups_used);
             assert_eq!(r.num_l2 * r.per_l2, ip.spec.vcpus);
+        }
+    }
+
+    #[test]
+    fn sketch_buckets_mirror_the_prefilter_axes() {
+        let (amd, cs, ips) = amd_setup();
+        let index = AvailabilityIndex::build(&amd, &cs, &ips);
+        for r in index.requirements() {
+            // The buckets are exactly the argument pairs the summary
+            // prefilter checks (`can_host(num_nodes, per_node)` /
+            // `can_host_l2(num_l2, per_l2)`), in sketch table order
+            // (threshold first, count second).
+            assert_eq!(r.node_bucket(), (r.per_node, r.num_nodes));
+            assert_eq!(r.l2_bucket(), (r.per_l2, r.num_l2));
+            // Both buckets account for every vCPU of the shape.
+            let (kn, n) = r.node_bucket();
+            let (kl, g) = r.l2_bucket();
+            assert_eq!(kn * n, kl * g);
         }
     }
 

@@ -20,7 +20,9 @@ use vc_core::placement::{PlacementError, PlacementSpec};
 use vc_ml::forest::ForestConfig;
 use vc_sim::SimOracle;
 use vc_sync::{Domain, Slot};
-use vc_topology::{CapacitySummary, Machine, NodeId, OccupancyMap, ThreadId};
+use vc_topology::{
+    AvailabilitySketch, CapacitySummary, Machine, NodeId, OccupancyMap, SketchProfile, ThreadId,
+};
 
 use crate::cache::{CacheCounters, KeyedCache};
 
@@ -107,6 +109,30 @@ pub struct EngineConfig {
     /// at most one in-flight critical section, exactly like the
     /// capacity summary).
     pub snapshot_reads: bool,
+    /// Descend shard-level availability sketches before reading any
+    /// per-host capacity summary: each machine class's members are
+    /// grouped into shards of [`EngineConfig::sketch_shard`] hosts, and
+    /// every shard maintains a lock-free [`AvailabilitySketch`]
+    /// (published by the same critical section that publishes the
+    /// summary). Admission, BestScore's class walks and
+    /// [`PlacementEngine::can_fit`] skip — in O(1), without touching a
+    /// single member summary — every shard whose sketch proves no host
+    /// can pass the prefilter for any goal shape
+    /// ([`EngineStats::sketch`] counts the activity).
+    ///
+    /// `true` (the default) changes *costs only*: the sketch is
+    /// conservative, so skipped hosts are exactly hosts the summary
+    /// scan would also have rejected, and placement decisions are
+    /// identical (equivalence-tested). `false` is literally today's
+    /// flat summary scan — bit-for-bit, with zero sketch maintenance
+    /// on the publication path.
+    pub sketches: bool,
+    /// Hosts per availability-sketch shard (class-local; the last
+    /// shard of a class may be smaller). Values `< 1` are treated as
+    /// `1`. The default of 64 keeps the descent two orders of
+    /// magnitude narrower than the fleet while leaving each shard
+    /// coarse enough that one busy host cannot flip its sketch.
+    pub sketch_shard: usize,
 }
 
 impl Default for EngineConfig {
@@ -124,6 +150,8 @@ impl Default for EngineConfig {
             interference: false,
             degradation_budget: None,
             snapshot_reads: true,
+            sketches: true,
+            sketch_shard: 64,
         }
     }
 }
@@ -473,6 +501,13 @@ pub struct FitProbe {
     /// Absolute performance the goal translated to on the best class
     /// (0.0 when best-effort).
     pub goal_perf: f64,
+    /// Hosts the probe never read a summary of: their whole shard's
+    /// availability sketch proved no member could pass the prefilter.
+    /// Skipping is conservative, so `hosts` equals what a full summary
+    /// scan would count (regression-tested); this field reports how
+    /// much of the fleet the answer was derived *without touching*.
+    /// Always 0 with [`EngineConfig::sketches`] off.
+    pub sketch_skipped: usize,
 }
 
 impl FitProbe {
@@ -529,6 +564,28 @@ pub struct SummaryCounters {
     pub stale: u64,
 }
 
+/// Counters for the shard-level availability-sketch descent (all zero
+/// with [`EngineConfig::sketches`] off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SketchCounters {
+    /// Hosts skipped *shard-wide*: their shard's sketch proved no
+    /// member could pass the summary prefilter, so not even their
+    /// individual summaries were read. Disjoint from
+    /// [`SummaryCounters::skips`], which counts per-host summary
+    /// rejections inside descended shards.
+    pub skips: u64,
+    /// Shards descended into (sketch left at least one goal shape
+    /// possible), counted per walk.
+    pub admits: u64,
+    /// Fully-walked admitted shards in which every member's summary
+    /// then rejected the request. The sketch's two marginals are
+    /// per-axis (node shapes and L2 shapes), so different hosts can
+    /// satisfy different axes with no host satisfying both — stale
+    /// optimism that costs one shard of summary reads, never a wrong
+    /// decision. Also counts racing publications under concurrency.
+    pub stale: u64,
+}
+
 /// Counters for the wait-free snapshot publication path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SnapshotCounters {
@@ -560,6 +617,8 @@ pub struct EngineStats {
     pub evaluations: u64,
     /// Capacity-summary prefilter activity.
     pub summary: SummaryCounters,
+    /// Shard-sketch descent activity (the level above the summaries).
+    pub sketch: SketchCounters,
     /// Interference-penalty activity, aggregated over machine classes:
     /// `computes` counts co-location simulations (cold misses), `hits`
     /// the queries served from cache or idle-host short circuits. All
@@ -667,6 +726,13 @@ impl Resident {
 struct HostState {
     occ: OccupancyMap,
     residents: HashMap<u64, Resident>,
+    /// The host's last-published [`SketchProfile`] — what its shard's
+    /// availability sketch currently counts it as. Kept under the same
+    /// lock as the occupancy so publication can apply the sketch
+    /// *delta* (old profile → fresh profile) instead of rebuilding
+    /// shard totals. Stays [`SketchProfile::empty`] with
+    /// [`EngineConfig::sketches`] off.
+    profile: SketchProfile,
 }
 
 impl HostState {
@@ -738,7 +804,10 @@ impl HostSnapshot {
 }
 
 struct Host {
-    machine: Machine,
+    /// The host's topology, shared with every structurally-equal host
+    /// (one `Arc` per registered topology): at 10⁵ hosts the machine
+    /// description would otherwise dominate per-host memory.
+    machine: Arc<Machine>,
     /// Engine-local topology id (index into `PlacementEngine::topologies`):
     /// the artifact-cache key component. Unlike the raw fingerprint it
     /// is collision-free — hosts share it only after a structural
@@ -747,6 +816,10 @@ struct Host {
     baseline: usize,
     /// Index into the fleet index's classes.
     class: usize,
+    /// The host's member index within its class (`FleetClass::members`
+    /// position): `slot / EngineConfig::sketch_shard` is the shard
+    /// whose availability sketch counts this host.
+    slot: usize,
     oracle: Arc<SimOracle>,
     /// Shared (per topology) memoizing interference model over `oracle`.
     interference: Arc<InterferenceModel>,
@@ -887,8 +960,15 @@ pub struct PlacementEngine {
     /// Registered distinct machine structures: `(fingerprint, machine)`,
     /// index = topology id. Fingerprint narrows the scan; the machine is
     /// the structural-equality representative that makes ids
-    /// collision-free.
-    topologies: Vec<(u64, Machine)>,
+    /// collision-free — and the one `Arc` every same-topology host
+    /// shares.
+    topologies: Vec<(u64, Arc<Machine>)>,
+    /// Per class, per shard (class members in [`EngineConfig::sketch_shard`]
+    /// groups, slot order): the lock-free availability sketch the
+    /// descent consults before any member summary. Grown only under
+    /// `&mut self` (fleet mutation precedes serving); the sketches
+    /// themselves are updated lock-free by every publication.
+    class_sketches: Vec<Vec<AvailabilitySketch>>,
     /// Oracles shared across structurally-identical hosts: the synthetic
     /// corpus is a pure function of (topology, engine config).
     shared_oracles: HashMap<usize, Arc<SimOracle>>,
@@ -902,6 +982,9 @@ pub struct PlacementEngine {
     summary_skips: AtomicU64,
     summary_admits: AtomicU64,
     summary_stale: AtomicU64,
+    sketch_skips: AtomicU64,
+    sketch_admits: AtomicU64,
+    sketch_stale: AtomicU64,
     interference_blocked: AtomicU64,
     offers: AtomicU64,
     releases: AtomicU64,
@@ -947,6 +1030,7 @@ impl PlacementEngine {
             hosts: Vec::new(),
             fleet: FleetIndex::default(),
             topologies: Vec::new(),
+            class_sketches: Vec::new(),
             shared_oracles: HashMap::new(),
             interference_models: HashMap::new(),
             catalogs: KeyedCache::bounded(cap),
@@ -956,6 +1040,9 @@ impl PlacementEngine {
             summary_skips: AtomicU64::new(0),
             summary_admits: AtomicU64::new(0),
             summary_stale: AtomicU64::new(0),
+            sketch_skips: AtomicU64::new(0),
+            sketch_admits: AtomicU64::new(0),
+            sketch_stale: AtomicU64::new(0),
             interference_blocked: AtomicU64::new(0),
             offers: AtomicU64::new(0),
             releases: AtomicU64::new(0),
@@ -1010,9 +1097,13 @@ impl PlacementEngine {
         fingerprint: u64,
     ) -> MachineId {
         let topo = self.register_topology(fingerprint, &machine);
+        // Every structurally-equal host shares the registered `Arc`:
+        // the caller's copy is dropped here, so a 100k-host fleet holds
+        // one machine description per hardware model, not per host.
+        let machine = Arc::clone(&self.topologies[topo].1);
         let oracle = Arc::clone(self.shared_oracles.entry(topo).or_insert_with(|| {
             Arc::new(SimOracle::with_synthetic(
-                machine.clone(),
+                (*machine).clone(),
                 self.cfg.extra_synthetic,
                 self.cfg.corpus_seed,
             ))
@@ -1022,9 +1113,32 @@ impl PlacementEngine {
                 Arc::clone(&oracle) as SharedInterferenceOracle
             ))
         }));
+        let occ = OccupancyMap::new(&machine);
+        let id = MachineId(self.hosts.len());
+        let class = self.fleet.insert(fingerprint, topo, baseline, id);
+        let slot = self.fleet.classes[class].members.len() - 1;
+        // Grow the class's shard-sketch storage and attach the new
+        // (idle) host to its shard. Slots are contiguous per class, so
+        // at most one new shard appears per registration.
+        if self.class_sketches.len() <= class {
+            self.class_sketches.push(Vec::new());
+        }
+        let shard = slot / self.sketch_shard();
+        if self.class_sketches[class].len() <= shard {
+            self.class_sketches[class].push(AvailabilitySketch::new(&machine));
+        }
+        let profile = if self.cfg.sketches {
+            let sketch = &self.class_sketches[class][shard];
+            let p = sketch.profile(&occ);
+            sketch.attach(&p);
+            p
+        } else {
+            SketchProfile::empty()
+        };
         let initial = HostState {
-            occ: OccupancyMap::new(&machine),
+            occ,
             residents: HashMap::new(),
+            profile,
         };
         // The slot must always hold a value; only snapshot mode counts
         // it as a publication (the lock-clone baseline never reads it).
@@ -1034,13 +1148,12 @@ impl PlacementEngine {
         }
         let state = Mutex::new(initial);
         let summary = CapacitySummary::new(&machine);
-        let id = MachineId(self.hosts.len());
-        let class = self.fleet.insert(fingerprint, topo, baseline, id);
         self.hosts.push(Host {
             machine,
             topo,
             baseline,
             class,
+            slot,
             oracle,
             interference,
             state,
@@ -1063,10 +1176,28 @@ impl PlacementEngine {
         {
             Some(i) => i,
             None => {
-                self.topologies.push((fingerprint, machine.clone()));
+                self.topologies.push((fingerprint, Arc::new(machine.clone())));
                 self.topologies.len() - 1
             }
         }
+    }
+
+    /// Hosts per availability-sketch shard, clamped to at least one.
+    fn sketch_shard(&self) -> usize {
+        self.cfg.sketch_shard.max(1)
+    }
+
+    /// The per-shard availability sketches of one machine class, slot
+    /// order (members `[k·shard, (k+1)·shard)` feed sketch `k`). What
+    /// the equivalence suite recomputes ground truth against; sized by
+    /// [`Self::sketch_shard_size`].
+    pub fn class_sketches(&self, class: usize) -> &[AvailabilitySketch] {
+        &self.class_sketches[class]
+    }
+
+    /// The configured shard width (hosts per sketch), clamped ≥ 1.
+    pub fn sketch_shard_size(&self) -> usize {
+        self.sketch_shard()
     }
 
     /// The engine configuration.
@@ -1171,13 +1302,25 @@ impl PlacementEngine {
         }
     }
 
-    /// Publishes a host's mutated state to both lock-free views — the
-    /// capacity summary and (in snapshot mode) the full snapshot slot.
+    /// Publishes a host's mutated state to every lock-free view — the
+    /// capacity summary, the shard's availability sketch (when
+    /// [`EngineConfig::sketches`] is on; the sketch delta between the
+    /// host's last-published profile and the fresh one, recorded back
+    /// into the state) and (in snapshot mode) the full snapshot slot.
     /// Must be called while the mutating critical section still holds
     /// the host lock, so the published views never lag a completed
-    /// mutation.
-    fn publish(&self, host: &Host, st: &HostState) {
+    /// mutation — and so summary and sketch always change *together*:
+    /// a sketch that could zero out while member summaries still
+    /// advertise room would turn a conservative skip into a wrong one
+    /// (the pairing is model-checked in `tests/interleavings.rs`).
+    fn publish(&self, host: &Host, st: &mut HostState) {
         host.summary.publish(&st.occ);
+        if self.cfg.sketches {
+            let sketch = &self.class_sketches[host.class][host.slot / self.sketch_shard()];
+            let fresh = sketch.profile(&st.occ);
+            sketch.update(&st.profile, &fresh);
+            st.profile = fresh;
+        }
         if self.cfg.snapshot_reads {
             host.snapshot.store(Arc::new(st.snapshot()), &self.domain);
             self.snapshot_published.fetch_add(1, Ordering::Relaxed);
@@ -1294,7 +1437,7 @@ impl PlacementEngine {
                 st.occ
                     .release(&resident.threads)
                     .expect("registry threads are reserved by invariant");
-                self.publish(host, &st);
+                self.publish(host, &mut st);
                 self.releases.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
@@ -1312,6 +1455,11 @@ impl PlacementEngine {
                 skips: self.summary_skips.load(Ordering::Relaxed),
                 admits: self.summary_admits.load(Ordering::Relaxed),
                 stale: self.summary_stale.load(Ordering::Relaxed),
+            },
+            sketch: SketchCounters {
+                skips: self.sketch_skips.load(Ordering::Relaxed),
+                admits: self.sketch_admits.load(Ordering::Relaxed),
+                stale: self.sketch_stale.load(Ordering::Relaxed),
             },
             interference: self
                 .interference_models
@@ -1696,7 +1844,7 @@ impl PlacementEngine {
             if st.occ.reserve(&ap.threads).is_ok() {
                 let placed = self.placed(id, ap, predicted_perf, interference_penalty, cand);
                 self.register(&mut st, &placed, cand);
-                self.publish(host, &st);
+                self.publish(host, &mut st);
                 return Ok(placed);
             }
             drop(st);
@@ -1774,6 +1922,13 @@ impl PlacementEngine {
     /// goal-clearing shape — without taking any host lock or reserving
     /// anything. The answer is advisory: capacity can be claimed by a
     /// concurrent commit the instant this returns.
+    ///
+    /// With [`EngineConfig::sketches`] on, the count descends shard
+    /// sketches first: shards whose sketch proves every member summary
+    /// would reject are charged to [`FitProbe::sketch_skipped`] in O(1)
+    /// instead of being scanned. The sketch is conservative, so
+    /// `hosts` is *exactly* the full-scan count either way (at rest;
+    /// regression-tested) — only the number of summaries read changes.
     pub fn can_fit(&self, req: &PlacementRequest) -> FitProbe {
         let mut probe = FitProbe::default();
         for class in 0..self.fleet.num_classes() {
@@ -1788,9 +1943,29 @@ impl PlacementEngine {
                 probe.best_predicted = cand.best_perf;
                 probe.goal_perf = cand.goal_perf;
             }
-            for &id in self.fleet.classes()[class].members() {
-                if !self.summary_rules_out(id, &cand) {
-                    probe.hosts += 1;
+            let members = self.fleet.classes[class].members.as_slice();
+            if self.cfg.sketches {
+                for (shard, chunk) in members.chunks(self.sketch_shard()).enumerate() {
+                    let sketch = &self.class_sketches[class][shard];
+                    let admitted = cand
+                        .goal_shapes
+                        .iter()
+                        .any(|r| sketch.admits(r.node_bucket(), r.l2_bucket()));
+                    if admitted {
+                        for &id in chunk {
+                            if !self.summary_rules_out(id, &cand) {
+                                probe.hosts += 1;
+                            }
+                        }
+                    } else {
+                        probe.sketch_skipped += chunk.len();
+                    }
+                }
+            } else {
+                for &id in members {
+                    if !self.summary_rules_out(id, &cand) {
+                        probe.hosts += 1;
+                    }
                 }
             }
         }
@@ -1846,8 +2021,10 @@ impl PlacementEngine {
         let mut commit_errors: Vec<String> = Vec::new();
         let mut tried = vec![false; self.hosts.len()];
         // Hosts the summary prefilter ruled out, as of the last pass
-        // (used to explain rejections without ever locking them).
+        // (used to explain rejections without ever locking them), and
+        // hosts whole shards of which the sketch descent never read.
         let mut skipped: Vec<usize>;
+        let mut sketch_skipped: usize;
         loop {
             // Viable class candidates, indexed by class for host lookup.
             let viable: Vec<Option<&Candidate>> = {
@@ -1860,12 +2037,13 @@ impl PlacementEngine {
                 v
             };
             skipped = Vec::new();
+            sketch_skipped = 0;
             let chosen: Option<(MachineId, &Candidate)> = match strategy {
                 BatchStrategy::FirstFit => {
                     // The first member (fleet order) of a goal-clearing
                     // class whose summary leaves room wins.
                     let mut found = None;
-                    self.walk_admitted(&viable, &tried, &mut skipped, |id, cand| {
+                    self.walk_admitted(&viable, &tried, &mut skipped, &mut sketch_skipped, |id, cand| {
                         found = Some((id, cand));
                         true
                     });
@@ -1914,7 +2092,7 @@ impl PlacementEngine {
                         let mut class_only: Vec<Option<&Candidate>> =
                             vec![None; self.fleet.num_classes()];
                         class_only[cand.class] = Some(cand);
-                        self.walk_admitted(&class_only, &tried, &mut skipped, |id, cand| {
+                        self.walk_admitted(&class_only, &tried, &mut skipped, &mut sketch_skipped, |id, cand| {
                             let host = &self.hosts[id.0];
                             let idle =
                                 host.summary.free_threads() == host.machine.num_threads();
@@ -1946,7 +2124,12 @@ impl PlacementEngine {
             };
             let Some((id, cand)) = chosen else {
                 return PlacementDecision::Rejected {
-                    reason: self.rejection_reason(options, &commit_errors, &skipped),
+                    reason: self.rejection_reason(
+                        options,
+                        &commit_errors,
+                        &skipped,
+                        sketch_skipped,
+                    ),
                 };
             };
             tried[id.0] = true;
@@ -1980,25 +2163,136 @@ impl PlacementEngine {
     /// order, passing each summary-admitted host to `visit` until it
     /// returns `true`; hosts the prefilter rules out are recorded in
     /// `skipped` (and never locked).
+    ///
+    /// With [`EngineConfig::sketches`] on this is the sketch → shard →
+    /// host descent: per viable class, members are streamed shard by
+    /// shard (slot order — which is fleet order within a class, since
+    /// slots are assigned at registration), whole shards whose sketch
+    /// proves no member can pass the summary are jumped in O(1)
+    /// (counted into `sketch_skipped` and [`SketchCounters::skips`];
+    /// their summaries are never read), and the surviving streams are
+    /// merged by machine id — so hosts are visited in *exactly* the
+    /// order the flat scan would visit them, and every host the
+    /// descent skips is one the flat scan's `summary_admits` would
+    /// have rejected (the sketch is conservative). Decisions are
+    /// therefore identical with sketches on or off; only the cost
+    /// changes. With the knob off the flat scan below runs unchanged.
     fn walk_admitted<'a>(
         &'a self,
         viable: &[Option<&'a Candidate>],
         tried: &[bool],
         skipped: &mut Vec<usize>,
+        sketch_skipped: &mut usize,
         mut visit: impl FnMut(MachineId, &'a Candidate) -> bool,
     ) {
-        for (i, host) in self.hosts.iter().enumerate() {
-            if tried[i] {
+        if !self.cfg.sketches {
+            for (i, host) in self.hosts.iter().enumerate() {
+                if tried[i] {
+                    continue;
+                }
+                let Some(cand) = viable[host.class] else {
+                    continue;
+                };
+                if !self.summary_admits(host, cand) {
+                    skipped.push(i);
+                    continue;
+                }
+                if visit(MachineId(i), cand) {
+                    return;
+                }
+            }
+            return;
+        }
+        let shard_size = self.sketch_shard();
+        /// One class's member stream through its shard sketches.
+        struct Stream<'b> {
+            cand: &'b Candidate,
+            members: &'b [MachineId],
+            sketches: &'b [AvailabilitySketch],
+            /// Next member index (slot) to consider.
+            pos: usize,
+            /// Whether some member of the current shard passed its
+            /// summary (for the stale-shard counter).
+            saw_admit: bool,
+        }
+        let mut streams: Vec<Stream<'_>> = Vec::new();
+        for (class, cand) in viable.iter().enumerate() {
+            let Some(cand) = cand else { continue };
+            let members = self.fleet.classes[class].members.as_slice();
+            if members.is_empty() {
                 continue;
             }
-            let Some(cand) = viable[host.class] else {
-                continue;
+            streams.push(Stream {
+                cand,
+                members,
+                sketches: &self.class_sketches[class],
+                pos: 0,
+                saw_admit: false,
+            });
+        }
+        let shard_admits = |s: &Stream<'_>, shard: usize| {
+            s.cand
+                .goal_shapes
+                .iter()
+                .any(|r| s.sketches[shard].admits(r.node_bucket(), r.l2_bucket()))
+        };
+        // Lands a stream on its next member inside a sketch-admitted
+        // shard, jumping proven-empty shards whole (each jump is two
+        // table loads per goal shape, however many hosts it skips).
+        let settle = |s: &mut Stream<'_>, sketch_skipped: &mut usize| {
+            while s.pos < s.members.len() {
+                let shard = s.pos / shard_size;
+                if shard_admits(s, shard) {
+                    self.sketch_admits.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                let end = ((shard + 1) * shard_size).min(s.members.len());
+                let jumped = end - s.pos;
+                *sketch_skipped += jumped;
+                self.sketch_skips.fetch_add(jumped as u64, Ordering::Relaxed);
+                s.pos = end;
+            }
+        };
+        for s in &mut streams {
+            settle(s, sketch_skipped);
+        }
+        loop {
+            // Merge the streams by head machine id: global fleet order.
+            let Some(si) = streams
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.pos < s.members.len())
+                .min_by_key(|(_, s)| s.members[s.pos])
+                .map(|(i, _)| i)
+            else {
+                return;
             };
-            if !self.summary_admits(host, cand) {
-                skipped.push(i);
-                continue;
+            let s = &mut streams[si];
+            let id = s.members[s.pos];
+            let mut stop = false;
+            if !tried[id.0] {
+                let host = &self.hosts[id.0];
+                if self.summary_admits(host, s.cand) {
+                    s.saw_admit = true;
+                    stop = visit(id, s.cand);
+                } else {
+                    skipped.push(id.0);
+                }
             }
-            if visit(MachineId(i), cand) {
+            s.pos += 1;
+            if s.pos >= s.members.len() || s.pos.is_multiple_of(shard_size) {
+                // Left a fully-walked admitted shard. If nothing in it
+                // passed a summary, the sketch's per-axis marginals
+                // were satisfied by different hosts (or raced a
+                // publication): stale optimism, one shard of wasted
+                // summary reads.
+                if !s.saw_admit {
+                    self.sketch_stale.fetch_add(1, Ordering::Relaxed);
+                }
+                s.saw_admit = false;
+                settle(s, sketch_skipped);
+            }
+            if stop {
                 return;
             }
         }
@@ -2014,6 +2308,7 @@ impl PlacementEngine {
         options: &[Result<Candidate, String>],
         commit_errors: &[String],
         skipped: &[usize],
+        sketch_skipped: usize,
     ) -> String {
         let ok: Vec<&Candidate> = options.iter().filter_map(|c| c.as_ref().ok()).collect();
         if ok.is_empty() {
@@ -2062,6 +2357,50 @@ impl PlacementEngine {
             details.push(format!(
                 "and {} more hosts ruled out by capacity summaries",
                 skipped.len() - DETAILED
+            ));
+        }
+        if sketch_skipped > 0 {
+            // Sketch-jumped shards never had a member summary read on
+            // the placement path. Rejection is the cold path, so read a
+            // few of them now: the reason keeps naming an exhausted
+            // node even when the whole fleet was ruled out shard-wide.
+            if details.is_empty() {
+                'detail: for cand in ok.iter().filter(|c| c.goal_met()) {
+                    for &id in &self.fleet.classes[cand.class].members {
+                        if details.len() >= DETAILED {
+                            break 'detail;
+                        }
+                        let host = &self.hosts[id.0];
+                        // Raw check, not `summary_admits`: this is a
+                        // diagnostic read, it must not count as a
+                        // prefilter skip/admit.
+                        let admits = cand.goal_shapes.iter().any(|r| {
+                            host.summary.can_host(r.num_nodes, r.per_node)
+                                && host.summary.can_host_l2(r.num_l2, r.per_l2)
+                        });
+                        if admits {
+                            continue;
+                        }
+                        let s = &host.summary;
+                        let node = (0..s.num_nodes())
+                            .map(NodeId)
+                            .min_by_key(|&n| (s.free_on_node(n), n.index()))
+                            .expect("machines have at least one node");
+                        details.push(format!(
+                            "{}: no goal-clearing placement class fits the free capacity \
+                             (node {} exhausted: {}/{} threads free, per its summary)",
+                            host.machine.name(),
+                            node,
+                            s.free_on_node(node),
+                            s.capacity_of_node(node),
+                        ));
+                    }
+                }
+            }
+            details.push(format!(
+                "{}{sketch_skipped} hosts ruled out shard-wide by availability \
+                 sketches (summaries never read during placement)",
+                if details.is_empty() { "" } else { "and " },
             ));
         }
         format!(
@@ -2295,7 +2634,7 @@ impl PlacementEngine {
                 return Err(());
             }
             Self::rehome(&mut st, &placed);
-            self.publish(host, &st);
+            self.publish(host, &mut st);
             return Ok(placed);
         }
         // Cross-host: lock both in id order.

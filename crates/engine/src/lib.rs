@@ -152,7 +152,8 @@ pub use cache::{CacheCounters, KeyedCache};
 pub use engine::{
     BatchStrategy, EngineConfig, EngineStats, FitProbe, FleetClass, FleetIndex, HostSnapshot,
     MachineId, ModelArtifact, Placed, PlacementCatalog, PlacementDecision, PlacementEngine,
-    PlacementRequest, PlacementTicket, ReleaseError, Resident, SnapshotCounters, SummaryCounters,
+    PlacementRequest, PlacementTicket, ReleaseError, Resident, SketchCounters, SnapshotCounters,
+    SummaryCounters,
 };
 pub use rebalance::{Migration, RebalancePolicy, RebalanceReport};
 pub use vc_core::interference::{InterferenceCounters, ResidentWorkload};

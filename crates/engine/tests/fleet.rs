@@ -288,42 +288,73 @@ fn evaluation_and_training_are_counted_per_class_not_per_host() {
 }
 
 /// Once the fleet is saturated, further requests are rejected purely by
-/// the lock-free summaries (counted as skips) and the reason still
-/// names an exhausted node; a departure immediately restores
-/// admissibility because releases publish the summary too.
+/// the lock-free hierarchy — shard sketches by default (the whole shard
+/// is proven empty without reading a single member summary), per-host
+/// summaries with the sketch knob off (counted as skips, with a reason
+/// naming an exhausted node); a departure immediately restores
+/// admissibility because releases publish sketch and summary together.
 #[test]
 fn full_hosts_are_skipped_by_summaries_without_locking() {
-    let mut engine = PlacementEngine::new(fast_config());
-    engine.add_machine(machines::amd_opteron_6272());
-    engine.add_machine(machines::amd_opteron_6272());
+    for sketches in [true, false] {
+        let mut engine = PlacementEngine::new(EngineConfig {
+            sketches,
+            ..fast_config()
+        });
+        engine.add_machine(machines::amd_opteron_6272());
+        engine.add_machine(machines::amd_opteron_6272());
 
-    let req = |s: u64| PlacementRequest::new("swaptions", 16).with_probe_seed(s);
-    let mut placed = Vec::new();
-    for s in 0..8 {
-        placed.push(engine.place(&req(s)).placed().expect("fleet has room").clone());
-    }
-    let skips_before = engine.stats().summary.skips;
-    let overflow = engine.place(&req(100));
-    let stats = engine.stats();
-    assert!(overflow.placed().is_none(), "130th vCPU cannot exist");
-    assert_eq!(
-        stats.summary.skips - skips_before,
-        2,
-        "both full hosts must be ruled out by their summaries, lock-free"
-    );
-    match overflow {
-        vc_engine::PlacementDecision::Rejected { reason } => {
-            assert!(reason.contains("node N"), "reason must name a node: {reason}");
-            assert!(reason.contains("summary"), "reason should credit the summary: {reason}");
+        let req = |s: u64| PlacementRequest::new("swaptions", 16).with_probe_seed(s);
+        let mut placed = Vec::new();
+        for s in 0..8 {
+            placed.push(engine.place(&req(s)).placed().expect("fleet has room").clone());
         }
-        _ => unreachable!(),
-    }
+        let skips_before = engine.stats().summary.skips;
+        let sketch_skips_before = engine.stats().sketch.skips;
+        let overflow = engine.place(&req(100));
+        let stats = engine.stats();
+        assert!(overflow.placed().is_none(), "130th vCPU cannot exist");
+        if sketches {
+            assert_eq!(
+                stats.sketch.skips - sketch_skips_before,
+                2,
+                "both full hosts must be ruled out shard-wide by the sketch"
+            );
+            assert_eq!(
+                stats.summary.skips, skips_before,
+                "a sketch-skipped shard's member summaries are never read"
+            );
+        } else {
+            assert_eq!(
+                stats.summary.skips - skips_before,
+                2,
+                "both full hosts must be ruled out by their summaries, lock-free"
+            );
+            assert_eq!(stats.sketch.skips, 0, "sketches off: no sketch activity");
+        }
+        match overflow {
+            vc_engine::PlacementDecision::Rejected { reason } => {
+                if sketches {
+                    assert!(
+                        reason.contains("availability sketches"),
+                        "reason should credit the sketch descent: {reason}"
+                    );
+                } else {
+                    assert!(reason.contains("node N"), "reason must name a node: {reason}");
+                    assert!(
+                        reason.contains("summary"),
+                        "reason should credit the summary: {reason}"
+                    );
+                }
+            }
+            _ => unreachable!(),
+        }
 
-    engine.release(&placed.pop().expect("eight placed")).unwrap();
-    assert!(
-        engine.place(&req(101)).placed().is_some(),
-        "release published the summary; the host is admissible again"
-    );
+        engine.release(&placed.pop().expect("eight placed")).unwrap();
+        assert!(
+            engine.place(&req(101)).placed().is_some(),
+            "release published sketch and summary; the host is admissible again"
+        );
+    }
 }
 
 /// Racing batches against a small fleet: stale summaries may admit a

@@ -16,14 +16,18 @@
 //!   always agree thread-for-thread);
 //! * the lock-free summary never diverges from the published
 //!   occupancy (they are published in the same step);
+//! * the shard availability sketch never diverges from the published
+//!   occupancy either — the sketch delta is applied in the *same*
+//!   publication step as the summary, before the lock drops;
 //! * the ticket-location map never dangles (every mapped ticket has
 //!   an authoritative registry entry) — the ordering `release` relies
 //!   on to stay sound after a poisoned-lock recovery.
 //!
-//! Two deliberately broken protocol variants — split publication
+//! Three deliberately broken protocol variants — split publication
 //! (occupancy and registry in separate steps, the two-slot design the
-//! single `Slot` replaces) and free-before-unmap release ordering —
-//! must each be *caught* by the explorer with a concrete schedule.
+//! single `Slot` replaces), free-before-unmap release ordering, and a
+//! sketch delta deferred past the unlock — must each be *caught* by
+//! the explorer with a concrete schedule.
 
 use std::collections::BTreeMap;
 
@@ -54,6 +58,10 @@ struct Model {
     published: Published,
     /// Lock-free per-node free counts, published with the snapshot.
     summary: Vec<usize>,
+    /// The host's contribution to its shard availability sketch —
+    /// `sketch[k-1]` = nodes with ≥ `k` free threads — published in
+    /// the same step as the summary.
+    sketch: Vec<usize>,
     /// Every snapshot a reader step loaded.
     observed: Vec<Published>,
 }
@@ -64,6 +72,16 @@ fn tid(r: std::ops::Range<usize>) -> Vec<ThreadId> {
 
 fn free_per_node(occ: &OccupancyMap) -> Vec<usize> {
     (0..occ.num_nodes()).map(|n| occ.free_on_node(NodeId(n))).collect()
+}
+
+/// The sketch profile at model granularity: for every per-node
+/// free-thread threshold `k`, how many nodes clear it (the node table
+/// of a single-host shard).
+fn sketch_of(occ: &OccupancyMap) -> Vec<usize> {
+    let per_node = occ.total_threads() / occ.num_nodes();
+    (1..=per_node)
+        .map(|k| free_per_node(occ).iter().filter(|&&free| free >= k).count())
+        .collect()
 }
 
 /// A model with `residents` pre-placed and published (a quiescent
@@ -81,6 +99,7 @@ fn quiescent(residents: &[(u64, std::ops::Range<usize>)]) -> Model {
     Model {
         lock: None,
         summary: free_per_node(&occ),
+        sketch: sketch_of(&occ),
         published: Published {
             occ: occ.clone(),
             residents: registry.clone(),
@@ -129,6 +148,13 @@ fn invariant(m: &Model) -> Result<(), String> {
             m.summary
         ));
     }
+    let sketch_of_published = sketch_of(&m.published.occ);
+    if m.sketch != sketch_of_published {
+        return Err(format!(
+            "sketch {:?} diverged from published occupancy {sketch_of_published:?}",
+            m.sketch
+        ));
+    }
     for ticket in m.locations.keys() {
         if !m.auth_residents.iter().any(|(t, _)| t == ticket) {
             return Err(format!("location map dangles: ticket {ticket} has no registry entry"));
@@ -156,6 +182,7 @@ fn locked_section(
                 residents: m.auth_residents.clone(),
             };
             m.summary = free_per_node(&m.auth_occ);
+            m.sketch = sketch_of(&m.auth_occ);
         }),
         Step::new(label[3], |m: &mut Model| {
             m.lock = None;
@@ -325,6 +352,7 @@ fn split_publication_is_caught_by_the_explorer() {
         Step::new("commit:publish-occ", |m: &mut Model| {
             m.published.occ = m.auth_occ.clone();
             m.summary = free_per_node(&m.auth_occ);
+            m.sketch = sketch_of(&m.auth_occ);
         }),
         Step::new("commit:publish-residents", |m: &mut Model| {
             m.published.residents = m.auth_residents.clone();
@@ -371,6 +399,7 @@ fn free_before_unmap_release_ordering_is_caught() {
                 residents: m.auth_residents.clone(),
             };
             m.summary = free_per_node(&m.auth_occ);
+            m.sketch = sketch_of(&m.auth_occ);
         }),
         Step::new("release:unlock", |m: &mut Model| {
             m.lock = None;
@@ -388,5 +417,56 @@ fn free_before_unmap_release_ordering_is_caught() {
         violation.trace.last().map(|(_, name)| *name),
         Some("release:free"),
         "caught at the exact misordered step: {violation}"
+    );
+}
+
+/// Deferring the sketch delta past the publication step — updating the
+/// shard counters lazily after the snapshot (or worse, after the
+/// unlock) — leaves a window where the sketch under-reports the hosts
+/// a descending request may admit, or over-reports after a release.
+/// The engine applies the delta inside `publish()` precisely to close
+/// that window; the explorer must catch the lazy variant.
+#[test]
+fn deferred_sketch_delta_is_caught_by_the_explorer() {
+    let init = quiescent(&[]);
+    let broken_commit = vec![
+        Step::gated("commit:lock", |m: &Model| m.lock.is_none(), |m: &mut Model| {
+            m.lock = Some(0);
+        }),
+        Step::new("commit:reserve+register", |m: &mut Model| {
+            let threads = tid(0..2);
+            m.auth_occ.reserve(&threads).expect("idle host");
+            m.auth_residents.push((1, threads));
+            m.locations.insert(1, 0);
+        }),
+        // Publishes the snapshot and the summary, but *not* the sketch
+        // delta — the descent can now be steered by counters describing
+        // an occupancy nobody can observe any more.
+        Step::new("commit:publish-sans-sketch", |m: &mut Model| {
+            m.published = Published {
+                occ: m.auth_occ.clone(),
+                residents: m.auth_residents.clone(),
+            };
+            m.summary = free_per_node(&m.auth_occ);
+        }),
+        Step::new("commit:unlock", |m: &mut Model| {
+            m.lock = None;
+        }),
+        Step::new("commit:sketch-late", |m: &mut Model| {
+            m.sketch = sketch_of(&m.auth_occ);
+        }),
+    ];
+
+    let violation = Explorer::Exhaustive
+        .explore(init, vec![broken_commit, reader(1)], invariant)
+        .expect_err("a deferred sketch delta must be observably stale");
+    assert!(
+        violation.message.contains("sketch") && violation.message.contains("diverged"),
+        "wrong failure: {violation}"
+    );
+    assert_eq!(
+        violation.trace.last().map(|(_, name)| *name),
+        Some("commit:publish-sans-sketch"),
+        "caught the moment the snapshot outruns the sketch: {violation}"
     );
 }

@@ -1,0 +1,393 @@
+//! Hierarchical-sketch guarantees: every shard's availability sketch
+//! equals the ground truth recomputed from its members' published
+//! capacity summaries after every churn and rebalance event, the
+//! sketch descent commits bit-for-bit the decisions of the flat
+//! summary scan (the `sketches: false` knob), and `can_fit` counts
+//! exactly the full-scan hosts while charging skipped shards to
+//! [`FitProbe::sketch_skipped`](vc_engine::FitProbe).
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use vc_engine::{
+    BatchStrategy, EngineConfig, Placed, PlacementEngine, PlacementRequest, RebalancePolicy,
+};
+use vc_ml::forest::ForestConfig;
+use vc_topology::{machines, Machine};
+
+fn fast_config() -> EngineConfig {
+    EngineConfig {
+        n_seeds: 2,
+        extra_synthetic: 0,
+        forest: ForestConfig {
+            n_trees: 20,
+            ..ForestConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// A sketches-on config with 2-host shards, so small test fleets still
+/// exercise the multi-shard merge, shard skipping and remainder shards.
+fn sketch_config() -> EngineConfig {
+    EngineConfig {
+        sketches: true,
+        sketch_shard: 2,
+        ..fast_config()
+    }
+}
+
+/// The sketch table axes of one machine model, derived exactly as the
+/// sketch derives them: per-node / per-L2 thread capacities from the
+/// thread list (max over units on uneven topologies).
+fn table_dims(machine: &Machine) -> (usize, usize, usize, usize) {
+    let mut cap_per_node = vec![0usize; machine.num_nodes()];
+    let mut cap_per_l2 = vec![0usize; machine.num_l2_groups()];
+    for t in machine.threads() {
+        cap_per_node[t.node.index()] += 1;
+        cap_per_l2[t.l2_group.index()] += 1;
+    }
+    (
+        machine.num_nodes(),
+        cap_per_node.iter().copied().max().unwrap_or(0),
+        machine.num_l2_groups(),
+        cap_per_l2.iter().copied().max().unwrap_or(0),
+    )
+}
+
+/// Asserts every shard sketch of every class equals the ground truth
+/// recomputed from the members' published capacity summaries — entry
+/// by entry over both tables. Valid at quiescence (no commit in
+/// flight), exactly like the summary-vs-occupancy assertions.
+fn assert_sketches_match_summaries(engine: &PlacementEngine, models: &[Machine]) {
+    let shard = engine.sketch_shard_size();
+    for (class, model) in models.iter().enumerate() {
+        let members = engine.fleet_index().classes()[class].members();
+        let sketches = engine.class_sketches(class);
+        assert_eq!(
+            sketches.len(),
+            members.len().div_ceil(shard),
+            "class {class}: one sketch per {shard}-host shard"
+        );
+        let (num_nodes, cap_node, num_l2, cap_l2) = table_dims(model);
+        for (s, chunk) in members.chunks(shard).enumerate() {
+            let sketch = &sketches[s];
+            assert_eq!(sketch.num_hosts(), chunk.len(), "class {class} shard {s}");
+            let summaries: Vec<_> = chunk.iter().map(|&id| engine.capacity_summary(id)).collect();
+            for k in 1..=cap_node {
+                for n in 1..=num_nodes {
+                    let truth = summaries.iter().filter(|v| v.nodes_with_free(k) >= n).count();
+                    assert_eq!(
+                        sketch.hosts_with_nodes(k, n),
+                        truth,
+                        "class {class} shard {s}: N[{k}][{n}] diverged from summaries"
+                    );
+                }
+            }
+            for k in 1..=cap_l2 {
+                for g in 1..=num_l2 {
+                    let truth = summaries.iter().filter(|v| v.l2s_with_free(k) >= g).count();
+                    assert_eq!(
+                        sketch.hosts_with_l2s(k, g),
+                        truth,
+                        "class {class} shard {s}: L[{k}][{g}] diverged from summaries"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The two fleet models used throughout, class order (amd hosts are
+/// always added first, so class 0 is amd, class 1 intel).
+fn fleet_models() -> Vec<Machine> {
+    vec![machines::amd_opteron_6272(), machines::intel_xeon_e7_4830_v3()]
+}
+
+/// One engine for the churn proptest (cases share it and release
+/// everything they place): 5 amd + 3 intel hosts in 2-host shards, so
+/// both classes have full shards *and* a remainder shard.
+fn churn_engine() -> &'static PlacementEngine {
+    static ENGINE: OnceLock<PlacementEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let mut engine = PlacementEngine::new(sketch_config());
+        for _ in 0..5 {
+            engine.add_machine(machines::amd_opteron_6272());
+        }
+        for _ in 0..3 {
+            engine.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+        }
+        engine
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// After any interleaving of placements and releases, every shard
+    /// sketch equals the counts recomputed from its members' published
+    /// summaries: commits and releases publish the sketch delta before
+    /// dropping the host lock, so quiescent state never drifts.
+    #[test]
+    fn sketches_track_summaries_through_churn(
+        ops in proptest::collection::vec((0u8..4, 0u64..1000), 4..16),
+    ) {
+        let engine = churn_engine();
+        let models = fleet_models();
+        let mut live: Vec<Placed> = Vec::new();
+        for (op, seed) in ops {
+            if op == 0 && !live.is_empty() {
+                let victim = live.remove(seed as usize % live.len());
+                engine.release(&victim).unwrap();
+            } else {
+                let vcpus = [8, 16, 24][(seed % 3) as usize];
+                let req = PlacementRequest::new("WTbtree", vcpus).with_probe_seed(seed);
+                if let Some(p) = engine.place(&req).placed() {
+                    live.push(p.clone());
+                }
+            }
+            assert_sketches_match_summaries(engine, &models);
+        }
+        for p in live.drain(..) {
+            engine.release(&p).unwrap();
+        }
+        assert_sketches_match_summaries(engine, &models);
+    }
+}
+
+/// Rebalance migrations retarget residents across hosts — source and
+/// destination publications both carry sketch deltas, so the tables
+/// track ground truth through every pass of a draining rebalance loop.
+#[test]
+fn sketches_track_summaries_through_rebalance_moves() {
+    let mut engine = PlacementEngine::new(EngineConfig {
+        interference: true,
+        degradation_budget: Some(0.005),
+        ..sketch_config()
+    });
+    for _ in 0..3 {
+        engine.add_machine(machines::amd_opteron_6272());
+    }
+    let models = vec![machines::amd_opteron_6272()];
+
+    // Crowd the fleet so colocation penalties push someone over the
+    // degradation budget and the rebalancer has moves to make.
+    let reqs: Vec<PlacementRequest> = (0..10)
+        .map(|i| {
+            PlacementRequest::new(["WTbtree", "streamcluster"][i % 2], 16)
+                .with_probe_seed(i as u64)
+        })
+        .collect();
+    let decisions = engine.place_batch(&reqs, BatchStrategy::FirstFit);
+    let placed: Vec<Placed> = decisions.iter().filter_map(|d| d.placed().cloned()).collect();
+    assert!(!placed.is_empty(), "the crowded fleet must admit something");
+    assert_sketches_match_summaries(&engine, &models);
+
+    // Rebalance until a pass stops moving (or a bounded number of
+    // passes); the sketch must match ground truth after every pass.
+    let policy = RebalancePolicy::default();
+    let mut moves = 0;
+    for _ in 0..4 {
+        let report = engine.rebalance(&policy);
+        moves += report.migrations.len();
+        assert_sketches_match_summaries(&engine, &models);
+        if report.migrations.is_empty() {
+            break;
+        }
+    }
+    let _ = moves; // moves are plan-dependent; the invariant is what matters
+
+    // Movers re-home tickets: release through the engine's forwarding
+    // and re-check one last time from the empty fleet.
+    for p in &placed {
+        engine.release(p).unwrap();
+    }
+    assert_sketches_match_summaries(&engine, &models);
+    for id in engine.machine_ids() {
+        assert_eq!(engine.utilisation(id).0, 0, "fleet must drain fully");
+    }
+}
+
+/// The acceptance criterion of the tentpole: a sketches-on engine (in
+/// deliberately tiny 2-host shards) and its sketches-off twin commit
+/// identical decisions — machine, placement class, threads, prediction
+/// — over a churned stream on both strategies, while the on-engine's
+/// counters show the descent actually skipped and admitted shards.
+#[test]
+fn sketch_descent_is_decision_equivalent_to_the_flat_scan() {
+    let build = |sketches: bool| {
+        let mut e = PlacementEngine::new(EngineConfig {
+            sketches,
+            sketch_shard: 2,
+            ..fast_config()
+        });
+        for _ in 0..4 {
+            e.add_machine(machines::amd_opteron_6272());
+        }
+        e.add_machine_with_baseline(machines::intel_xeon_e7_4830_v3(), 1);
+        e
+    };
+    let on = build(true);
+    let off = build(false);
+
+    let reqs: Vec<PlacementRequest> = (0..24)
+        .map(|i| {
+            let wl = ["WTbtree", "swaptions", "streamcluster"][i % 3];
+            let goal = [0.0, 0.9][(i / 3) % 2];
+            PlacementRequest::new(wl, [8, 16, 32][i % 3])
+                .with_goal(goal)
+                .with_probe_seed(i as u64)
+        })
+        .collect();
+
+    let mut live_on: Vec<Placed> = Vec::new();
+    let mut live_off: Vec<Placed> = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        let strat = if i % 2 == 0 { BatchStrategy::FirstFit } else { BatchStrategy::BestScore };
+        let a = on.place_batch(std::slice::from_ref(req), strat).pop().unwrap();
+        let b = off.place_batch(std::slice::from_ref(req), strat).pop().unwrap();
+        match (a.placed(), b.placed()) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.machine, y.machine, "request {i}: machine diverged");
+                assert_eq!(x.placement_id, y.placement_id, "request {i}: class diverged");
+                assert_eq!(x.spec.nodes, y.spec.nodes, "request {i}: node set diverged");
+                assert_eq!(x.threads, y.threads, "request {i}: threads diverged");
+                assert_eq!(x.predicted_perf, y.predicted_perf, "request {i}: prediction diverged");
+                live_on.push(x.clone());
+                live_off.push(y.clone());
+            }
+            (None, None) => {}
+            (got, want) => panic!(
+                "request {i}: twins disagree on feasibility (on: {}, off: {})",
+                got.is_some(),
+                want.is_some()
+            ),
+        }
+        // Churn holes into the fleet so later requests see fragmented
+        // occupancy on both twins.
+        if i % 5 == 4 && live_on.len() >= 2 {
+            let x = live_on.remove(0);
+            let y = live_off.remove(0);
+            assert_eq!(x.machine, y.machine);
+            on.release(&x).unwrap();
+            off.release(&y).unwrap();
+        }
+    }
+    assert!(!live_on.is_empty(), "the stream must place something");
+
+    // The descent really ran: shards were admitted, and once the fleet
+    // saturated, whole shards were jumped without reading summaries.
+    let (sa, sb) = (on.stats(), off.stats());
+    assert!(sa.sketch.admits > 0, "descent must admit shards");
+    assert!(sa.sketch.skips > 0, "a saturated fleet must skip whole shards");
+    assert_eq!(sb.sketch.admits, 0, "off-twin must not touch sketches");
+    assert_eq!(sb.sketch.skips, 0, "off-twin must not touch sketches");
+
+    for (x, y) in live_on.drain(..).zip(live_off.drain(..)) {
+        on.release(&x).unwrap();
+        off.release(&y).unwrap();
+    }
+}
+
+/// `can_fit` regression: the sketch-counted probe reports *exactly* the
+/// full-summary-scan count (the off-twin's answer) in every fleet
+/// state, only charging provably-hopeless shards to `sketch_skipped`
+/// instead of scanning them.
+#[test]
+fn can_fit_counts_match_the_full_summary_scan() {
+    let build = |sketches: bool| {
+        let mut e = PlacementEngine::new(EngineConfig {
+            sketches,
+            sketch_shard: 2,
+            ..fast_config()
+        });
+        for _ in 0..4 {
+            e.add_machine(machines::amd_opteron_6272());
+        }
+        e
+    };
+    let on = build(true);
+    let off = build(false);
+    let probe_req = PlacementRequest::new("swaptions", 16);
+
+    // Idle fleet: every host admits; nothing is skipped.
+    let (pa, pb) = (on.can_fit(&probe_req), off.can_fit(&probe_req));
+    assert_eq!(pa.hosts, pb.hosts, "idle-fleet counts diverged");
+    assert_eq!(pa.hosts, 4, "all four idle hosts admit a 16-vCPU shape");
+    assert_eq!(pa.goal_clearing_classes, pb.goal_clearing_classes);
+    assert_eq!(pa.best_predicted, pb.best_predicted);
+    assert_eq!(pa.sketch_skipped, 0, "idle shards are never skipped");
+    assert_eq!(pb.sketch_skipped, 0, "the flat scan never skips shards");
+
+    // Saturate both twins identically, one host at a time, comparing
+    // the probe at every intermediate occupancy.
+    let mut live = Vec::new();
+    for s in 0..16u64 {
+        let req = PlacementRequest::new("swaptions", 16).with_probe_seed(s);
+        let a = on.place(&req).placed().expect("256 threads hold 16 × 16 vCPUs").clone();
+        let b = off.place(&req).placed().expect("twin must agree").clone();
+        assert_eq!(a.machine, b.machine);
+        live.push((a, b));
+        let (pa, pb) = (on.can_fit(&probe_req), off.can_fit(&probe_req));
+        assert_eq!(pa.hosts, pb.hosts, "counts diverged after {} commits", s + 1);
+    }
+
+    // Full fleet: zero hosts both ways, and the sketch proved all four
+    // hosts (two full shards) hopeless without reading a summary.
+    let (pa, pb) = (on.can_fit(&probe_req), off.can_fit(&probe_req));
+    assert_eq!(pa.hosts, 0);
+    assert_eq!(pb.hosts, 0);
+    assert_eq!(pa.sketch_skipped, 4, "both full shards skipped whole");
+    assert_eq!(pb.sketch_skipped, 0);
+
+    // Drain one host: its shard reappears in the probe immediately.
+    let (a, b) = live.pop().expect("placed sixteen");
+    on.release(&a).unwrap();
+    off.release(&b).unwrap();
+    let (pa, pb) = (on.can_fit(&probe_req), off.can_fit(&probe_req));
+    assert_eq!(pa.hosts, pb.hosts);
+    assert!(pa.hosts >= 1, "the drained host must admit again");
+    assert!(pa.sketch_skipped < 4, "its shard is no longer skipped");
+
+    for (a, b) in live {
+        on.release(&a).unwrap();
+        off.release(&b).unwrap();
+    }
+}
+
+/// Counter sanity on a sharded fleet: admits accrue while placing,
+/// skips only once shards saturate, and a stale admission (counted,
+/// never wrong) can only happen on an admitted shard.
+#[test]
+fn sketch_counters_account_for_the_descent() {
+    let mut engine = PlacementEngine::new(sketch_config());
+    for _ in 0..4 {
+        engine.add_machine(machines::amd_opteron_6272());
+    }
+
+    let mut placed = Vec::new();
+    for s in 0..16u64 {
+        let req = PlacementRequest::new("swaptions", 16).with_probe_seed(s);
+        placed.push(engine.place(&req).placed().expect("fleet has room").clone());
+    }
+    let filled = engine.stats();
+    assert!(filled.sketch.admits > 0, "placements descend through admitted shards");
+
+    // Overflow on the saturated fleet: both shards are jumped in O(1).
+    assert!(engine.place(&PlacementRequest::new("swaptions", 16).with_probe_seed(99)).placed().is_none());
+    let over = engine.stats();
+    assert_eq!(
+        over.sketch.skips - filled.sketch.skips,
+        4,
+        "the overflow must jump all four full hosts shard-wide"
+    );
+    assert_eq!(over.summary.skips, filled.summary.skips, "skipped shards read no summaries");
+    assert!(
+        over.sketch.stale <= over.sketch.admits,
+        "a stale walk presupposes an admitted shard"
+    );
+
+    for p in &placed {
+        engine.release(p).unwrap();
+    }
+    assert_sketches_match_summaries(&engine, &[machines::amd_opteron_6272()]);
+}

@@ -27,8 +27,10 @@ pub enum ClientError {
     /// The daemon answered, with an error.
     Server(RpcError),
     /// The daemon answered with a response of the wrong type for the
-    /// request (a protocol bug, not a transport failure).
-    Unexpected(Response),
+    /// request (a protocol bug, not a transport failure). Boxed: a
+    /// `Response` is large (batch outcomes, stats) and would bloat
+    /// every `Result` on the happy path.
+    Unexpected(Box<Response>),
     /// The daemon closed the connection instead of answering.
     Closed,
 }
@@ -62,6 +64,10 @@ impl From<DecodeError> for ClientError {
 /// A blocking connection to a placement daemon.
 pub struct Client {
     stream: TcpStream,
+    /// Sent with every control verb; empty = no token. A daemon
+    /// configured with `--control-token` refuses control verbs that do
+    /// not carry the matching token (data verbs never need it).
+    control_token: String,
 }
 
 impl Client {
@@ -73,7 +79,18 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            control_token: String::new(),
+        })
+    }
+
+    /// Attaches the control token sent with every control verb
+    /// (pause/resume/drain/shutdown).
+    #[must_use]
+    pub fn with_control_token(mut self, token: impl Into<String>) -> Self {
+        self.control_token = token.into();
+        self
     }
 
     /// One request/response exchange.
@@ -94,7 +111,7 @@ impl Client {
     fn expect<T>(
         &mut self,
         req: &Request,
-        pick: impl FnOnce(Response) -> Result<T, Response>,
+        pick: impl FnOnce(Response) -> Result<T, Box<Response>>,
     ) -> Result<T, ClientError> {
         match self.request(req)? {
             Response::Error(e) => Err(ClientError::Server(e)),
@@ -110,7 +127,7 @@ impl Client {
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.expect(&Request::Ping, |r| match r {
             Response::Pong => Ok(()),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -130,7 +147,7 @@ impl Client {
     ) -> Result<PlaceOutcome, ClientError> {
         self.expect(&Request::Place { req, strategy }, |r| match r {
             Response::Place(o) => Ok(o),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -146,7 +163,7 @@ impl Client {
     ) -> Result<Vec<PlaceOutcome>, ClientError> {
         self.expect(&Request::PlaceBatch { reqs, strategy }, |r| match r {
             Response::Batch(o) => Ok(o),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -160,7 +177,7 @@ impl Client {
     pub fn release(&mut self, ticket: u64) -> Result<(), ClientError> {
         self.expect(&Request::Release { ticket }, |r| match r {
             Response::Released => Ok(()),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -172,7 +189,7 @@ impl Client {
     pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
         self.expect(&Request::Stats, |r| match r {
             Response::Stats(s) => Ok(s),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -184,7 +201,7 @@ impl Client {
     pub fn occupancy(&mut self, machine: u32) -> Result<OccupancyInfo, ClientError> {
         self.expect(&Request::Occupancy { machine }, |r| match r {
             Response::Occupancy(o) => Ok(o),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -196,7 +213,7 @@ impl Client {
     pub fn can_fit(&mut self, req: WireRequest) -> Result<FitInfo, ClientError> {
         self.expect(&Request::CanFit { req }, |r| match r {
             Response::CanFit(fit) => Ok(fit),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 
@@ -206,7 +223,8 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn pause_rebalance(&mut self) -> Result<ControlAck, ClientError> {
-        self.control(&Request::PauseRebalance)
+        let token = self.control_token.clone();
+        self.control(&Request::PauseRebalance { token })
     }
 
     /// Resumes the background rebalance loop.
@@ -215,7 +233,8 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn resume_rebalance(&mut self) -> Result<ControlAck, ClientError> {
-        self.control(&Request::ResumeRebalance)
+        let token = self.control_token.clone();
+        self.control(&Request::ResumeRebalance { token })
     }
 
     /// Puts the daemon into draining: placements are refused, releases
@@ -225,7 +244,8 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn drain(&mut self) -> Result<ControlAck, ClientError> {
-        self.control(&Request::Drain)
+        let token = self.control_token.clone();
+        self.control(&Request::Drain { token })
     }
 
     /// Asks the daemon to exit. The ack is sent before the daemon stops
@@ -235,13 +255,14 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn shutdown(&mut self) -> Result<ControlAck, ClientError> {
-        self.control(&Request::Shutdown)
+        let token = self.control_token.clone();
+        self.control(&Request::Shutdown { token })
     }
 
     fn control(&mut self, req: &Request) -> Result<ControlAck, ClientError> {
         self.expect(req, |r| match r {
             Response::Ack(a) => Ok(a),
-            other => Err(other),
+            other => Err(Box::new(other)),
         })
     }
 }

@@ -59,13 +59,27 @@ pub enum Request {
         req: WireRequest,
     },
     /// Pause the background rebalance loop.
-    PauseRebalance,
+    PauseRebalance {
+        /// Control token; empty when the client has none. A daemon
+        /// configured with a token refuses mismatches with
+        /// [`ErrorCode::Unauthorized`].
+        token: String,
+    },
     /// Resume the background rebalance loop.
-    ResumeRebalance,
+    ResumeRebalance {
+        /// Control token; empty when the client has none.
+        token: String,
+    },
     /// Stop admitting placements; releases keep working.
-    Drain,
+    Drain {
+        /// Control token; empty when the client has none.
+        token: String,
+    },
     /// Stop the daemon: the accept loop and the rebalance loop exit.
-    Shutdown,
+    Shutdown {
+        /// Control token; empty when the client has none.
+        token: String,
+    },
 }
 
 /// What the daemon answers.
@@ -203,6 +217,14 @@ pub struct ServiceStats {
     pub suppressed_by_cooldown: u64,
     /// Cost-justified moves deferred by the per-pass moved-GB cap.
     pub blocked_by_gb_cap: u64,
+    /// Hosts skipped shard-wide by availability sketches (their
+    /// capacity summaries were never read).
+    pub sketch_skips: u64,
+    /// Shards whose sketch admitted a walk down to the hosts.
+    pub sketch_admits: u64,
+    /// Admitted shards where no host survived the summary check (the
+    /// sketch's per-axis marginals were satisfied by different hosts).
+    pub sketch_stale: u64,
     /// Data the loop's migrations moved (GB).
     pub moved_gb: f64,
     /// Whether the rebalance loop is paused.
@@ -246,6 +268,10 @@ pub struct FitInfo {
     pub best_predicted: f64,
     /// Absolute performance the goal translates to.
     pub goal_perf: f64,
+    /// Hosts this probe skipped shard-wide via availability sketches
+    /// (their summaries were never read; the count in `hosts` is still
+    /// exact — a sketch-zero proves every summary would have refused).
+    pub sketch_skipped: u64,
 }
 
 /// Lifecycle state echoed by control verbs.
@@ -285,6 +311,10 @@ pub enum ErrorCode {
     UnknownTicket,
     /// The machine id is outside the fleet.
     UnknownMachine,
+    /// A control verb (pause/resume/drain/shutdown) arrived without the
+    /// daemon's control token. The verb did not apply; the connection
+    /// stays usable for data verbs.
+    Unauthorized,
 }
 
 /// A decoding failure: the payload was framed correctly but is not a
@@ -541,6 +571,7 @@ fn put_error_code(buf: &mut Vec<u8>, c: ErrorCode) {
             ErrorCode::ShuttingDown => 2,
             ErrorCode::UnknownTicket => 3,
             ErrorCode::UnknownMachine => 4,
+            ErrorCode::Unauthorized => 5,
         },
     );
 }
@@ -552,6 +583,7 @@ fn get_error_code(r: &mut Reader<'_>) -> Result<ErrorCode, DecodeError> {
         2 => Ok(ErrorCode::ShuttingDown),
         3 => Ok(ErrorCode::UnknownTicket),
         4 => Ok(ErrorCode::UnknownMachine),
+        5 => Ok(ErrorCode::Unauthorized),
         tag => Err(DecodeError::BadTag {
             what: "error code",
             tag,
@@ -594,10 +626,22 @@ impl Request {
                 put_u8(&mut buf, 7);
                 put_request(&mut buf, req);
             }
-            Request::PauseRebalance => put_u8(&mut buf, 8),
-            Request::ResumeRebalance => put_u8(&mut buf, 9),
-            Request::Drain => put_u8(&mut buf, 10),
-            Request::Shutdown => put_u8(&mut buf, 11),
+            Request::PauseRebalance { token } => {
+                put_u8(&mut buf, 8);
+                put_str(&mut buf, token);
+            }
+            Request::ResumeRebalance { token } => {
+                put_u8(&mut buf, 9);
+                put_str(&mut buf, token);
+            }
+            Request::Drain { token } => {
+                put_u8(&mut buf, 10);
+                put_str(&mut buf, token);
+            }
+            Request::Shutdown { token } => {
+                put_u8(&mut buf, 11);
+                put_str(&mut buf, token);
+            }
         }
         buf
     }
@@ -636,10 +680,10 @@ impl Request {
             7 => Request::CanFit {
                 req: get_request(&mut r)?,
             },
-            8 => Request::PauseRebalance,
-            9 => Request::ResumeRebalance,
-            10 => Request::Drain,
-            11 => Request::Shutdown,
+            8 => Request::PauseRebalance { token: r.str()? },
+            9 => Request::ResumeRebalance { token: r.str()? },
+            10 => Request::Drain { token: r.str()? },
+            11 => Request::Shutdown { token: r.str()? },
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "request",
@@ -686,6 +730,9 @@ impl Response {
                 put_u64(&mut buf, s.loop_migrations);
                 put_u64(&mut buf, s.suppressed_by_cooldown);
                 put_u64(&mut buf, s.blocked_by_gb_cap);
+                put_u64(&mut buf, s.sketch_skips);
+                put_u64(&mut buf, s.sketch_admits);
+                put_u64(&mut buf, s.sketch_stale);
                 put_f64(&mut buf, s.moved_gb);
                 put_bool(&mut buf, s.paused);
                 put_bool(&mut buf, s.draining);
@@ -708,6 +755,7 @@ impl Response {
                 put_u32(&mut buf, fit.goal_clearing_classes);
                 put_f64(&mut buf, fit.best_predicted);
                 put_f64(&mut buf, fit.goal_perf);
+                put_u64(&mut buf, fit.sketch_skipped);
             }
             Response::Ack(a) => {
                 put_u8(&mut buf, 136);
@@ -761,6 +809,9 @@ impl Response {
                 loop_migrations: r.u64()?,
                 suppressed_by_cooldown: r.u64()?,
                 blocked_by_gb_cap: r.u64()?,
+                sketch_skips: r.u64()?,
+                sketch_admits: r.u64()?,
+                sketch_stale: r.u64()?,
                 moved_gb: r.f64()?,
                 paused: r.bool()?,
                 draining: r.bool()?,
@@ -790,6 +841,7 @@ impl Response {
                 goal_clearing_classes: r.u32()?,
                 best_predicted: r.f64()?,
                 goal_perf: r.f64()?,
+                sketch_skipped: r.u64()?,
             }),
             136 => Response::Ack(ControlAck {
                 paused: r.bool()?,

@@ -70,6 +70,11 @@ pub struct ServerConfig {
     /// Background rebalance loop; `None` serves without one (manual
     /// `rebalance()` callers only).
     pub rebalance: Option<LoopConfig>,
+    /// Shared secret required by the control verbs
+    /// (pause/resume/drain/shutdown); `None` leaves them open. Data
+    /// verbs (place/release/stats/...) never require it — the token
+    /// guards the daemon's lifecycle, not its service.
+    pub control_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +82,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             rebalance: None,
+            control_token: None,
         }
     }
 }
@@ -91,6 +97,12 @@ impl ServerConfig {
     /// Enables the background rebalance loop.
     pub fn with_rebalance(mut self, cfg: LoopConfig) -> Self {
         self.rebalance = Some(cfg);
+        self
+    }
+
+    /// Requires this token on every control verb.
+    pub fn with_control_token(mut self, token: impl Into<String>) -> Self {
+        self.control_token = Some(token.into());
         self
     }
 }
@@ -139,6 +151,8 @@ struct Shared {
     registry: Mutex<HashMap<u64, Placed>>,
     draining: AtomicBool,
     shutting_down: AtomicBool,
+    /// Shared secret the control verbs must carry; `None` = open.
+    control_token: Option<String>,
     has_loop: bool,
     loop_control: Mutex<LoopControl>,
     loop_cv: Condvar,
@@ -194,6 +208,9 @@ impl Shared {
             loop_migrations: totals.migrations,
             suppressed_by_cooldown: totals.suppressed_by_cooldown,
             blocked_by_gb_cap: totals.blocked_by_gb_cap,
+            sketch_skips: engine.sketch.skips,
+            sketch_admits: engine.sketch.admits,
+            sketch_stale: engine.sketch.stale,
             moved_gb: totals.moved_gb,
             paused: self.has_loop && self.lock(&self.loop_control).paused,
             draining: self.draining.load(Ordering::SeqCst),
@@ -231,6 +248,7 @@ impl PlacementServer {
             registry: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             shutting_down: AtomicBool::new(false),
+            control_token: config.control_token.clone(),
             has_loop: config.rebalance.is_some(),
             loop_control: Mutex::new(LoopControl {
                 paused: config
@@ -541,28 +559,57 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
                     goal_clearing_classes: probe.goal_clearing_classes as u32,
                     best_predicted: probe.best_predicted,
                     goal_perf: probe.goal_perf,
+                    sketch_skipped: probe.sketch_skipped as u64,
                 }),
                 false,
             )
         }
-        Request::PauseRebalance => {
+        Request::PauseRebalance { token } => {
+            if let Some(refusal) = control_refusal(shared, &token) {
+                return (refusal, false);
+            }
             shared.lock(&shared.loop_control).paused = true;
             shared.loop_cv.notify_all();
             (Response::Ack(shared.ack()), false)
         }
-        Request::ResumeRebalance => {
+        Request::ResumeRebalance { token } => {
+            if let Some(refusal) = control_refusal(shared, &token) {
+                return (refusal, false);
+            }
             shared.lock(&shared.loop_control).paused = false;
             shared.loop_cv.notify_all();
             (Response::Ack(shared.ack()), false)
         }
-        Request::Drain => {
+        Request::Drain { token } => {
+            if let Some(refusal) = control_refusal(shared, &token) {
+                return (refusal, false);
+            }
             shared.draining.store(true, Ordering::SeqCst);
             (Response::Ack(shared.ack()), false)
         }
-        Request::Shutdown => {
+        Request::Shutdown { token } => {
+            // An unauthorised shutdown must not close the connection
+            // either: the verb simply did not happen.
+            if let Some(refusal) = control_refusal(shared, &token) {
+                return (refusal, false);
+            }
             shared.begin_shutdown();
             (Response::Ack(shared.ack()), true)
         }
+    }
+}
+
+/// The typed refusal for a control verb whose token does not match the
+/// daemon's, `None` when the verb may apply (no token configured, or an
+/// exact match). The daemon keeps serving either way — a wrong token
+/// costs the caller one error response, nothing else.
+fn control_refusal(shared: &Shared, token: &str) -> Option<Response> {
+    match &shared.control_token {
+        Some(expected) if expected != token => Some(Response::Error(RpcError {
+            code: ErrorCode::Unauthorized,
+            message: "control verb refused: bad or missing control token".to_string(),
+        })),
+        _ => None,
     }
 }
 

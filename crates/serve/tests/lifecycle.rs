@@ -198,3 +198,66 @@ fn shutdown_joins_threads_and_registry_matches_occupancy() {
     // call fails with a transport error, not a hang.
     assert!(b.ping().is_err(), "daemon sockets must be closed after join");
 }
+
+/// A daemon configured with a control token refuses every control verb
+/// that does not carry it — with a typed [`ErrorCode::Unauthorized`],
+/// on a connection that stays fully usable — and keeps running: an
+/// unauthorised `Shutdown` must not stop the daemon. The right token
+/// then drives the whole lifecycle as usual.
+#[test]
+fn control_verbs_require_the_configured_token() {
+    let engine = small_engine();
+    let config = ServerConfig::default()
+        .with_control_token("sesame")
+        .with_rebalance(LoopConfig {
+            interval: Duration::from_millis(1),
+            ..LoopConfig::default()
+        });
+    let server = PlacementServer::spawn(Arc::clone(&engine), config).expect("bind");
+    let addr = server.local_addr();
+
+    // No token at all: all four verbs are refused with the typed code.
+    let mut anon = Client::connect(addr).expect("connect anon");
+    for (name, outcome) in [
+        ("pause", anon.pause_rebalance()),
+        ("resume", anon.resume_rebalance()),
+        ("drain", anon.drain()),
+        ("shutdown", anon.shutdown()),
+    ] {
+        match outcome {
+            Err(ClientError::Server(e)) => assert_eq!(
+                e.code,
+                ErrorCode::Unauthorized,
+                "{name} refused with the wrong code"
+            ),
+            other => panic!("tokenless {name} was not refused: {other:?}"),
+        }
+    }
+    // The refusals cost nothing: the same connection still serves data
+    // verbs, the daemon neither paused nor drained nor stopped.
+    anon.ping().expect("connection survives refusals");
+    let stats = anon.stats().expect("stats");
+    assert!(!stats.paused && !stats.draining);
+    match anon
+        .place(wire("swaptions", 16, 1), BatchStrategy::FirstFit)
+        .expect("data verbs never need the token")
+    {
+        PlaceOutcome::Placed(info) => anon.release(info.ticket).expect("release"),
+        PlaceOutcome::Rejected { reason } => panic!("empty fleet rejected: {reason}"),
+    }
+
+    // A wrong token is refused exactly like a missing one.
+    let mut wrong = Client::connect(addr).expect("connect").with_control_token("guess");
+    match wrong.shutdown() {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Unauthorized),
+        other => panic!("wrong-token shutdown was not refused: {other:?}"),
+    }
+
+    // The right token drives the full lifecycle.
+    let mut admin = Client::connect(addr).expect("connect").with_control_token("sesame");
+    assert!(admin.pause_rebalance().expect("authorised pause").paused);
+    assert!(!admin.resume_rebalance().expect("authorised resume").paused);
+    assert!(admin.drain().expect("authorised drain").draining);
+    assert!(admin.shutdown().expect("authorised shutdown").shutting_down);
+    server.join();
+}

@@ -58,20 +58,23 @@ fn arb_request() -> impl Strategy<Value = Request> {
         arb_strategy(),
         0u64..u64::MAX,
         0u32..1024,
+        arb_string(),
     )
-        .prop_map(|(variant, req, reqs, strategy, ticket, machine)| match variant {
-            0 => Request::Ping,
-            1 => Request::Place { req, strategy },
-            2 => Request::PlaceBatch { reqs, strategy },
-            3 => Request::Release { ticket },
-            4 => Request::Stats,
-            5 => Request::Occupancy { machine },
-            6 => Request::CanFit { req },
-            7 => Request::PauseRebalance,
-            8 => Request::ResumeRebalance,
-            9 => Request::Drain,
-            _ => Request::Shutdown,
-        })
+        .prop_map(
+            |(variant, req, reqs, strategy, ticket, machine, token)| match variant {
+                0 => Request::Ping,
+                1 => Request::Place { req, strategy },
+                2 => Request::PlaceBatch { reqs, strategy },
+                3 => Request::Release { ticket },
+                4 => Request::Stats,
+                5 => Request::Occupancy { machine },
+                6 => Request::CanFit { req },
+                7 => Request::PauseRebalance { token },
+                8 => Request::ResumeRebalance { token },
+                9 => Request::Drain { token },
+                _ => Request::Shutdown { token },
+            },
+        )
 }
 
 fn arb_placed() -> impl Strategy<Value = PlacedInfo> {
@@ -113,9 +116,10 @@ fn arb_stats() -> impl Strategy<Value = ServiceStats> {
         (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         (0u64..u64::MAX, 0u64..u64::MAX, 0.0f64..1e6),
+        (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         (0u8..2, 0u8..2),
     )
-        .prop_map(|(a, b, c, d, flags)| ServiceStats {
+        .prop_map(|(a, b, c, d, sk, flags)| ServiceStats {
             machines: a.0,
             residents: a.1,
             requests: a.2,
@@ -130,6 +134,9 @@ fn arb_stats() -> impl Strategy<Value = ServiceStats> {
             loop_migrations: c.3,
             suppressed_by_cooldown: d.0,
             blocked_by_gb_cap: d.1,
+            sketch_skips: sk.0,
+            sketch_admits: sk.1,
+            sketch_stale: sk.2,
             moved_gb: d.2,
             paused: flags.0 == 1,
             draining: flags.1 == 1,
@@ -137,12 +144,13 @@ fn arb_stats() -> impl Strategy<Value = ServiceStats> {
 }
 
 fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
-    (0u8..5).prop_map(|tag| match tag {
+    (0u8..6).prop_map(|tag| match tag {
         0 => ErrorCode::Protocol,
         1 => ErrorCode::Draining,
         2 => ErrorCode::ShuttingDown,
         3 => ErrorCode::UnknownTicket,
-        _ => ErrorCode::UnknownMachine,
+        4 => ErrorCode::UnknownMachine,
+        _ => ErrorCode::Unauthorized,
     })
 }
 
@@ -158,7 +166,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             0u32..4096,
             collection::vec((0u32..64, 0u32..64, 0u32..64), 0..9),
         ),
-        (0u64..u64::MAX, 0u32..8, 0.0f64..1e9, 0.0f64..1e9),
+        (0u64..u64::MAX, 0u32..8, 0.0f64..1e9, 0.0f64..1e9, 0u64..u64::MAX),
         (0u8..2, 0u8..2, 0u8..2),
         (arb_error_code(), arb_string()),
     )
@@ -188,6 +196,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     goal_clearing_classes: fit.1,
                     best_predicted: fit.2,
                     goal_perf: fit.3,
+                    sketch_skipped: fit.4,
                 }),
                 7 => Response::Ack(ControlAck {
                     paused: ack.0 == 1,

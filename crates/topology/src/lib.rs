@@ -32,6 +32,7 @@ pub mod machine;
 pub mod machines;
 pub mod occupancy;
 pub mod render;
+pub mod sketch;
 pub mod spec;
 pub mod stream;
 pub mod summary;
@@ -43,4 +44,5 @@ pub use machine::{
     TopologyError,
 };
 pub use occupancy::{OccupancyError, OccupancyMap};
+pub use sketch::{AvailabilitySketch, SketchProfile};
 pub use summary::{group_by_fingerprint, group_by_key, CapacitySummary, CapacityView};

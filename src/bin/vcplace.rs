@@ -8,6 +8,7 @@
 //! vcplace migrate  <workload>
 //! vcplace serve    [--addr A] [--machines m1,m2,..] [--budget F]
 //!                  [--interval-ms N] [--paused] [--demo]
+//!                  [--control-token TOK]
 //! ```
 //!
 //! Machines: `amd` (quad Opteron 6272), `intel` (quad Xeon E7-4830 v3),
@@ -33,7 +34,7 @@ fn usage() -> ! {
          vcplace pack <machine> <vcpus> <workload> <goal-pct>\n  \
          vcplace migrate <workload>|--list\n  \
          vcplace serve [--addr A] [--machines m1,m2,..] [--budget F] \
-         [--interval-ms N] [--paused] [--demo]\n\n\
+         [--interval-ms N] [--paused] [--demo] [--control-token TOK]\n\n\
          machines: amd | intel | zen | @path/to/file.spec"
     );
     std::process::exit(2);
@@ -101,6 +102,7 @@ fn cmd_serve(args: &[String]) {
     let mut interval_ms = 100_u64;
     let mut start_paused = false;
     let mut demo = false;
+    let mut control_token: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -110,6 +112,7 @@ fn cmd_serve(args: &[String]) {
             "--interval-ms" => interval_ms = parse(it.next().unwrap_or_else(|| usage())),
             "--paused" => start_paused = true,
             "--demo" => demo = true,
+            "--control-token" => control_token = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -130,7 +133,7 @@ fn cmd_serve(args: &[String]) {
         engine.add_machine(machine_arg(name.trim()));
     }
 
-    let config = ServerConfig::default()
+    let mut config = ServerConfig::default()
         .with_addr(addr.as_str())
         .with_rebalance(LoopConfig {
             interval: Duration::from_millis(interval_ms),
@@ -139,6 +142,9 @@ fn cmd_serve(args: &[String]) {
                 .with_moved_gb_cap(1.0),
             start_paused,
         });
+    if let Some(token) = control_token {
+        config = config.with_control_token(token);
+    }
     let server = PlacementServer::spawn(std::sync::Arc::new(engine), config)
         .unwrap_or_else(|e| {
             eprintln!("cannot bind {addr}: {e}");
