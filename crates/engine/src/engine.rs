@@ -1144,6 +1144,10 @@ impl PlacementEngine {
         // it as a publication (the lock-clone baseline never reads it).
         let snapshot = Slot::new(Arc::new(initial.snapshot()));
         if self.cfg.snapshot_reads {
+            // Relaxed is sound (R7 allowlist): this is a diagnostic
+            // counter nothing synchronizes on. The publication edge
+            // readers rely on is `Slot::new`/`Slot::store`'s own
+            // ordering, not this increment.
             self.snapshot_published.fetch_add(1, Ordering::Relaxed);
         }
         let state = Mutex::new(initial);
@@ -1323,6 +1327,9 @@ impl PlacementEngine {
         }
         if self.cfg.snapshot_reads {
             host.snapshot.store(Arc::new(st.snapshot()), &self.domain);
+            // Relaxed is sound (R7 allowlist): readers synchronize on
+            // `Slot::store`'s SeqCst pointer swap on the line above —
+            // this counter is stats-only telemetry and orders nothing.
             self.snapshot_published.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -2631,6 +2638,9 @@ impl PlacementEngine {
                 st.occ
                     .reserve(&resident.threads)
                     .expect("rollback re-reserves just-freed threads");
+                // The rollback restored the exact pre-section occupancy,
+                // so the published view is still accurate unpublished.
+                // vc-lint: allow(R1, rollback re-reserved the freed threads; state equals what was last published)
                 return Err(());
             }
             Self::rehome(&mut st, &placed);
@@ -2651,6 +2661,9 @@ impl PlacementEngine {
             _ => return Err(()),
         }
         if dst_st.occ.reserve(&ap.threads).is_err() {
+            // A failed reserve is all-or-nothing: it mutated nothing,
+            // so there is nothing to publish before unlocking.
+            // vc-lint: allow(R1, OccupancyMap::reserve is all-or-nothing; the failed branch left state untouched)
             return Err(()); // a concurrent commit claimed the target
         }
         let entry = src_st

@@ -1,0 +1,13 @@
+// Broken cross-host move: both hosts mutate under id-ordered locks, but
+// only the source side republishes. The destination's summary and
+// snapshot go stale the moment the guards drop.
+
+pub fn commit_move(engine: &Engine, src: &Host, dst: &Host) -> Result<(), ()> {
+    let (lo, hi) = (src.id.min(dst.id), src.id.max(dst.id));
+    let mut lo_st = engine.lock_host(lo);
+    let mut hi_st = engine.lock_host(hi);
+    let entry = lo_st.residents.remove(&7).ok_or(())?;
+    hi_st.residents.insert(7, entry);
+    engine.publish(lo, &mut lo_st);
+    Ok(())
+} //~ R1

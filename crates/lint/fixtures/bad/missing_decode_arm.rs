@@ -1,0 +1,22 @@
+// Broken wire-protocol variant: `Ping` gained an encode arm but never a
+// decode arm, so the tag table silently diverged — a peer that sends
+// Ping gets a BadTag error back.
+
+pub enum Request {
+    Ping, //~ R6
+    Stop,
+}
+
+pub fn encode(req: &Request) -> u8 {
+    match req {
+        Request::Ping => 1,
+        Request::Stop => 2,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Request> {
+    match tag {
+        2 => Some(Request::Stop),
+        _ => None,
+    }
+}

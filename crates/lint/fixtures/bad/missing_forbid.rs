@@ -1,0 +1,7 @@
+// vc-lint: path(crates/widgets/src/lib.rs) //~ R4 @1
+// A crate root without the `#![forbid(unsafe_code)]` hygiene attribute:
+// nothing stops a later PR from quietly introducing unsafe here.
+
+pub mod widgets {
+    pub fn noop() {}
+}

@@ -1,0 +1,13 @@
+// vc-lint: path(crates/serve/src/naked.rs)
+// Broken daemon code: four ways to panic on attacker-controlled bytes.
+// The serving path returns typed errors; a panic here kills the
+// connection handler thread and poisons shared state.
+
+pub fn decode_len(buf: &[u8]) -> u32 {
+    let header = buf[0]; //~ R5
+    let rest = buf.get(1..5).unwrap(); //~ R5
+    if header == 0 {
+        panic!("empty frame"); //~ R5
+    }
+    u32::from_be_bytes(rest.try_into().expect("four bytes")) //~ R5
+}

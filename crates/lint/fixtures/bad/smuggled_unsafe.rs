@@ -1,0 +1,8 @@
+// vc-lint: path(crates/engine/src/fastpath.rs)
+// Broken "optimization": raw-pointer reads smuggled into the engine.
+// All unsafe lives in vc-sync's slot module, where the safety argument
+// is written down and stress-tested; nowhere else.
+
+pub fn read_fast(ptr: *const u64) -> u64 {
+    unsafe { *ptr } //~ R4
+}

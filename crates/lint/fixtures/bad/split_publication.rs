@@ -1,0 +1,12 @@
+// Broken commit variant: the occupancy mutation happens under the host
+// lock, but publication was hoisted out of the guard scope. Readers can
+// observe the unlock before the summary/sketch/snapshot swap — exactly
+// the torn publication the interleavings suite's broken variant shows.
+
+pub fn commit(engine: &Engine, host: &Host, threads: &ThreadSet) {
+    {
+        let mut st = engine.lock_host(host);
+        st.occ.reserve(threads).ok();
+    } //~ R1
+    engine.publish(host, threads);
+}

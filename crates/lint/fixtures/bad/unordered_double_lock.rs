@@ -1,0 +1,13 @@
+// Broken move variant: two host locks taken in argument order instead
+// of machine-id order. Two concurrent movers with swapped src/dst
+// deadlock.
+
+pub fn transfer(engine: &Engine, src: &Host, dst: &Host) {
+    let mut src_st = engine.lock_host(src);
+    let mut dst_st = engine.lock_host(dst); //~ R3
+    if let Some(entry) = src_st.residents.remove(&1) {
+        dst_st.residents.insert(1, entry);
+    }
+    engine.publish(src, &mut src_st);
+    engine.publish(dst, &mut dst_st);
+}

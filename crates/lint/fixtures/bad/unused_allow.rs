@@ -1,0 +1,14 @@
+// vc-lint: path(crates/serve/src/tidy.rs)
+// Marker-hygiene fixture: an allow with nothing to suppress is a stale
+// lie about the code, and an allow without a reason explains nothing.
+// Both are errors in their own right.
+
+pub fn safe_len(buf: &[u8]) -> usize {
+    // vc-lint: allow(R5, this line does not index anything) //~ marker @7
+    buf.len()
+}
+
+pub fn also_fine(buf: &[u8]) -> bool {
+    // vc-lint: allow(R5) //~ marker @12
+    buf.is_empty()
+}

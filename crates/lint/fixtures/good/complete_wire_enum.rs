@@ -1,0 +1,30 @@
+// Good twin of bad/missing_decode_arm.rs: every wire variant has an
+// encode arm, a decode arm, and shows up in the proptest generator.
+
+pub enum Request {
+    Ping,
+    Stop,
+}
+
+pub fn encode(req: &Request) -> u8 {
+    match req {
+        Request::Ping => 1,
+        Request::Stop => 2,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Request> {
+    match tag {
+        1 => Some(Request::Ping),
+        2 => Some(Request::Stop),
+        _ => None,
+    }
+}
+
+pub fn arb_request(seed: u64) -> Request {
+    if seed % 2 == 0 {
+        Request::Ping
+    } else {
+        Request::Stop
+    }
+}

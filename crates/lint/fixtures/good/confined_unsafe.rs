@@ -1,0 +1,9 @@
+// vc-lint: path(crates/sync/src/slot.rs)
+// Good twin of bad/smuggled_unsafe.rs: unsafe inside the one module
+// allowed to carry it (vc-sync's slot), where the safety argument lives
+// next to the code and the stress explorer exercises it.
+
+pub fn read_published(ptr: *const u64) -> u64 {
+    // SAFETY: fixture stand-in for slot.rs's documented invariants.
+    unsafe { *ptr }
+}

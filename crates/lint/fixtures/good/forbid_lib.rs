@@ -1,0 +1,8 @@
+// vc-lint: path(crates/widgets/src/lib.rs)
+// Good twin of bad/missing_forbid.rs: a crate root outside the unsafe
+// home carries the mandatory forbid attribute.
+#![forbid(unsafe_code)]
+
+pub fn widget_count() -> usize {
+    3
+}

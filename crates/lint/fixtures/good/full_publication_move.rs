@@ -1,0 +1,19 @@
+// Good twin of bad/half_published_move.rs: both mutated hosts
+// republish before their guards drop, including through `&mut *`
+// reborrow aliases like the real `commit_move` uses.
+
+pub fn commit_move(engine: &Engine, src: &Host, dst: &Host) -> Result<(), ()> {
+    let (lo, hi) = (src.id.min(dst.id), src.id.max(dst.id));
+    let mut lo_guard = engine.lock_host(lo);
+    let mut hi_guard = engine.lock_host(hi);
+    let (src_st, dst_st) = if src.id == lo {
+        (&mut *lo_guard, &mut *hi_guard)
+    } else {
+        (&mut *hi_guard, &mut *lo_guard)
+    };
+    let entry = src_st.residents.remove(&7).ok_or(())?;
+    dst_st.residents.insert(7, entry);
+    engine.publish(src, src_st);
+    engine.publish(dst, dst_st);
+    Ok(())
+}

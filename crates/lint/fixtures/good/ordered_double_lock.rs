@@ -1,0 +1,14 @@
+// Good twin of bad/unordered_double_lock.rs: machine ids are ordered
+// with `.min(`/`.max(` before the two acquisitions, so concurrent
+// movers with swapped arguments take the locks in the same order.
+
+pub fn transfer(engine: &Engine, src: &Host, dst: &Host) {
+    let (lo, hi) = (src.id.min(dst.id), src.id.max(dst.id));
+    let mut lo_st = engine.lock_host(lo);
+    let mut hi_st = engine.lock_host(hi);
+    if let Some(entry) = lo_st.residents.remove(&1) {
+        hi_st.residents.insert(1, entry);
+    }
+    engine.publish(lo, &mut lo_st);
+    engine.publish(hi, &mut hi_st);
+}

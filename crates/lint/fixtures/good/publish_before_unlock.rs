@@ -1,0 +1,8 @@
+// Good twin of bad/split_publication.rs: the summary/sketch/snapshot
+// republish happens inside the guard scope, before the unlock.
+
+pub fn commit(engine: &Engine, host: &Host, threads: &ThreadSet) {
+    let mut st = engine.lock_host(host);
+    st.occ.reserve(threads).ok();
+    engine.publish(host, &mut st);
+}

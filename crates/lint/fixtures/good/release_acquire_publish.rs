@@ -1,0 +1,13 @@
+// Good twin of bad/relaxed_publish.rs: the pointer publication edge
+// uses Release/Acquire, and Relaxed only appears on an allowlisted
+// statistics counter.
+
+pub fn publish(slot: &Slot, fresh: *mut Snapshot) -> *mut Snapshot {
+    let old = slot.ptr.swap(fresh, Ordering::Release);
+    slot.requests.fetch_add(1, Ordering::Relaxed);
+    old
+}
+
+pub fn load(slot: &Slot) -> *mut Snapshot {
+    slot.ptr.load(Ordering::Acquire)
+}

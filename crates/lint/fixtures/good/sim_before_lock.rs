@@ -1,0 +1,12 @@
+// Good twin of bad/sim_under_lock.rs: simulation runs against the
+// wait-free snapshot first; the lock is only held for the reservation
+// bookkeeping and the republish.
+
+pub fn score_then_commit(engine: &Engine, host: &Host, req: &PlacementRequest) -> f64 {
+    let view = engine.view(host);
+    let penalty = co_location_penalty(&view.residents, req);
+    let mut st = engine.lock_host(host);
+    st.occ.reserve(&req.threads).ok();
+    engine.publish(host, &mut st);
+    penalty
+}

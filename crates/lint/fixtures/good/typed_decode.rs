@@ -1,0 +1,25 @@
+// vc-lint: path(crates/serve/src/typed.rs)
+// Good twin of bad/naked_unwrap.rs: serve-side decoding propagates
+// typed errors instead of unwrapping, and the one remaining index is
+// justified with an allow marker that the linter verifies is used.
+
+pub fn decode_header(buf: &[u8]) -> Result<u8, DecodeError> {
+    buf.first().copied().ok_or(DecodeError::UnexpectedEof)
+}
+
+pub fn decode_len(buf: &[u8]) -> Result<u32, DecodeError> {
+    let raw: [u8; 4] = buf
+        .get(..4)
+        .ok_or(DecodeError::UnexpectedEof)?
+        .try_into()
+        .map_err(|_| DecodeError::UnexpectedEof)?;
+    Ok(u32::from_be_bytes(raw))
+}
+
+pub fn split_checked(buf: &[u8], at: usize) -> &[u8] {
+    if at > buf.len() {
+        return buf;
+    }
+    // vc-lint: allow(R5, at was bounds-checked against buf.len() just above)
+    &buf[..at]
+}

@@ -1,0 +1,51 @@
+//! # vc-lint — source-level invariant checker for the vcplace workspace
+//!
+//! The engine's concurrency story rests on a handful of source
+//! conventions: snapshots/summaries/sketches are published *before* the
+//! host lock drops (R1), the simulator never runs under a host lock
+//! (R2), multi-host locks are taken in machine-id order (R3), `unsafe`
+//! lives only in `vc-sync`'s slot module (R4), the serving path never
+//! panics (R5), the wire tag table cannot silently drift (R6), and
+//! `Ordering::Relaxed` is reserved for counters nothing synchronizes on
+//! (R7). The runtime counters and the interleavings model checker catch
+//! violations *after* a schedule exposes them; this crate rejects the
+//! code at CI time instead.
+//!
+//! Dependency-free by necessity (the build environment has no network):
+//! a small hand-rolled lexer ([`lexer`]) feeds linear token-order rule
+//! passes ([`rules`]). The only escape hatch is an allow marker — a line
+//! comment of the form `vc-lint: allow(Rn, reason)` (written with the
+//! usual `//` prefix) directly above or trailing the offending line.
+//! Unused or malformed markers are themselves errors.
+//!
+//! ```
+//! use vc_lint::{lint_source, Ctx};
+//!
+//! let bad = "pub fn first(xs: &[u32]) -> u32 { xs[0] }\n";
+//! let findings = lint_source("crates/serve/src/example.rs", bad, &Ctx::default());
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule.id(), "R5");
+//! assert_eq!(findings[0].line, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use findings::{Finding, Rule};
+pub use rules::Ctx;
+pub use walk::{lint_path, lint_workspace, workspace_files};
+
+/// Lints one source string as if it lived at `rel_path` (workspace-
+/// relative; a `path` pragma inside the source overrides it). Returns
+/// the final, sorted findings with allow markers applied.
+pub fn lint_source(rel_path: &str, src: &str, ctx: &Ctx) -> Vec<Finding> {
+    let file = analysis::SourceFile::new(rel_path, src);
+    let raw = rules::check_file(&file, ctx);
+    analysis::finalize(&file, raw)
+}

@@ -1,0 +1,98 @@
+//! The `vc-lint` binary.
+//!
+//! ```text
+//! vc-lint [--root DIR] [FILE...]
+//! ```
+//!
+//! With no file arguments, lints the whole workspace under `--root`
+//! (default: the current directory) and exits non-zero on any finding —
+//! the CI mode. With file arguments, lints exactly those files (the
+//! fixture mode: path-scoped rules honor each file's `path` pragma).
+//! Either way the log ends with a per-rule findings summary.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vc_lint::findings::Rule;
+use vc_lint::rules::Ctx;
+use vc_lint::{lint_path, lint_workspace, Finding};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("vc-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: vc-lint [--root DIR] [FILE...]");
+                println!("  no FILEs: lint the whole workspace under DIR (default: .)");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+
+    let result = if files.is_empty() {
+        lint_workspace(&root)
+    } else {
+        let ctx = Ctx::default();
+        let mut findings = Vec::new();
+        let mut err = None;
+        for f in &files {
+            match lint_path(&root, f, &ctx) {
+                Ok(fs) => findings.extend(fs),
+                Err(e) => {
+                    err = Some(std::io::Error::new(
+                        e.kind(),
+                        format!("{}: {e}", f.display()),
+                    ));
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => {
+                findings.sort();
+                Ok(findings)
+            }
+        }
+    };
+
+    let findings = match result {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("vc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if !findings.is_empty() {
+        println!();
+    }
+    print_summary(&findings);
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_summary(findings: &[Finding]) {
+    println!("vc-lint summary:");
+    for rule in Rule::ALL {
+        let n = findings.iter().filter(|f| f.rule == rule).count();
+        println!("  {:<6} {:<24} {n}", rule.id(), rule.name());
+    }
+    println!("  total: {}", findings.len());
+}

@@ -1,0 +1,123 @@
+//! Workspace traversal: find the `.rs` sources to lint and assemble the
+//! workspace-level [`Ctx`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::findings::Finding;
+use crate::rules::Ctx;
+
+/// Directories never descended into: build output, version control,
+/// and the linter's own deliberately-broken fixture corpus.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Collects every workspace `.rs` file under `root`, sorted for
+/// deterministic output.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints one on-disk file. `root` anchors the workspace-relative path
+/// (and thus the path-scoped rules); a fixture `path` pragma inside the
+/// file overrides it.
+///
+/// # Errors
+///
+/// Propagates the file read failure.
+pub fn lint_path(root: &Path, file: &Path, ctx: &Ctx) -> io::Result<Vec<Finding>> {
+    let src = fs::read_to_string(file)?;
+    let rel = file
+        .strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(crate::lint_source(&rel, &src, ctx))
+}
+
+/// Lints the whole workspace rooted at `root`: every source file, with
+/// the R6 generator cross-check enabled when
+/// `crates/serve/tests/protocol.rs` exists.
+///
+/// # Errors
+///
+/// Propagates traversal/read failures.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let ctx = Ctx {
+        generator_src: fs::read_to_string(root.join("crates/serve/tests/protocol.rs")).ok(),
+    };
+    let mut findings = Vec::new();
+    for file in workspace_files(root)? {
+        findings.extend(lint_path(root, &file, &ctx)?);
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_fixture_and_target_dirs() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = workspace_files(root).expect("walk lint crate");
+        assert!(files.iter().any(|f| f.ends_with("src/walk.rs")));
+        // The fixture *directory* is skipped; files like
+        // tests/fixtures.rs (the corpus harness) still get walked.
+        assert!(!files
+            .iter()
+            .any(|f| f.components().any(|c| c.as_os_str() == "fixtures")));
+        assert!(files.iter().any(|f| f.ends_with("tests/fixtures.rs")));
+    }
+
+    #[test]
+    fn sorted_and_deterministic() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let a = workspace_files(root).expect("walk");
+        let b = workspace_files(root).expect("walk");
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.sort();
+        assert_eq!(a, c);
+    }
+
+    /// The real workspace must lint clean — the same self-test the CI
+    /// step runs via the binary.
+    #[test]
+    fn workspace_lints_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("lint crate sits at <ws>/crates/lint");
+        let findings = lint_workspace(root).expect("lint workspace");
+        let rendered: Vec<String> = findings.iter().map(ToString::to_string).collect();
+        assert!(
+            findings.is_empty(),
+            "workspace has lint findings:\n{}",
+            rendered.join("\n")
+        );
+    }
+}

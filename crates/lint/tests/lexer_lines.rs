@@ -1,0 +1,49 @@
+//! Lexer line-number accuracy, checked against the largest real source
+//! file in the workspace. A finding's whole value is its `file:line`
+//! anchor, and line drift is silent (every rule still fires, just at
+//! the wrong place) — so cross-check every identifier token's claimed
+//! line against the raw source. The original drift bug was a string
+//! line-continuation (`\` + newline) whose newline went uncounted.
+
+use vc_lint::lexer::{lex, TokKind};
+
+fn assert_no_drift(rel: &str) {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let lines: Vec<&str> = src.lines().collect();
+    // Idents never span lines, so `claimed.contains` is exact for them
+    // (a multi-line string literal's text would not be).
+    for t in lex(&src).tokens.iter().filter(|t| t.kind == TokKind::Ident) {
+        let claimed = lines
+            .get((t.line - 1) as usize)
+            .unwrap_or_else(|| panic!("{rel}: token `{}` claims line {} past EOF", t.text, t.line));
+        assert!(
+            claimed.contains(&t.text),
+            "{rel}: token `{}` claims line {} which reads: {claimed}",
+            t.text,
+            t.line
+        );
+    }
+}
+
+#[test]
+fn engine_line_numbers_match_source() {
+    assert_no_drift("crates/engine/src/engine.rs");
+}
+
+#[test]
+fn serve_line_numbers_match_source() {
+    assert_no_drift("crates/serve/src/server.rs");
+    assert_no_drift("crates/serve/src/rpc.rs");
+}
+
+#[test]
+fn continuation_escape_still_counts_lines() {
+    let src = "let s = \"a \\\n   b\";\nlet after = 1;\n";
+    let toks = lex(src).tokens;
+    let after = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text == "after")
+        .expect("token `after`");
+    assert_eq!(after.line, 3, "line-continuation newline went uncounted");
+}

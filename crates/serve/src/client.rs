@@ -108,7 +108,7 @@ impl Client {
         Ok(Response::decode(&payload)?)
     }
 
-    fn expect<T>(
+    fn exchange<T>(
         &mut self,
         req: &Request,
         pick: impl FnOnce(Response) -> Result<T, Box<Response>>,
@@ -125,7 +125,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.expect(&Request::Ping, |r| match r {
+        self.exchange(&Request::Ping, |r| match r {
             Response::Pong => Ok(()),
             other => Err(Box::new(other)),
         })
@@ -145,7 +145,7 @@ impl Client {
         req: WireRequest,
         strategy: BatchStrategy,
     ) -> Result<PlaceOutcome, ClientError> {
-        self.expect(&Request::Place { req, strategy }, |r| match r {
+        self.exchange(&Request::Place { req, strategy }, |r| match r {
             Response::Place(o) => Ok(o),
             other => Err(Box::new(other)),
         })
@@ -161,7 +161,7 @@ impl Client {
         reqs: Vec<WireRequest>,
         strategy: BatchStrategy,
     ) -> Result<Vec<PlaceOutcome>, ClientError> {
-        self.expect(&Request::PlaceBatch { reqs, strategy }, |r| match r {
+        self.exchange(&Request::PlaceBatch { reqs, strategy }, |r| match r {
             Response::Batch(o) => Ok(o),
             other => Err(Box::new(other)),
         })
@@ -175,7 +175,7 @@ impl Client {
     /// [`ErrorCode::UnknownTicket`](crate::rpc::ErrorCode::UnknownTicket)
     /// for a double release; transport errors as in [`Client::request`].
     pub fn release(&mut self, ticket: u64) -> Result<(), ClientError> {
-        self.expect(&Request::Release { ticket }, |r| match r {
+        self.exchange(&Request::Release { ticket }, |r| match r {
             Response::Released => Ok(()),
             other => Err(Box::new(other)),
         })
@@ -187,7 +187,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
-        self.expect(&Request::Stats, |r| match r {
+        self.exchange(&Request::Stats, |r| match r {
             Response::Stats(s) => Ok(s),
             other => Err(Box::new(other)),
         })
@@ -199,7 +199,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn occupancy(&mut self, machine: u32) -> Result<OccupancyInfo, ClientError> {
-        self.expect(&Request::Occupancy { machine }, |r| match r {
+        self.exchange(&Request::Occupancy { machine }, |r| match r {
             Response::Occupancy(o) => Ok(o),
             other => Err(Box::new(other)),
         })
@@ -211,7 +211,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn can_fit(&mut self, req: WireRequest) -> Result<FitInfo, ClientError> {
-        self.expect(&Request::CanFit { req }, |r| match r {
+        self.exchange(&Request::CanFit { req }, |r| match r {
             Response::CanFit(fit) => Ok(fit),
             other => Err(Box::new(other)),
         })
@@ -260,7 +260,7 @@ impl Client {
     }
 
     fn control(&mut self, req: &Request) -> Result<ControlAck, ClientError> {
-        self.expect(req, |r| match r {
+        self.exchange(req, |r| match r {
             Response::Ack(a) => Ok(a),
             other => Err(Box::new(other)),
         })

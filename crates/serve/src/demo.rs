@@ -11,6 +11,7 @@
 //! `ContendedLoad` bench uses, so served and in-process numbers are
 //! directly comparable in `BENCH_engine_fleet.json`.
 
+use std::io;
 use std::net::SocketAddr;
 use std::time::Instant;
 
@@ -19,6 +20,7 @@ use vc_policy::contended::LatencySummary;
 
 use crate::client::{Client, ClientError};
 use crate::rpc::{PlaceOutcome, WireRequest};
+use crate::wire::WireError;
 
 /// The churn workload the demo clients run.
 #[derive(Debug, Clone)]
@@ -99,7 +101,9 @@ impl DemoLoad {
     ///
     /// # Panics
     ///
-    /// Panics when a client thread itself panicked.
+    /// Panics when called with an empty request pool. A client thread
+    /// that panics mid-run is reported as a [`ClientError`], not
+    /// re-raised.
     pub fn run(&self, addr: SocketAddr) -> Result<DemoReport, ClientError> {
         assert!(!self.pool.is_empty(), "demo needs a request pool");
         let mut handles = Vec::new();
@@ -116,7 +120,14 @@ impl DemoLoad {
         };
         let mut first_err = None;
         for handle in handles {
-            match handle.join().expect("demo client panicked") {
+            // A panicked client thread becomes the run's error rather
+            // than propagating the panic through the daemon demo.
+            let joined = handle.join().unwrap_or_else(|_| {
+                Err(ClientError::Wire(WireError::Io(io::Error::other(
+                    "demo client thread panicked",
+                ))))
+            });
+            match joined {
                 Ok(outcome) => {
                     report.place = report.place.merged(&LatencySummary::from_nanos(outcome.place_ns));
                     report.release =
@@ -140,6 +151,7 @@ impl DemoLoad {
         let mut live: Vec<u64> = Vec::new();
         let mut outcome = ClientOutcome::default();
         for iteration in 0..self.requests_per_client {
+            // vc-lint: allow(R5, index is taken modulo pool.len() and run() asserts the pool is non-empty)
             let mut req = self.pool[rng.next() as usize % self.pool.len()].clone();
             // A client- and iteration-unique probe seed, like the
             // in-process contended load uses.

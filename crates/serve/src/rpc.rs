@@ -412,13 +412,17 @@ impl<'a> Reader<'a> {
         if self.remaining() < n {
             return Err(DecodeError::UnexpectedEof);
         }
+        // vc-lint: allow(R5, range is bounds-checked by the remaining() guard above)
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(out)
     }
 
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or(DecodeError::UnexpectedEof)
     }
 
     fn bool(&mut self) -> Result<bool, DecodeError> {
@@ -430,11 +434,17 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        self.take(4)?
+            .try_into()
+            .map(u32::from_be_bytes)
+            .map_err(|_| DecodeError::UnexpectedEof)
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        self.take(8)?
+            .try_into()
+            .map(u64::from_be_bytes)
+            .map_err(|_| DecodeError::UnexpectedEof)
     }
 
     fn f64(&mut self) -> Result<f64, DecodeError> {

@@ -474,12 +474,20 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
             if let Some(refusal) = admission_refusal(shared) {
                 return (refusal, false);
             }
-            let decision = shared
+            // One decision per request by engine contract; should the
+            // batch come back empty anyway, refuse rather than panic on
+            // the serving path.
+            let outcome = shared
                 .engine
                 .place_batch(&[req.to_engine()], strategy)
                 .pop()
-                .expect("one decision per request");
-            (Response::Place(register_outcome(shared, decision)), false)
+                .map_or_else(
+                    || PlaceOutcome::Rejected {
+                        reason: "engine returned no decision".to_string(),
+                    },
+                    |decision| register_outcome(shared, decision),
+                );
+            (Response::Place(outcome), false)
         }
         Request::PlaceBatch { reqs, strategy } => {
             if let Some(refusal) = admission_refusal(shared) {

@@ -5,6 +5,11 @@
 //! disconnects — answering each with a typed protocol error where the
 //! socket still allows one, and serving the next connection regardless.
 
+// Test-support helpers (generators, daemon spawners) sit outside
+// `#[test]` fns, so the workspace unwrap/expect backstop needs an
+// explicit file-level opt-out; panicking is fine in a test battery.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;

@@ -90,6 +90,7 @@ impl std::fmt::Debug for Domain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Domain")
             .field("id", &self.id)
+            // vc-lint: allow(R7, diagnostic read in a Debug formatter; epoch publication is SeqCst)
             .field("epoch", &self.global_epoch.load(Ordering::Relaxed))
             .field("retired", &self.retired.load(Ordering::Relaxed))
             .field("reclaimed", &self.reclaimed.load(Ordering::Relaxed))
@@ -135,6 +136,7 @@ impl std::fmt::Debug for Guard<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Guard")
             .field("domain", &self.domain.id)
+            // vc-lint: allow(R7, diagnostic read in a Debug formatter; slot epochs publish with SeqCst)
             .field("epoch", &self.slot.epoch.load(Ordering::Relaxed))
             .finish()
     }
@@ -281,6 +283,7 @@ impl Domain {
 
     /// The current global epoch (diagnostic).
     pub fn epoch(&self) -> u64 {
+        // vc-lint: allow(R7, diagnostic accessor; nothing synchronizes on this read)
         self.global_epoch.load(Ordering::Relaxed)
     }
 }
