@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Convert `vc-lint --json` output into GitHub error annotations.
+
+Reads the version-1 findings document (path in argv[1]), emits one
+`::error file=...,line=...::` line per finding (call-chain trace folded
+in via %0A newlines), and exits non-zero when any findings exist — so
+the CI step fails with the findings attached to the diff view instead
+of buried in a log.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("version") != 1:
+        print(f"::error::unsupported vc-lint JSON version: {doc.get('version')}")
+        return 1
+    for finding in doc["findings"]:
+        msg = f"[{finding['rule']}] {finding['message']}"
+        if finding["trace"]:
+            msg += "%0A" + "%0A".join(f"= {step}" for step in finding["trace"])
+        print(f"::error file={finding['file']},line={finding['line']}::{msg}")
+    print(f"vc-lint: {doc['total']} finding(s)")
+    return 1 if doc["total"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+// Broken shutdown variant: the registry lock is held across a settle
+// sleep and across the worker joins reached through `reap_workers` —
+// every client touching the registry stalls for the full backoff plus
+// join time.
+
+pub fn stop(pool: &mut Pool) {
+    let mut reg = pool.registry_lock();
+    reg.accepting = false;
+    std::thread::sleep(SETTLE); //~ R9
+    reap_workers(pool); //~ R9
+}
+
+fn reap_workers(pool: &mut Pool) {
+    for w in pool.workers.drain(..) {
+        let _ = w.join();
+    }
+}

@@ -1,0 +1,22 @@
+// Broken batching variant: the ingest path nests admission -> journal
+// while the flush path (through `refill_admission`) nests journal ->
+// admission. Each nesting is fine alone; together the lock-order
+// digraph has a cycle, and an ingester racing a flusher deadlocks.
+
+pub fn ingest(router: &Router, batch: &[u64]) {
+    let mut adm = router.admission_lock();
+    let mut jrn = router.journal_lock(); //~ R8
+    jrn.extend(batch);
+    adm.balance += batch.len();
+}
+
+pub fn flush(router: &Router) {
+    let mut jrn = router.journal_lock();
+    jrn.clear();
+    refill_admission(router);
+}
+
+fn refill_admission(router: &Router) {
+    let mut adm = router.admission_lock();
+    adm.balance = 0;
+}

@@ -1,0 +1,35 @@
+// vc-lint: path(crates/serve/src/rpc.rs)
+// Drifted codec: the sibling .md table (standing in for
+// ARCHITECTURE.md) names tag 2 `Query` while the code decodes `Place`,
+// documents a tag 9 no decode arm implements, and has no row at all for
+// tag 3. Every variant still has matching encode/decode arms, so R6
+// stays green — only the docs diff catches the drift.
+
+pub enum Request {
+    Hello,
+    Place,
+    Evict,
+}
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+impl Request {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Hello => put_u8(buf, 1),
+            Request::Place => put_u8(buf, 2),
+            Request::Evict => put_u8(buf, 3),
+        }
+    }
+
+    pub fn decode(tag: u8) -> Option<Request> { //~ R10
+        match tag {
+            1 => Some(Request::Hello),
+            2 => Some(Request::Place), //~ R10
+            3 => Some(Request::Evict), //~ R10
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,21 @@
+// Good twin of bad/blocking_under_lock.rs: the registry guard dies at
+// its block's close, so the settle sleep and the worker joins run
+// lock-free. (`r#loop` doubles as a raw-identifier regression check:
+// a lexer that split it into `r # loop` would hand the scanner a bare
+// `loop` keyword mid-statement.)
+
+pub fn stop(pool: &mut Pool) {
+    {
+        let mut reg = pool.registry_lock();
+        reg.accepting = false;
+    }
+    std::thread::sleep(SETTLE);
+    reap_workers(pool);
+}
+
+fn reap_workers(pool: &mut Pool) {
+    let r#loop = pool.workers.drain(..);
+    for w in r#loop {
+        let _ = w.join();
+    }
+}

@@ -1,0 +1,17 @@
+// Good twin of bad/interproc_double_lock.rs: `compact` publishes and
+// drops host A's guard before the helper locks its own host, so at most
+// one host lock is ever held per thread on this path.
+
+pub fn compact(engine: &Engine, host: &Host) {
+    let mut st = engine.lock_host(host);
+    st.residents.remove(&9);
+    engine.publish(host, &mut st);
+    drop(st);
+    evict_cold(engine, host);
+}
+
+fn evict_cold(engine: &Engine, host: &Host) {
+    let mut cold = engine.lock_host(host);
+    cold.residents.clear();
+    engine.publish(host, &mut cold);
+}

@@ -1,0 +1,20 @@
+// Good twin of bad/transitive_sim_under_lock.rs: the same helper chain
+// runs against the wait-free snapshot *before* the host lock is taken,
+// keeping the critical section O(1).
+
+pub fn commit(engine: &Engine, host: &Host, req: &PlacementRequest) {
+    let snap = engine.snapshot(host);
+    let penalty = refresh_score(&snap, req);
+    let mut st = engine.lock_host(host);
+    st.occ.reserve(&req.threads).ok();
+    engine.publish(host, &mut st);
+    let _ = penalty;
+}
+
+fn refresh_score(st: &HostState, req: &PlacementRequest) -> f64 {
+    estimate_interference(&st.residents, req)
+}
+
+fn estimate_interference(residents: &ResidentMap, req: &PlacementRequest) -> f64 {
+    co_location_penalty(residents, req)
+}

@@ -1,0 +1,36 @@
+// vc-lint: path(crates/serve/src/rpc.rs)
+// Good twin of bad/wire_docs_drift.rs: every decoded tag has a docs row
+// with the matching name (tags 3–4 through a range row), and the docs
+// document nothing the code doesn't implement.
+
+pub enum Request {
+    Hello,
+    Place,
+    Drain,
+    Shutdown,
+}
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+impl Request {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Hello => put_u8(buf, 1),
+            Request::Place => put_u8(buf, 2),
+            Request::Drain => put_u8(buf, 3),
+            Request::Shutdown => put_u8(buf, 4),
+        }
+    }
+
+    pub fn decode(tag: u8) -> Option<Request> {
+        match tag {
+            1 => Some(Request::Hello),
+            2 => Some(Request::Place),
+            3 => Some(Request::Drain),
+            4 => Some(Request::Shutdown),
+            _ => None,
+        }
+    }
+}

@@ -25,6 +25,17 @@ pub enum Rule {
     R6,
     /// `Ordering::Relaxed` only on allowlisted counter fields.
     R7,
+    /// Static lock-order deadlock freedom: no call chain re-acquires a
+    /// held lock class, and the cross-function lock-order graph is
+    /// acyclic (generalizes R3 beyond one function).
+    R8,
+    /// Transitive effect hygiene: no call chain reaches the simulator
+    /// while a host lock is held, and no blocking call (sleep, accept,
+    /// channel/socket reads, thread join) runs under any lock guard.
+    R9,
+    /// Wire↔docs drift: the rpc request/response tag table must match
+    /// the one documented in ARCHITECTURE.md.
+    R10,
     /// Unused or malformed allow marker.
     Marker,
 }
@@ -40,8 +51,16 @@ impl Rule {
             Rule::R5 => "R5",
             Rule::R6 => "R6",
             Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
+            Rule::R10 => "R10",
             Rule::Marker => "marker",
         }
+    }
+
+    /// Parses a stable rule id (`R5`, `marker`) back into the rule.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
     }
 
     /// One-line rule name for the per-rule summary.
@@ -54,12 +73,15 @@ impl Rule {
             Rule::R5 => "no-panic-in-serve",
             Rule::R6 => "wire-tag-drift",
             Rule::R7 => "atomic-ordering-policy",
+            Rule::R8 => "lock-order-acyclicity",
+            Rule::R9 => "transitive-effects-under-lock",
+            Rule::R10 => "wire-docs-drift",
             Rule::Marker => "allow-marker-hygiene",
         }
     }
 
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -67,6 +89,9 @@ impl Rule {
         Rule::R5,
         Rule::R6,
         Rule::R7,
+        Rule::R8,
+        Rule::R9,
+        Rule::R10,
         Rule::Marker,
     ];
 }

@@ -1,0 +1,278 @@
+//! `--json` output: a stable machine-readable findings document, plus a
+//! minimal parser so tests (and the CI annotation step) can round-trip
+//! it without external crates.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "total": 1,
+//!   "findings": [
+//!     {
+//!       "file": "crates/serve/src/server.rs",
+//!       "line": 372,
+//!       "rule": "R9",
+//!       "message": "...",
+//!       "trace": ["...", "..."]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::findings::{Finding, Rule};
+
+/// Renders findings as the version-1 JSON document.
+pub fn render(findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n");
+    s.push_str(&format!("  \"total\": {},\n", findings.len()));
+    s.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\n");
+        s.push_str(&format!("      \"file\": {},\n", quote(&f.file)));
+        s.push_str(&format!("      \"line\": {},\n", f.line));
+        s.push_str(&format!("      \"rule\": {},\n", quote(f.rule.id())));
+        s.push_str(&format!("      \"message\": {},\n", quote(&f.message)));
+        s.push_str("      \"trace\": [");
+        for (j, step) in f.trace.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&quote(step));
+        }
+        s.push_str("]\n    }");
+    }
+    if findings.is_empty() {
+        s.push_str("]\n}\n");
+    } else {
+        s.push_str("\n  ]\n}\n");
+    }
+    s
+}
+
+fn quote(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+/// Parses a version-1 document back into findings. Strict enough for
+/// round-trip tests and the CI annotation step; not a general JSON
+/// parser.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn parse(doc: &str) -> Result<Vec<Finding>, String> {
+    let mut p = Parser {
+        chars: doc.chars().collect(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut version = None;
+    let mut total = None;
+    let mut findings: Option<Vec<Finding>> = None;
+    loop {
+        p.skip_ws();
+        if p.peek() == Some('}') {
+            p.i += 1;
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "version" => version = Some(p.number()?),
+            "total" => total = Some(p.number()?),
+            "findings" => findings = Some(p.findings()?),
+            other => return Err(format!("unknown key `{other}`")),
+        }
+        p.skip_ws();
+        if p.peek() == Some(',') {
+            p.i += 1;
+        }
+    }
+    if version != Some(1) {
+        return Err("missing or unsupported \"version\"".to_string());
+    }
+    let findings = findings.ok_or("missing \"findings\"")?;
+    if total != Some(u32::try_from(findings.len()).map_err(|_| "finding count overflow")?) {
+        return Err("\"total\" disagrees with the findings array".to_string());
+    }
+    Ok(findings)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {}, found {:?}",
+                self.i,
+                self.peek()
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some('\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        Some('n') => s.push('\n'),
+                        Some('r') => s.push('\r'),
+                        Some('t') => s.push('\t'),
+                        Some('u') => {
+                            let hex: String =
+                                self.chars.iter().skip(self.i + 1).take(4).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            s.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    s.push(c);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, String> {
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected a number at offset {start}"));
+        }
+        self.chars[start..self.i]
+            .iter()
+            .collect::<String>()
+            .parse::<u32>()
+            .map_err(|e| e.to_string())
+    }
+
+    fn findings(&mut self) -> Result<Vec<Finding>, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(']') {
+                self.i += 1;
+                return Ok(out);
+            }
+            out.push(self.finding()?);
+            self.skip_ws();
+            if self.peek() == Some(',') {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn finding(&mut self) -> Result<Finding, String> {
+        self.expect('{')?;
+        let mut file = None;
+        let mut line = None;
+        let mut rule = None;
+        let mut message = None;
+        let mut trace = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('}') {
+                self.i += 1;
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "file" => file = Some(self.string()?),
+                "line" => line = Some(self.number()?),
+                "rule" => {
+                    let id = self.string()?;
+                    rule = Some(
+                        Rule::from_id(&id).ok_or_else(|| format!("unknown rule id `{id}`"))?,
+                    );
+                }
+                "message" => message = Some(self.string()?),
+                "trace" => {
+                    self.expect('[')?;
+                    loop {
+                        self.skip_ws();
+                        if self.peek() == Some(']') {
+                            self.i += 1;
+                            break;
+                        }
+                        trace.push(self.string()?);
+                        self.skip_ws();
+                        if self.peek() == Some(',') {
+                            self.i += 1;
+                        }
+                    }
+                }
+                other => return Err(format!("unknown finding key `{other}`")),
+            }
+            self.skip_ws();
+            if self.peek() == Some(',') {
+                self.i += 1;
+            }
+        }
+        Ok(Finding {
+            file: file.ok_or("finding missing \"file\"")?,
+            line: line.ok_or("finding missing \"line\"")?,
+            rule: rule.ok_or("finding missing \"rule\"")?,
+            message: message.ok_or("finding missing \"message\"")?,
+            trace,
+        })
+    }
+}

@@ -45,6 +45,15 @@ impl Tok {
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct(c)
     }
+
+    /// Identifier text with any raw-identifier prefix stripped: `r#match`
+    /// names the same function as `match` would if it were not a
+    /// keyword. Keyword checks must keep using [`Tok::is_ident`] (which
+    /// compares the spelled text), so `r#fn` — a *variable* named `fn` —
+    /// never reads as the `fn` keyword.
+    pub fn name(&self) -> &str {
+        self.text.strip_prefix("r#").unwrap_or(&self.text)
+    }
 }
 
 /// A parsed `vc-lint:` line-comment directive.
@@ -84,7 +93,7 @@ pub struct Lexed {
     pub directives: Vec<Directive>,
 }
 
-const KNOWN_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7"];
+const KNOWN_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"];
 
 fn parse_directive(body: &str, line: u32, out: &mut Vec<Directive>) {
     // Only comments whose (doc-sigil-stripped) body *starts* with the
@@ -294,12 +303,30 @@ pub fn lex(src: &str) -> Lexed {
                             });
                             continue;
                         }
-                        // `r#ident` — a raw identifier, fall through.
+                        // `r#ident` — a raw identifier: one token, not
+                        // Ident("r") + '#' + Ident("ident").
+                        if text == "r" && hashes == 1 && k < n && ident_start(chars[k]) {
+                            let mut m = k;
+                            while m < n && ident_cont(chars[m]) {
+                                m += 1;
+                            }
+                            let name: String = chars[k..m].iter().collect();
+                            i = m;
+                            out.tokens.push(Tok {
+                                kind: TokKind::Ident,
+                                text: format!("r#{name}"),
+                                line: tok_line,
+                            });
+                            continue;
+                        }
                     }
                     if is_byte_prefix && chars[j] == '\'' {
                         let mut k = j + 1;
                         if k < n && chars[k] == '\\' {
-                            k += 1;
+                            // Skip the backslash *and* the escaped char,
+                            // so `b'\''` does not stop at the escaped
+                            // quote and leak the real closing quote.
+                            k += 2;
                         }
                         while k < n && chars[k] != '\'' {
                             k += 1;

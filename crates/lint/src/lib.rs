@@ -33,9 +33,13 @@
 
 pub mod analysis;
 pub mod findings;
+pub mod graph;
+pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod summaries;
 pub mod walk;
+pub mod wiredocs;
 
 pub use findings::{Finding, Rule};
 pub use rules::Ctx;
@@ -45,7 +49,33 @@ pub use walk::{lint_path, lint_workspace, workspace_files};
 /// relative; a `path` pragma inside the source overrides it). Returns
 /// the final, sorted findings with allow markers applied.
 pub fn lint_source(rel_path: &str, src: &str, ctx: &Ctx) -> Vec<Finding> {
-    let file = analysis::SourceFile::new(rel_path, src);
-    let raw = rules::check_file(&file, ctx);
-    analysis::finalize(&file, raw)
+    lint_files(&[(rel_path.to_string(), src.to_string())], ctx)
+}
+
+/// Lints a set of `(rel_path, source)` inputs as one unit: the per-file
+/// rules run on each file, the interprocedural passes (R8/R9 call-graph
+/// analysis, R10 wire↔docs drift) run across the whole set, and allow
+/// markers are applied per file. Inputs should already be in
+/// deterministic (sorted) order.
+pub fn lint_files(inputs: &[(String, String)], ctx: &Ctx) -> Vec<Finding> {
+    let files: Vec<analysis::SourceFile> = inputs
+        .iter()
+        .map(|(rel, src)| analysis::SourceFile::new(rel, src))
+        .collect();
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in &files {
+        raw.extend(rules::check_file(file, ctx));
+    }
+    summaries::check_workspace(&files, &mut raw);
+    wiredocs::check_wire_docs(&files, ctx, &mut raw);
+    let mut out = Vec::new();
+    for file in &files {
+        let (mine, rest): (Vec<Finding>, Vec<Finding>) =
+            raw.into_iter().partition(|f| f.file == file.path);
+        raw = rest;
+        out.extend(analysis::finalize(file, mine));
+    }
+    out.extend(raw); // findings for paths no input claims (defensive)
+    out.sort();
+    out
 }

@@ -16,6 +16,10 @@ pub struct Ctx {
     /// whole workspace: R6 additionally requires a proptest generator
     /// reference for every wire variant. `None` in single-file mode.
     pub generator_src: Option<String>,
+    /// `(path label, contents)` of the documented wire-tag table
+    /// (ARCHITECTURE.md in workspace mode; a sibling `.md` for R10
+    /// fixtures). `None` disables R10.
+    pub docs: Option<(String, String)>,
 }
 
 /// Counter fields where `Ordering::Relaxed` is sound: monotonic

@@ -57,9 +57,11 @@ pub fn lint_path(root: &Path, file: &Path, ctx: &Ctx) -> io::Result<Vec<Finding>
     Ok(crate::lint_source(&rel, &src, ctx))
 }
 
-/// Lints the whole workspace rooted at `root`: every source file, with
-/// the R6 generator cross-check enabled when
-/// `crates/serve/tests/protocol.rs` exists.
+/// Lints the whole workspace rooted at `root` as one unit: every source
+/// file through the per-file rules, the interprocedural R8/R9 passes
+/// across all of them, the R6 generator cross-check when
+/// `crates/serve/tests/protocol.rs` exists, and the R10 wire↔docs diff
+/// when `ARCHITECTURE.md` exists.
 ///
 /// # Errors
 ///
@@ -67,13 +69,21 @@ pub fn lint_path(root: &Path, file: &Path, ctx: &Ctx) -> io::Result<Vec<Finding>
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let ctx = Ctx {
         generator_src: fs::read_to_string(root.join("crates/serve/tests/protocol.rs")).ok(),
+        docs: fs::read_to_string(root.join("ARCHITECTURE.md"))
+            .ok()
+            .map(|src| ("ARCHITECTURE.md".to_string(), src)),
     };
-    let mut findings = Vec::new();
+    let mut inputs = Vec::new();
     for file in workspace_files(root)? {
-        findings.extend(lint_path(root, &file, &ctx)?);
+        let src = fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        inputs.push((rel, src));
     }
-    findings.sort();
-    Ok(findings)
+    Ok(crate::lint_files(&inputs, &ctx))
 }
 
 #[cfg(test)]

@@ -1,0 +1,268 @@
+//! Rule R10 — wire↔docs drift.
+//!
+//! The rpc tag table is the protocol's public contract, and
+//! ARCHITECTURE.md documents it as a markdown table. R6 already pins
+//! every `Request`/`Response` variant to an encode arm, a decode arm
+//! and a generator; R10 closes the remaining gap: the *numeric tags*
+//! those arms use must agree with each other and with the documented
+//! table, so neither the code nor the docs can drift silently.
+//!
+//! Extraction is token-based, scoped to the `encode`/`decode` function
+//! bodies of `impl Request` / `impl Response` in the rpc module:
+//!
+//! * decode arms — `TAG => Enum::Variant` (block arms scan forward to
+//!   the first `Enum::Variant` reference inside the arm),
+//! * encode arms — `Enum::Variant .. => .. put_u8(&mut buf, TAG)`
+//!   (first `put_u8` after the variant reference wins; later ones
+//!   belong to nested field encoders).
+//!
+//! Docs rows are `| TAG | `Name` ... |` lines; a range row like
+//! `| 8–11 | `A` / `B` / `C` / `D` | ...` zips the range against the
+//! backticked names. Every finding anchors in the rpc source file (so
+//! allow markers live next to the code), naming the docs row involved.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::SourceFile;
+use crate::findings::{Finding, Rule};
+use crate::graph::{fn_spans, FnSpan};
+use crate::lexer::TokKind;
+use crate::rules::Ctx;
+
+/// True when `file` is the rpc codec module R10 applies to.
+pub fn is_rpc_file(path: &str) -> bool {
+    path == "crates/serve/src/rpc.rs" || path.ends_with("/rpc.rs")
+}
+
+/// One side of the wire table extracted from code: tag -> (variant,
+/// line of the defining arm).
+type TagTable = BTreeMap<u32, (String, u32)>;
+
+/// Runs R10 over every rpc file in the set (in practice: one), when a
+/// docs table is available in `ctx`.
+pub fn check_wire_docs(files: &[SourceFile], ctx: &Ctx, out: &mut Vec<Finding>) {
+    let Some((docs_path, docs_src)) = &ctx.docs else {
+        return;
+    };
+    for file in files {
+        if is_rpc_file(&file.path) {
+            check_file(file, docs_path, docs_src, out);
+        }
+    }
+}
+
+fn check_file(file: &SourceFile, docs_path: &str, docs_src: &str, out: &mut Vec<Finding>) {
+    let spans = fn_spans(file);
+    let mut code: TagTable = TagTable::new();
+    let mut decode_lines: BTreeMap<&str, u32> = BTreeMap::new();
+
+    for ename in ["Request", "Response"] {
+        let decode = spans
+            .iter()
+            .find(|s| s.name == "decode" && s.impl_type.as_deref() == Some(ename));
+        let encode = spans
+            .iter()
+            .find(|s| s.name == "encode" && s.impl_type.as_deref() == Some(ename));
+        let Some(decode) = decode else { continue };
+        decode_lines.insert(ename, decode.line);
+        let dec = decode_arms(file, decode, ename);
+        let enc = encode.map_or_else(BTreeMap::new, |e| encode_arms(file, e, ename));
+
+        // Encode and decode must agree tag-for-tag per variant.
+        for (tag, (variant, line)) in &dec {
+            if let Some((etag, eline)) = enc.get(variant) {
+                if etag != tag {
+                    out.push(finding(
+                        file,
+                        *eline,
+                        format!(
+                            "`{ename}::{variant}` encodes tag {etag} but decodes tag {tag} \
+                             (decode arm at line {line})"
+                        ),
+                    ));
+                }
+            }
+            match code.get(tag) {
+                Some((other, oline)) => out.push(finding(
+                    file,
+                    *line,
+                    format!(
+                        "tag {tag} decoded as both `{other}` (line {oline}) and \
+                         `{ename}::{variant}` — directions must stay disjoint"
+                    ),
+                )),
+                None => {
+                    code.insert(*tag, (variant.clone(), *line));
+                }
+            }
+        }
+    }
+    if code.is_empty() {
+        return;
+    }
+
+    let docs = doc_rows(docs_src);
+    for (tag, (variant, line)) in &code {
+        match docs.get(tag) {
+            None => out.push(finding(
+                file,
+                *line,
+                format!("wire tag {tag} (`{variant}`) has no row in {docs_path}'s tag table"),
+            )),
+            Some((doc_name, doc_line)) if doc_name != variant => out.push(finding(
+                file,
+                *line,
+                format!(
+                    "wire tag {tag} is `{variant}` in code but `{doc_name}` in \
+                     {docs_path}:{doc_line}"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (tag, (doc_name, doc_line)) in &docs {
+        if !code.contains_key(tag) {
+            let anchor = decode_lines
+                .get(if *tag < 128 { "Request" } else { "Response" })
+                .or_else(|| decode_lines.values().next())
+                .copied()
+                .unwrap_or(1);
+            out.push(finding(
+                file,
+                anchor,
+                format!(
+                    "{docs_path}:{doc_line} documents wire tag {tag} (`{doc_name}`) which no \
+                     decode arm implements"
+                ),
+            ));
+        }
+    }
+}
+
+fn finding(file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        file: file.path.clone(),
+        line,
+        rule: Rule::R10,
+        message,
+        trace: Vec::new(),
+    }
+}
+
+/// `TAG => .. Enum::Variant ..` arms inside the decode body. The arm
+/// window runs to the next `TAG =>` arm (or body end); the first
+/// `ename::Variant` path reference inside names the variant.
+fn decode_arms(file: &SourceFile, span: &FnSpan, ename: &str) -> BTreeMap<u32, (String, u32)> {
+    let toks = &file.lexed.tokens;
+    let (open, close) = span.body;
+    let starts: Vec<usize> = (open..=close)
+        .filter(|&i| {
+            toks[i].kind == TokKind::Num
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('>'))
+        })
+        .collect();
+    let mut out = BTreeMap::new();
+    for (k, &i) in starts.iter().enumerate() {
+        let Ok(tag) = toks[i].text.parse::<u32>() else {
+            continue;
+        };
+        let window_end = starts.get(k + 1).copied().unwrap_or(close);
+        for j in i + 3..window_end {
+            if toks[j].is_ident(ename)
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                if let Some(v) = toks.get(j + 3).filter(|t| t.kind == TokKind::Ident) {
+                    out.entry(tag).or_insert((v.text.clone(), toks[i].line));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `Enum::Variant .. => .. put_u8(&mut buf, TAG)` arms inside the
+/// encode body: variant -> (tag, line of the `put_u8`).
+fn encode_arms(file: &SourceFile, span: &FnSpan, ename: &str) -> BTreeMap<String, (u32, u32)> {
+    let toks = &file.lexed.tokens;
+    let (open, close) = span.body;
+    let refs: Vec<usize> = (open..=close)
+        .filter(|&i| {
+            toks[i].is_ident(ename)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+        })
+        .collect();
+    let mut out = BTreeMap::new();
+    for (k, &i) in refs.iter().enumerate() {
+        let variant = toks[i + 3].text.clone();
+        let window_end = refs.get(k + 1).copied().unwrap_or(close);
+        for j in i + 4..window_end {
+            if toks[j].is_ident("put_u8") && toks.get(j + 1).is_some_and(|t| t.is_punct('(')) {
+                // First numeric argument of the call is the tag.
+                let mut m = j + 2;
+                while m < toks.len() && !toks[m].is_punct(')') {
+                    if toks[m].kind == TokKind::Num {
+                        if let Ok(tag) = toks[m].text.parse::<u32>() {
+                            out.entry(variant.clone()).or_insert((tag, toks[j].line));
+                        }
+                        break;
+                    }
+                    m += 1;
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Parses the documented tag table: tag -> (name, 1-based line). Range
+/// rows (`8–11` or `8-11`) zip the range against the backticked names
+/// in the message cell.
+fn doc_rows(docs: &str) -> BTreeMap<u32, (String, u32)> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in docs.lines().enumerate() {
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split('|').collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let tag_cell = cells[1].trim();
+        let msg_cell = cells[2];
+        let names: Vec<String> = msg_cell
+            .split('`')
+            .skip(1)
+            .step_by(2)
+            .map(str::to_string)
+            .collect();
+        if names.is_empty() {
+            continue;
+        }
+        let tags: Vec<u32> = if let Ok(one) = tag_cell.parse::<u32>() {
+            vec![one]
+        } else if let Some((a, b)) = tag_cell.split_once(['\u{2013}', '-']) {
+            match (a.trim().parse::<u32>(), b.trim().parse::<u32>()) {
+                (Ok(a), Ok(b)) if a <= b => (a..=b).collect(),
+                _ => continue,
+            }
+        } else {
+            continue;
+        };
+        if tags.len() == 1 {
+            out.entry(tags[0]).or_insert((names[0].clone(), lineno));
+        } else if tags.len() == names.len() {
+            for (t, n) in tags.iter().zip(&names) {
+                out.entry(*t).or_insert((n.clone(), lineno));
+            }
+        }
+    }
+    out
+}

@@ -73,8 +73,22 @@ fn expectations(rel: &str, src: &str) -> Vec<(u32, String)> {
     out
 }
 
+/// Lints one fixture. A sibling `.md` with the same stem (if any) plays
+/// the documented wire-tag table for R10, the way the binary's file
+/// mode loads one; fixtures without a sibling run with R10 disabled.
 fn lint_fixture(rel: &str, src: &str) -> Vec<Finding> {
-    lint_source(rel, src, &Ctx::default())
+    let ws_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits at <ws>/crates/lint");
+    let md = ws_root.join(rel).with_extension("md");
+    let ctx = Ctx {
+        generator_src: None,
+        docs: std::fs::read_to_string(&md)
+            .ok()
+            .map(|docs| (md.display().to_string(), docs)),
+    };
+    lint_source(rel, src, &ctx)
 }
 
 fn render(findings: &[Finding]) -> String {
@@ -121,7 +135,7 @@ fn good_twins_lint_clean() {
 }
 
 /// Each bad fixture has `bad/` in its name only; make sure the corpus
-/// covers every rule at least once (R1–R7 plus marker hygiene).
+/// covers every rule at least once (R1–R10 plus marker hygiene).
 #[test]
 fn corpus_covers_every_rule() {
     let mut seen: Vec<String> = fixtures("bad")
@@ -131,7 +145,9 @@ fn corpus_covers_every_rule() {
         .collect();
     seen.sort();
     seen.dedup();
-    for rule in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "marker"] {
+    for rule in [
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "marker",
+    ] {
         assert!(
             seen.iter().any(|r| r == rule),
             "no bad fixture exercises {rule}; corpus covers {seen:?}"

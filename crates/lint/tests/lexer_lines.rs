@@ -38,6 +38,61 @@ fn serve_line_numbers_match_source() {
 }
 
 #[test]
+fn sync_line_numbers_match_source() {
+    assert_no_drift("crates/sync/src/slot.rs");
+    assert_no_drift("crates/sync/src/qsbr.rs");
+    assert_no_drift("crates/engine/src/rebalance.rs");
+}
+
+/// `r#ident` must come out as one identifier token — in a lock position
+/// and in a call position — never as `r` + `#` + a bare keyword the
+/// guard scanner would misread mid-statement.
+#[test]
+fn raw_identifiers_lex_as_single_tokens() {
+    let src = "let r#type = state.r#loop_lock();\nlet x = r#fn(7);\n";
+    let toks = lex(src).tokens;
+    for want in ["r#type", "r#loop_lock", "r#fn"] {
+        assert!(
+            toks.iter().any(|t| t.kind == TokKind::Ident && t.text == want),
+            "`{want}` did not survive as one Ident token: {toks:?}"
+        );
+    }
+    // No stray bare keywords: `is_ident` compares the exact text, so a
+    // raw identifier never satisfies a keyword check.
+    for kw in ["type", "fn", "loop"] {
+        assert!(
+            !toks.iter().any(|t| t.is_ident(kw)),
+            "raw identifier leaked a bare `{kw}` token"
+        );
+    }
+    // `name()` strips the prefix for class/callee derivation.
+    let raw = toks.iter().find(|t| t.text == "r#loop_lock").expect("raw lock token");
+    assert_eq!(raw.name(), "loop_lock");
+}
+
+/// Byte-char literals (`b'x'`, and the escaped `b'\''`) must not be
+/// mistaken for lifetimes, and must not swallow the rest of the file —
+/// even right next to a real lifetime.
+#[test]
+fn byte_chars_adjacent_to_lifetimes() {
+    let src = "let sep = b'x';\nlet quote = b'\\'';\nfn f<'a>(s: &'a str) -> &'a str { s }\nlet after = 2;\n";
+    let toks = lex(src).tokens;
+    assert!(
+        !toks.iter().any(|t| t.kind == TokKind::Lifetime && t.line <= 2),
+        "a byte-char literal lexed as a lifetime: {toks:?}"
+    );
+    assert!(
+        toks.iter().any(|t| t.kind == TokKind::Lifetime && t.line == 3),
+        "the real lifetime on line 3 disappeared"
+    );
+    let after = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text == "after")
+        .expect("token `after`");
+    assert_eq!(after.line, 4, "an escaped byte-char swallowed a line");
+}
+
+#[test]
 fn continuation_escape_still_counts_lines() {
     let src = "let s = \"a \\\n   b\";\nlet after = 1;\n";
     let toks = lex(src).tokens;

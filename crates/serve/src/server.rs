@@ -330,8 +330,11 @@ impl PlacementServer {
             let _ = accept.join();
         }
         // Unblock handlers parked in read_frame on idle connections:
-        // their streams see EOF and the handlers exit cleanly.
-        for (_, conn) in self.shared.lock(&self.shared.conns).drain() {
+        // their streams see EOF and the handlers exit cleanly. Drain
+        // under the lock, shut down after it drops — handlers removing
+        // their own entry must never wait on this loop.
+        let conns: Vec<_> = self.shared.lock(&self.shared.conns).drain().collect();
+        for (_, conn) in conns {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
         let handlers: Vec<_> = self.shared.lock(&self.shared.handlers).drain(..).collect();
